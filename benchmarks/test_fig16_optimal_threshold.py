@@ -1,0 +1,20 @@
+"""Fig. 16 (chart): checkpoint threshold versus throughput under crashes.
+
+Shape claims: past the optimum, larger thresholds hurt throughput
+because crash recovery replays more logged requests; the best threshold
+is an interior point, not the largest tested.
+"""
+
+from benchmarks.conftest import assert_claims, report
+from repro.harness import fig16_optimal_threshold
+
+
+def test_fig16_optimal_threshold(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig16_optimal_threshold,
+        kwargs={"scale": 0.15 * bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert_claims(result)

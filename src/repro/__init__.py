@@ -1,0 +1,22 @@
+"""repro — Log-Based Recovery for Middleware Servers (SIGMOD 2007).
+
+A complete reproduction of Wang, Salzberg & Lomet's log-based recovery
+infrastructure for middleware servers, built on a deterministic
+discrete-event simulation substrate.
+
+Subpackages:
+
+- :mod:`repro.sim` — discrete-event kernel (processes, events, resources);
+- :mod:`repro.net` — simulated network with fault injection;
+- :mod:`repro.storage` — disk timing model and crash-aware stable store;
+- :mod:`repro.wire` — binary codecs and record framing;
+- :mod:`repro.db` — mini WAL'd transactional KV store;
+- :mod:`repro.core` — the paper's recovery system (the contribution);
+- :mod:`repro.baselines` — NoLog / Psession / StateServer comparisons;
+- :mod:`repro.workloads` — the paper's experimental configuration;
+- :mod:`repro.harness` — regeneration of every §5 table and figure.
+
+Command line: ``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — list the available experiments;
+- ``run <experiment> [--scale S] [--seed N]`` — regenerate one of the
+  paper's tables/figures (or an ablation) and print it;
+- ``all [--scale S]`` — regenerate everything;
+- ``workload <configuration> [--requests N] [--clients N] [--m N]
+  [--crash-every N] [--batch MS]`` — run one paper workload and print
+  the measurements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import (
+    ablation_dv_granularity,
+    ablation_parallel_recovery,
+    ablation_value_vs_access_order,
+    analysis_flush_accounting,
+    fig14_calls_chart,
+    fig14_response_table,
+    fig15a_checkpoint_overhead,
+    fig15b_crash_throughput,
+    fig16_max_response_table,
+    fig16_optimal_threshold,
+    fig17_multiclient,
+    render_result,
+)
+from repro.workloads import CONFIGURATIONS, PaperWorkload, WorkloadParams
+
+EXPERIMENTS = {
+    "fig14-table": fig14_response_table,
+    "fig14-chart": fig14_calls_chart,
+    "fig15a": fig15a_checkpoint_overhead,
+    "fig15b": fig15b_crash_throughput,
+    "fig16-table": fig16_max_response_table,
+    "fig16-chart": fig16_optimal_threshold,
+    "fig17": fig17_multiclient,
+    "analysis-flush": analysis_flush_accounting,
+    "ablation-parallel-recovery": ablation_parallel_recovery,
+    "ablation-dv-granularity": ablation_dv_granularity,
+    "ablation-sv-logging": ablation_value_vs_access_order,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Log-based recovery for middleware servers (SIGMOD 2007) "
+        "— reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--scale", type=float, default=0.1)
+    run.add_argument("--seed", type=int, default=0)
+
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--scale", type=float, default=0.05)
+    everything.add_argument("--seed", type=int, default=0)
+
+    workload = sub.add_parser("workload", help="run one paper workload")
+    workload.add_argument("configuration", choices=CONFIGURATIONS)
+    workload.add_argument("--requests", type=int, default=500)
+    workload.add_argument("--clients", type=int, default=1)
+    workload.add_argument("--m", type=int, default=1, help="calls to ServiceMethod2")
+    workload.add_argument("--crash-every", type=int, default=None)
+    workload.add_argument("--batch", type=float, default=0.0, help="batch flush ms")
+    workload.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_workload(args: argparse.Namespace) -> int:
+    params = WorkloadParams(
+        configuration=args.configuration,
+        requests_per_client=args.requests,
+        num_clients=args.clients,
+        calls_to_sm2=args.m,
+        crash_every_n=args.crash_every,
+        batch_flush_timeout_ms=args.batch,
+        seed=args.seed,
+    )
+    workload = PaperWorkload(params)
+    result = workload.run()
+    print(f"configuration:      {result.configuration}")
+    print(f"completed requests: {result.completed_requests}")
+    print(f"mean response:      {result.mean_response_ms:.3f} ms")
+    print(f"max response:       {result.max_response_ms:.1f} ms")
+    print(f"throughput:         {result.throughput_rps:.2f} req/s")
+    print(f"crashes:            {result.crashes}")
+    print(f"orphan recoveries:  {result.orphan_recoveries}")
+    print(f"replayed requests:  {result.replayed_requests}")
+    print(f"MSP1 cpu/disk util: {result.msp1_cpu_utilization:.2f} / "
+          f"{result.msp1_disk_utilization:.2f}")
+    if args.configuration in ("LoOptimistic", "Pessimistic"):
+        workload.verify_exactly_once()
+        print("exactly-once:       verified")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.command == "run":
+        result = EXPERIMENTS[args.experiment](scale=args.scale, seed=args.seed)
+        print(render_result(result))
+        return 0 if result.all_claims_hold else 1
+    if args.command == "all":
+        failures = 0
+        for name in sorted(EXPERIMENTS):
+            result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+            print(render_result(result))
+            print()
+            failures += 0 if result.all_claims_hold else 1
+        return min(failures, 1)
+    if args.command == "workload":
+        return _run_workload(args)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

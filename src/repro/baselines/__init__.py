@@ -1,0 +1,28 @@
+"""The paper's comparison configurations (§5.2).
+
+Five configurations run the same workload:
+
+- **LoOptimistic** — the paper's system with both MSPs in one service
+  domain (optimistic logging inside, pessimistic toward clients);
+- **Pessimistic** — the paper's system with each MSP in its own domain
+  (pessimistic logging everywhere);
+- **NoLog** — no logging/recovery infrastructure at all;
+- **Psession** — commercial-style persistent sessions: session state is
+  read from and written back to a local WAL'd DBMS around every request
+  (:class:`~repro.baselines.psession.PsessionServer`);
+- **StateServer** — commercial-style remote in-memory session state: the
+  full session state is fetched from and stored to a separate state
+  server around every request
+  (:class:`~repro.baselines.stateserver.StateServerServer`).
+
+LoOptimistic/Pessimistic/NoLog are plain configurations of
+:class:`~repro.core.msp.MiddlewareServer`; the two commercial baselines
+subclass it to add session persistence around method execution.  Neither
+baseline supports recoverable shared in-memory state — the gap the
+paper's system fills.
+"""
+
+from repro.baselines.psession import PsessionServer
+from repro.baselines.stateserver import StateServerNode, StateServerServer
+
+__all__ = ["PsessionServer", "StateServerNode", "StateServerServer"]

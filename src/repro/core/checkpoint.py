@@ -1,0 +1,147 @@
+"""Checkpointing: sessions (§3.2), shared variables (§3.3), MSP (§3.4).
+
+Three independent checkpoint kinds trade normal-execution overhead for
+recovery time:
+
+- **session checkpoints** are taken between requests once the session
+  consumed a threshold of log since its last checkpoint; a distributed
+  log flush first makes the checkpointed state orphan-proof, then the
+  position stream is truncated;
+- **shared-variable checkpoints** are taken every N writes; after the
+  flush the logged value can never be an orphan, so the backward write
+  chain breaks there;
+- **fuzzy MSP checkpoints** (a daemon) record only *positions* — the
+  recovered-state-number table and each session's/variable's scan-start
+  LSN — without blocking ongoing activity, and advance the log anchor.
+  Stale sessions/variables get *forced* checkpoints so the minimal LSN
+  (the crash-recovery scan start) keeps advancing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.errors import FlushFailed
+from repro.core.records import MspCheckpointRecord, SvCheckpointRecord
+from repro.core.session import Session, SessionStatus
+from repro.core.shared_variable import SharedVariable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.msp import MiddlewareServer
+
+
+def maybe_session_checkpoint(msp: "MiddlewareServer", session: Session):
+    """Take a session checkpoint if the log threshold was reached."""
+    threshold = msp.config.session_ckpt_threshold_bytes
+    if threshold is None or session.bytes_since_ckpt < threshold:
+        return
+    if session.status is not SessionStatus.NORMAL:
+        return
+    try:
+        yield from take_session_checkpoint(msp, session)
+    except FlushFailed:
+        # The distributed flush found us to be an orphan (§4.1).
+        msp._ensure_recovery(session)
+
+
+def take_session_checkpoint(msp: "MiddlewareServer", session: Session):
+    """The §3.2 session checkpoint procedure (generator).
+
+    New requests arriving during the checkpoint are bounced with busy
+    replies ("new requests are held until the checkpoint is completed").
+    """
+    session.status = SessionStatus.CHECKPOINTING
+    try:
+        # The distributed flush guarantees the checkpointed state can
+        # never be an orphan.
+        yield from msp.distributed_flush(session.dv, f"session {session.id} ckpt")
+        record = session.build_checkpoint()
+        yield from msp.cpu(
+            msp.config.costs.session_ckpt_cpu_ms + msp.config.costs.log_append_ms
+        )
+        lsn, _size = msp.log.append(record)
+        session.account_checkpoint(lsn)
+        msp.stats.session_checkpoints += 1
+    finally:
+        if session.status is SessionStatus.CHECKPOINTING:
+            session.status = SessionStatus.NORMAL
+
+
+def sv_checkpoint(msp: "MiddlewareServer", sv: SharedVariable):
+    """The §3.3 shared-variable checkpoint procedure (generator).
+
+    Holds the variable's write lock across the flush so the logged
+    value is exactly the flushed one.  If the flush fails the variable
+    is an orphan; it is rolled back here instead (the checkpointing
+    thread is one of the two orphan-detection triggers of §4.2).
+    """
+    yield from sv.lock.acquire_write()
+    try:
+        try:
+            yield from msp.distributed_flush(sv.dv, f"shared variable {sv.name} ckpt")
+        except FlushFailed:
+            msp.stats.sv_rollbacks += 1
+            yield from sv.roll_back(msp.log, msp.table)
+            return
+        record = SvCheckpointRecord(variable=sv.name, value=sv.value, version=sv.write_seq)
+        yield from msp.cpu(msp.config.costs.log_append_ms)
+        lsn, _size = msp.log.append(record)
+        sv.apply_checkpoint(lsn)
+        msp.stats.sv_checkpoints += 1
+    finally:
+        sv.lock.release_write()
+
+
+def msp_checkpoint_daemon(msp: "MiddlewareServer"):
+    """Periodic fuzzy MSP checkpointing (generator daemon)."""
+    while True:
+        yield msp.config.msp_ckpt_interval_ms
+        yield from perform_msp_checkpoint(msp)
+
+
+def perform_msp_checkpoint(msp: "MiddlewareServer"):
+    """One fuzzy MSP checkpoint (§3.4), with forced checkpoints first."""
+    limit = msp.config.forced_ckpt_msp_count
+    # Force checkpoints for sessions idle so long that they would hold
+    # back the minimal LSN.
+    for session in list(msp.sessions.values()):
+        session.msp_ckpts_since_own_ckpt += 1
+        if (
+            session.msp_ckpts_since_own_ckpt >= limit
+            and session.bytes_since_ckpt > 0
+            and not session.busy
+            and session.status is SessionStatus.NORMAL
+            and msp.config.session_ckpt_threshold_bytes is not None
+        ):
+            msp.stats.forced_checkpoints += 1
+            try:
+                yield from take_session_checkpoint(msp, session)
+            except FlushFailed:
+                msp._ensure_recovery(session)
+    for sv in list(msp.shared.values()):
+        sv.msp_ckpts_since_own_ckpt += 1
+        if sv.msp_ckpts_since_own_ckpt >= limit and sv.writes_since_ckpt > 0:
+            msp.stats.forced_checkpoints += 1
+            yield from sv_checkpoint(msp, sv)
+
+    record = MspCheckpointRecord(
+        recovered_snapshot=msp.table.snapshot(),
+        session_start_lsns={
+            sid: start
+            for sid, s in msp.sessions.items()
+            if (start := s.scan_start_lsn()) is not None
+        },
+        sv_start_lsns={
+            name: start
+            for name, v in msp.shared.items()
+            if (start := v.scan_start_lsn()) is not None
+        },
+        epoch=msp.epoch,
+    )
+    yield from msp.cpu(msp.config.costs.log_append_ms)
+    lsn, _size = msp.log.append(record)
+    # The anchor must point at a durable checkpoint.
+    yield from msp.cpu(msp.config.costs.flush_issue_ms)
+    yield from msp.log.flush(lsn)
+    yield from msp.log.write_anchor(lsn)
+    msp.stats.msp_checkpoints += 1

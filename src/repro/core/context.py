@@ -1,0 +1,654 @@
+"""Service method execution contexts.
+
+A service method is a generator function ``method(ctx, argument)``; it
+touches the world only through its context.  Two implementations share
+the interface:
+
+- :class:`NormalContext` — live execution: shared-variable access with
+  locks and value logging (paper Fig. 8), outgoing calls with the
+  resend-until-reply protocol and the Fig. 7 message actions.
+- :class:`ReplayContext` — logged-request replay (paper §4.1): session
+  variables behave normally, shared-variable reads come from the log,
+  writes are skipped, outgoing requests are not sent and their replies
+  come from the log.  When the log runs out — or an orphan log record is
+  found (EOS is written) — the context *switches to normal execution
+  mid-method* and the remaining operations run live, exactly the
+  paper's "continues the action occurring at recovery end".
+
+Because both contexts present the same API, the business code cannot
+tell whether it is being replayed — the recovery infrastructure is
+transparent to middleware programs, one of the paper's headline claims.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.log_manager import LogWindowReader
+from repro.core.errors import OrphanDetected, SessionProtocolError
+from repro.core.messages import Reply, Request
+from repro.core.records import (
+    EosRecord,
+    ReplyRecord,
+    RequestRecord,
+    SvOrderRecord,
+    SvReadRecord,
+    SvUpdateRecord,
+    SvWriteRecord,
+)
+from repro.core.dv import StateId
+from repro.sim import SimTimeoutError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.msp import MiddlewareServer
+    from repro.core.session import Session
+
+#: How long a client/session sleeps after a busy reply (paper §5.4).
+BUSY_RETRY_SLEEP_MS = 100.0
+
+
+class NormalContext:
+    """Live execution context (paper Figs. 7 and 8)."""
+
+    is_replay = False
+
+    def __init__(self, msp: "MiddlewareServer", session: "Session"):
+        self.msp = msp
+        self.session = session
+
+    @property
+    def session_id(self) -> str:
+        return self.session.id
+
+    # -- CPU -----------------------------------------------------------------
+
+    def compute(self, ms: float):
+        """Consume ``ms`` of business-logic CPU (generator)."""
+        yield from self.msp.cpu(ms)
+
+    # -- session variables (private, never logged) ------------------------------
+
+    def get_session_var(self, name: str):
+        """Read a session variable (generator; returns bytes or None)."""
+        yield from self.msp.cpu(self.msp.config.costs.session_var_ms)
+        return self.session.variables.get(name)
+
+    def set_session_var(self, name: str, value: bytes):
+        """Write a session variable (generator)."""
+        yield from self.msp.cpu(self.msp.config.costs.session_var_ms)
+        self.session.variables[name] = bytes(value)
+
+    # -- shared variables (paper Fig. 8) ------------------------------------------
+
+    def read_shared(self, name: str):
+        """Read a shared variable (generator; returns its bytes)."""
+        msp, session = self.msp, self.session
+        sv = msp.shared_variable(name)
+        if not msp.recoverable:
+            yield from sv.lock.acquire_read()
+            try:
+                yield from msp.cpu(msp.config.costs.session_var_ms)
+                return sv.value
+            finally:
+                sv.lock.release_read()
+
+        if msp.config.sv_logging == "access-order":
+            value = yield from self._read_shared_access_order(sv)
+            return value
+
+        yield from sv.lock.acquire_read()
+        write_locked = False
+        try:
+            if sv.is_orphan(msp.table):
+                # Roll the variable back ourselves (value logging makes
+                # this possible without waiting on other sessions —
+                # the §3.3 deadlock-avoidance argument).  Upgrade to an
+                # exclusive lock first.
+                sv.lock.release_read()
+                yield from sv.lock.acquire_write()
+                write_locked = True
+                if sv.is_orphan(msp.table):
+                    msp.stats.sv_rollbacks += 1
+                    yield from sv.roll_back(msp.log, msp.table)
+            record = SvReadRecord(
+                session_id=session.id,
+                variable=name,
+                value=sv.value,
+                variable_dv=sv.dv.copy(),
+            )
+            yield from msp.append_session_record(session, record)
+            yield from msp.cpu(msp.config.costs.dv_track_ms)
+            session.dv.merge(sv.dv)
+            value = sv.value
+        finally:
+            if write_locked:
+                sv.lock.release_write()
+            else:
+                sv.lock.release_read()
+        msp.check_session_orphan(session)
+        return value
+
+    def write_shared(self, name: str, value: bytes):
+        """Write a shared variable (generator)."""
+        msp, session = self.msp, self.session
+        sv = msp.shared_variable(name)
+        if msp.recoverable and msp.config.sv_logging == "access-order":
+            yield from self._write_shared_access_order(sv, value)
+            return
+        yield from sv.lock.acquire_write()
+        try:
+            if not msp.recoverable:
+                yield from msp.cpu(msp.config.costs.session_var_ms)
+                sv.value = bytes(value)
+                return
+            # No orphan check of the existing value: it is being
+            # replaced (paper §3.3).
+            record = SvWriteRecord(
+                session_id=session.id,
+                variable=name,
+                value=bytes(value),
+                writer_dv=session.dv.copy(),
+                prev_write_lsn=sv.last_write_lsn,
+            )
+            lsn, _size = yield from msp.append_write_record(session, record)
+            yield from msp.cpu(msp.config.costs.dv_track_ms)
+            sv.apply_write(lsn, value, session.dv)
+        finally:
+            sv.lock.release_write()
+        if (
+            msp.recoverable
+            and sv.writes_since_ckpt >= msp.config.sv_ckpt_write_threshold
+        ):
+            from repro.core.checkpoint import sv_checkpoint
+
+            yield from sv_checkpoint(msp, sv)
+        msp.check_session_orphan(session)
+
+    def _await_variable_recovered(self, sv):
+        """Access-order mode: block while the variable is still being
+        reconstructed by replaying sessions (paper §3.3's coupling)."""
+        while sv.reconstructing:
+            yield 0.5
+
+    def _read_shared_access_order(self, sv):
+        """Log only the write version observed; concurrent reads of the
+        same version commute, so the shared read lock suffices."""
+        msp, session = self.msp, self.session
+        yield from self._await_variable_recovered(sv)
+        yield from sv.lock.acquire_read()
+        try:
+            record = SvOrderRecord(
+                session_id=session.id, variable=sv.name,
+                version=sv.write_seq, is_write=False,
+            )
+            yield from msp.append_session_record(session, record)
+            return sv.value
+        finally:
+            sv.lock.release_read()
+
+    def _write_shared_access_order(self, sv, value: bytes):
+        msp, session = self.msp, self.session
+        yield from self._await_variable_recovered(sv)
+        yield from sv.lock.acquire_write()
+        try:
+            record = SvOrderRecord(
+                session_id=session.id, variable=sv.name,
+                version=sv.write_seq + 1, is_write=True,
+            )
+            yield from msp.append_write_record(session, record)
+            sv.write_seq += 1
+            sv.value = bytes(value)
+        finally:
+            sv.lock.release_write()
+
+    def _update_shared_access_order(self, sv, update):
+        msp, session = self.msp, self.session
+        yield from self._await_variable_recovered(sv)
+        yield from sv.lock.acquire_write()
+        try:
+            record = SvOrderRecord(
+                session_id=session.id, variable=sv.name,
+                version=sv.write_seq + 1, is_write=True,
+            )
+            yield from msp.append_session_record(session, record)
+            sv.write_seq += 1
+            sv.value = bytes(update(sv.value))
+            return sv.value
+        finally:
+            sv.lock.release_write()
+
+    def update_shared(self, name: str, update):
+        """Atomic read-modify-write of a shared variable (generator).
+
+        A small extension over the paper's per-access locks: the read
+        and the write happen under one write-lock span, so concurrent
+        sessions cannot lose updates.  ``update`` must be a pure
+        function ``bytes -> bytes``.  The RMW is captured as a single
+        :class:`SvUpdateRecord` so replay consumes it atomically (a lost
+        record re-executes the whole RMW live).  Returns the new value.
+        """
+        msp, session = self.msp, self.session
+        sv = msp.shared_variable(name)
+        if msp.recoverable and msp.config.sv_logging == "access-order":
+            value = yield from self._update_shared_access_order(sv, update)
+            return value
+        yield from sv.lock.acquire_write()
+        try:
+            if not msp.recoverable:
+                yield from msp.cpu(msp.config.costs.session_var_ms)
+                sv.value = bytes(update(sv.value))
+                return sv.value
+            if sv.is_orphan(msp.table):
+                msp.stats.sv_rollbacks += 1
+                yield from sv.roll_back(msp.log, msp.table)
+            old_value = sv.value
+            variable_dv = sv.dv.copy()
+            new_value = bytes(update(old_value))
+            # One combined record: the read part (old value + the
+            # variable's DV, the RMW's nondeterministic input) and the
+            # write part (new value, chain link).  The writer DV stored
+            # is the session DV *after* merging the variable's — exactly
+            # the dependency set the new value carries.
+            merged_dv = session.dv.copy()
+            merged_dv.merge(variable_dv)
+            record = SvUpdateRecord(
+                session_id=session.id,
+                variable=name,
+                old_value=old_value,
+                new_value=new_value,
+                variable_dv=variable_dv,
+                writer_dv=merged_dv,
+                prev_write_lsn=sv.last_write_lsn,
+            )
+            lsn, _size = yield from msp.append_session_record(session, record)
+            yield from msp.cpu(2 * msp.config.costs.dv_track_ms)
+            session.dv.merge(variable_dv)
+            sv.apply_write(lsn, new_value, session.dv)
+        finally:
+            sv.lock.release_write()
+        if (
+            msp.recoverable
+            and sv.writes_since_ckpt >= msp.config.sv_ckpt_write_threshold
+        ):
+            from repro.core.checkpoint import sv_checkpoint
+
+            yield from sv_checkpoint(msp, sv)
+        msp.check_session_orphan(session)
+        return new_value
+
+    # -- outgoing calls (paper Fig. 7) ----------------------------------------------
+
+    def call(self, target_msp: str, method: str, argument: bytes):
+        """Synchronous RPC to another MSP (generator; returns reply bytes).
+
+        Retries with the same sequence number until a reply arrives —
+        the server deduplicates, so the call executes exactly once.
+        """
+        msp, session = self.msp, self.session
+        out = session.outgoing_to(target_msp)
+        seq = out.next_seq
+        reply_port = f"reply:{out.session_id}"
+        inbox = msp.node.bind(reply_port)
+        request = Request(
+            session_id=out.session_id,
+            seq=seq,
+            method=method,
+            argument=bytes(argument),
+            reply_to=msp.name,
+            reply_port=reply_port,
+        )
+        while True:
+            msp.check_session_orphan(session)
+            # Fig. 7 "before send".
+            if msp.recoverable:
+                if msp.domains.same_domain(msp.name, target_msp):
+                    yield from msp.cpu(msp.config.costs.dv_track_ms)
+                    request.sender_dv = session.dv.copy()
+                else:
+                    yield from msp.distributed_flush(session.dv, f"session {session.id}")
+                    request.sender_dv = None
+            yield from msp.cpu(msp.config.costs.message_stack_ms)
+            msp.send(target_msp, "request", request)
+            reply = yield from _await_reply(msp, inbox, seq)
+            if reply is None:
+                continue  # lost request/reply or crashed server: resend
+            yield from msp.cpu(msp.config.costs.message_stack_ms)
+            if reply.busy:
+                yield BUSY_RETRY_SLEEP_MS
+                continue
+            # Fig. 7 "after receive".
+            if msp.recoverable:
+                if reply.sender_dv is not None:
+                    reply.sender_dv.prune_resolved(msp.table)
+                    if msp.table.is_orphan(reply.sender_dv):
+                        # Orphan message: discard and stop; the sender's
+                        # MSP will recover it, and our resend will fetch
+                        # a consistent reply.
+                        msp.stats.orphan_messages_discarded += 1
+                        yield BUSY_RETRY_SLEEP_MS
+                        continue
+                record = ReplyRecord(
+                    session_id=session.id,
+                    outgoing_session_id=out.session_id,
+                    seq=seq,
+                    payload=reply.payload,
+                    sender_dv=reply.sender_dv,
+                )
+                yield from msp.append_session_record(session, record)
+                if reply.sender_dv is not None:
+                    yield from msp.cpu(msp.config.costs.dv_track_ms)
+                    session.dv.merge(reply.sender_dv)
+                msp.check_session_orphan(session)
+            out.next_seq = seq + 1
+            return reply.payload
+
+
+def _await_reply(msp: "MiddlewareServer", inbox, seq: int):
+    """Wait one resend-timeout window for the reply to ``seq``,
+    draining stale duplicate replies; returns the reply or None."""
+    deadline = msp.sim.now + msp.config.call_resend_timeout_ms
+    while True:
+        remaining = deadline - msp.sim.now
+        if remaining <= 0:
+            return None
+        try:
+            envelope = yield from inbox.get_with_timeout(remaining)
+        except SimTimeoutError:
+            return None
+        reply: Reply = envelope.payload
+        if reply.seq != seq:
+            continue  # stale duplicate of an earlier reply
+        return reply
+
+
+class OrphanRecordFound(Exception):
+    """Internal: replay hit the orphan log record (paper §4.1)."""
+
+    def __init__(self, lsn: int):
+        self.lsn = lsn
+        super().__init__(f"orphan log record at LSN {lsn}")
+
+
+class ReplayCursor:
+    """Walks a session's position stream through a 64 KB read window."""
+
+    def __init__(self, msp: "MiddlewareServer", positions: list[int]):
+        self.msp = msp
+        self.positions = positions
+        self.index = 0
+        self._reader = LogWindowReader(msp.log, durable_only=False)
+
+    def has_next(self) -> bool:
+        return self.index < len(self.positions)
+
+    def fetch_next(self):
+        """Read the next record (generator; returns ``(lsn, record)``).
+
+        Checks the record's logged DV against current recovery knowledge
+        and raises :class:`OrphanRecordFound` when the record turns out
+        to be the orphan log record.
+        """
+        lsn = self.positions[self.index]
+        record = yield from self._reader.fetch(lsn)
+        dv = None
+        if isinstance(record, (RequestRecord, ReplyRecord)):
+            dv = record.sender_dv
+        elif isinstance(record, (SvReadRecord, SvUpdateRecord)):
+            dv = record.variable_dv
+        # SvWriteRecords carry the writer's own DV for the *variable's*
+        # recovery; they never orphan the session (paper §4.1 lists only
+        # requests, replies and shared-variable reads).
+        if dv is not None:
+            dv.prune_resolved(self.msp.table)
+            if self.msp.table.is_orphan(dv):
+                raise OrphanRecordFound(lsn)
+        self.index += 1
+        return lsn, record
+
+
+class ReplayContext:
+    """Replay-mode context; transparently switches to normal mid-method."""
+
+    def __init__(self, msp: "MiddlewareServer", session: "Session", cursor: ReplayCursor):
+        self.msp = msp
+        self.session = session
+        self.cursor = cursor
+        self._normal: Optional[NormalContext] = None
+
+    @property
+    def is_replay(self) -> bool:
+        return self._normal is None
+
+    @property
+    def switched(self) -> bool:
+        return self._normal is not None
+
+    @property
+    def session_id(self) -> str:
+        return self.session.id
+
+    def _switch_to_normal(self) -> NormalContext:
+        if self._normal is None:
+            self._normal = NormalContext(self.msp, self.session)
+        return self._normal
+
+    def _next_logged(self):
+        """Fetch the next logged record, or None if replay must end.
+
+        Ending happens when the stream is exhausted or when the orphan
+        log record is found — in the latter case the EOS record is
+        written and the skipped positions dropped, right here.
+        """
+        if not self.cursor.has_next():
+            self._switch_to_normal()
+            return None
+        try:
+            lsn, record = yield from self.cursor.fetch_next()
+        except OrphanRecordFound as found:
+            yield from write_eos(self.msp, self.session, found.lsn)
+            self._switch_to_normal()
+            return None
+        return lsn, record
+
+    # -- the ServiceContext interface -----------------------------------------
+
+    def compute(self, ms: float):
+        yield from self.msp.cpu(ms)
+
+    def get_session_var(self, name: str):
+        if self._normal is not None:
+            return (yield from self._normal.get_session_var(name))
+        yield from self.msp.cpu(self.msp.config.costs.session_var_ms)
+        return self.session.variables.get(name)
+
+    def set_session_var(self, name: str, value: bytes):
+        if self._normal is not None:
+            yield from self._normal.set_session_var(name, value)
+            return
+        yield from self.msp.cpu(self.msp.config.costs.session_var_ms)
+        self.session.variables[name] = bytes(value)
+
+    def _await_write_turn(self, sv, version: int):
+        """Access-order replay: a write of ``version`` may re-execute
+        once the variable reached ``version - 1`` AND every logged read
+        of ``version - 1`` has replayed (read/write conflict order).
+        This cross-session waiting is the recovery coupling the paper
+        rejects access-order logging for (§3.3)."""
+        while sv.write_seq < version - 1 or sv.expected_reads.get(version - 1, 0) > 0:
+            yield 0.2
+        if sv.write_seq != version - 1:
+            raise SessionProtocolError(
+                f"access-order divergence on {sv.name!r}: variable at "
+                f"write {sv.write_seq}, record expects write {version}"
+            )
+
+    def _await_read_turn(self, sv, version: int):
+        """A replayed read waits until the variable reaches the version
+        it observed during normal execution."""
+        while sv.write_seq < version:
+            yield 0.2
+        if sv.write_seq != version:
+            raise SessionProtocolError(
+                f"access-order divergence on {sv.name!r}: variable at "
+                f"write {sv.write_seq}, read expects {version}"
+            )
+
+    def _expect_order_record(self, name: str, is_write: bool):
+        nxt = yield from self._next_logged()
+        if nxt is None:
+            return None
+        lsn, record = nxt
+        if (
+            not isinstance(record, SvOrderRecord)
+            or record.variable != name
+            or record.is_write is not is_write
+        ):
+            raise SessionProtocolError(
+                f"replay divergence: expected order record for {name!r} "
+                f"(write={is_write}), log has {record!r}"
+            )
+        self.session.state_lsn = lsn
+        self.session.dv.observe(self.msp.name, StateId(self.msp.epoch, lsn))
+        return record
+
+    def _read_shared_access_order(self, name: str):
+        record = yield from self._expect_order_record(name, is_write=False)
+        if record is None:
+            return (yield from self._normal.read_shared(name))
+        sv = self.msp.shared_variable(name)
+        yield from self._await_read_turn(sv, record.version)
+        value = sv.value
+        remaining = sv.expected_reads.get(record.version, 0)
+        if remaining > 0:
+            sv.expected_reads[record.version] = remaining - 1
+        return value
+
+    def _write_shared_access_order(self, name: str, value: bytes):
+        record = yield from self._expect_order_record(name, is_write=True)
+        if record is None:
+            yield from self._normal.write_shared(name, value)
+            return
+        sv = self.msp.shared_variable(name)
+        yield from self._await_write_turn(sv, record.version)
+        # Unlike value logging, the replayed write must be APPLIED: the
+        # variable is reconstructed by re-execution, not from the log.
+        sv.value = bytes(value)
+        sv.write_seq = record.version
+
+    def _update_shared_access_order(self, name: str, update):
+        record = yield from self._expect_order_record(name, is_write=True)
+        if record is None:
+            return (yield from self._normal.update_shared(name, update))
+        sv = self.msp.shared_variable(name)
+        yield from self._await_write_turn(sv, record.version)
+        sv.value = bytes(update(sv.value))
+        sv.write_seq = record.version
+        return sv.value
+
+    def read_shared(self, name: str):
+        if self._normal is not None:
+            return (yield from self._normal.read_shared(name))
+        if self.msp.config.sv_logging == "access-order":
+            return (yield from self._read_shared_access_order(name))
+        nxt = yield from self._next_logged()
+        if nxt is None:
+            return (yield from self._normal.read_shared(name))
+        lsn, record = nxt
+        if not isinstance(record, SvReadRecord) or record.variable != name:
+            raise SessionProtocolError(
+                f"replay divergence: expected read of {name!r}, log has {record!r}"
+            )
+        # "Reading a shared variable gets its value from the log" —
+        # without touching the live variable or other sessions.
+        yield from self.msp.cpu(self.msp.config.costs.dv_track_ms)
+        self.session.state_lsn = lsn
+        self.session.dv.observe(self.msp.name, StateId(self.msp.epoch, lsn))
+        self.session.dv.merge(record.variable_dv)
+        return record.value
+
+    def write_shared(self, name: str, value: bytes):
+        if self._normal is not None:
+            yield from self._normal.write_shared(name, value)
+            return
+        if self.msp.config.sv_logging == "access-order":
+            yield from self._write_shared_access_order(name, value)
+            return
+        nxt = yield from self._next_logged()
+        if nxt is None:
+            yield from self._normal.write_shared(name, value)
+            return
+        _lsn, record = nxt
+        if not isinstance(record, SvWriteRecord) or record.variable != name:
+            raise SessionProtocolError(
+                f"replay divergence: expected write of {name!r}, log has {record!r}"
+            )
+        # "Writing a shared variable is skipped due to the variable's
+        # own separate recovery."
+
+    def update_shared(self, name: str, update):
+        """Replay of an atomic read-modify-write.
+
+        Consumes exactly one :class:`SvUpdateRecord`: the read part
+        (old value, variable DV) feeds the session's DV exactly as in
+        normal execution; the write part is skipped — the variable
+        recovers separately.  If the record is missing or orphan, the
+        whole RMW re-executes live, atomically.
+        """
+        if self._normal is not None:
+            return (yield from self._normal.update_shared(name, update))
+        if self.msp.config.sv_logging == "access-order":
+            return (yield from self._update_shared_access_order(name, update))
+        nxt = yield from self._next_logged()
+        if nxt is None:
+            return (yield from self._normal.update_shared(name, update))
+        lsn, record = nxt
+        if not isinstance(record, SvUpdateRecord) or record.variable != name:
+            raise SessionProtocolError(
+                f"replay divergence: expected update of {name!r}, log has {record!r}"
+            )
+        yield from self.msp.cpu(2 * self.msp.config.costs.dv_track_ms)
+        self.session.state_lsn = lsn
+        self.session.dv.observe(self.msp.name, StateId(self.msp.epoch, lsn))
+        self.session.dv.merge(record.variable_dv)
+        return bytes(update(record.old_value))
+
+    def call(self, target_msp: str, method: str, argument: bytes):
+        if self._normal is not None:
+            return (yield from self._normal.call(target_msp, method, argument))
+        out = self.session.outgoing_to(target_msp)
+        nxt = yield from self._next_logged()
+        if nxt is None:
+            return (yield from self._normal.call(target_msp, method, argument))
+        lsn, record = nxt
+        if (
+            not isinstance(record, ReplyRecord)
+            or record.outgoing_session_id != out.session_id
+            or record.seq != out.next_seq
+        ):
+            raise SessionProtocolError(
+                f"replay divergence: expected reply seq {out.next_seq} from "
+                f"{out.session_id!r}, log has {record!r}"
+            )
+        # "Requests to other MSPs are not sent, and their reply is read
+        # from the log."  Sequence numbers advance exactly as live.
+        yield from self.msp.cpu(self.msp.config.costs.dv_track_ms)
+        self.session.state_lsn = lsn
+        self.session.dv.observe(self.msp.name, StateId(self.msp.epoch, lsn))
+        if record.sender_dv is not None:
+            self.session.dv.merge(record.sender_dv)
+        out.next_seq += 1
+        return record.payload
+
+
+def write_eos(msp: "MiddlewareServer", session: "Session", orphan_lsn: int):
+    """Terminate skipping: truncate the stream, write the EOS record.
+
+    Paper §4.1: the EOS points back at the orphan log record; it does
+    not need to be flushed — if it is lost, recovery simply skips from
+    the orphan record to the log end, which is equally correct.
+    """
+    session.position_stream.remove_from(orphan_lsn)
+    record = EosRecord(session_id=session.id, orphan_lsn=orphan_lsn)
+    yield from msp.cpu(msp.config.costs.log_append_ms)
+    _lsn, size = msp.log.append(record)
+    session.bytes_since_ckpt += size

@@ -1,0 +1,177 @@
+"""MSP crash recovery (paper §4.3, Fig. 12).
+
+The sequence after a restart:
+
+1. re-initialize from the most recent MSP checkpoint (found via the log
+   anchor);
+2. a single-threaded analysis scan of the durable log from the minimal
+   LSN: reconstruct position streams (pruning at EOS records and
+   session-end markers), roll shared variables forward to their most
+   recent logged values, and rebuild recovered-state-number knowledge;
+3. broadcast the recovery announcement (the largest persistent LSN)
+   within the service domain — peers ack with their own knowledge, so
+   announcements we slept through are caught up;
+4. take a fresh MSP checkpoint;
+5. recover all sessions **in parallel** along their reconstructed
+   position streams while already accepting new sessions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.dv import RecoveryTable
+from repro.core.records import (
+    AnnouncementRecord,
+    EosRecord,
+    MspCheckpointRecord,
+    ReplyRecord,
+    RequestRecord,
+    SessionCheckpointRecord,
+    SessionEndRecord,
+    SvCheckpointRecord,
+    SvOrderRecord,
+    SvReadRecord,
+    SvUpdateRecord,
+    SvWriteRecord,
+)
+from repro.core.replay import run_session_recovery
+from repro.core.session import SessionStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.msp import MiddlewareServer
+
+
+def recover_msp(msp: "MiddlewareServer"):
+    """Run full crash recovery (generator); called from ``start()``."""
+    started_at = msp.sim.now
+    log = msp.log
+
+    # 1. Re-initialize from the most recent MSP checkpoint.
+    anchor = log.read_anchor()
+    old_epoch = 0
+    scan_start = 0
+    if anchor is not None:
+        # One random read to pull the checkpoint record itself.
+        yield from msp.disk.read(1, sequential=False)
+        ckpt, _next = log.record_at(anchor)
+        if not isinstance(ckpt, MspCheckpointRecord):
+            raise ValueError(f"{msp.name}: anchor does not point at an MSP checkpoint")
+        msp.table = RecoveryTable.from_snapshot(ckpt.recovered_snapshot)
+        old_epoch = ckpt.epoch
+        scan_start = ckpt.min_lsn(anchor)
+
+    # 2. Single-threaded analysis scan.
+    records = yield from log.scan_durable(scan_start)
+    yield from msp.cpu(len(records) * msp.config.costs.scan_record_cpu_ms)
+
+    positions: dict[str, list[int]] = {}
+    session_ckpts: dict[str, int] = {}
+    ended: set[str] = set()
+    order_writes: dict[str, int] = {}
+    order_reads: dict[str, dict[int, int]] = {}
+    for lsn, record in records:
+        if isinstance(
+            record,
+            (RequestRecord, ReplyRecord, SvReadRecord, SvWriteRecord,
+             SvUpdateRecord, SvOrderRecord),
+        ):
+            positions.setdefault(record.session_id, []).append(lsn)
+        if isinstance(record, SvWriteRecord):
+            sv = msp.shared.get(record.variable)
+            if sv is not None:
+                sv.apply_write(lsn, record.value, record.writer_dv)
+        elif isinstance(record, SvUpdateRecord):
+            sv = msp.shared.get(record.variable)
+            if sv is not None:
+                sv.apply_write(lsn, record.new_value, record.writer_dv)
+        elif isinstance(record, SvCheckpointRecord):
+            sv = msp.shared.get(record.variable)
+            if sv is not None:
+                sv.value = record.value
+                sv.apply_checkpoint(lsn)
+                sv.write_seq = record.version
+                order_writes[record.variable] = record.version
+                order_reads[record.variable] = {}
+        elif isinstance(record, SvOrderRecord):
+            if record.is_write:
+                order_writes[record.variable] = record.version
+            else:
+                reads = order_reads.setdefault(record.variable, {})
+                reads[record.version] = reads.get(record.version, 0) + 1
+        elif isinstance(record, SessionCheckpointRecord):
+            session_ckpts[record.session_id] = lsn
+            positions[record.session_id] = []
+            ended.discard(record.session_id)
+        elif isinstance(record, EosRecord):
+            kept = positions.get(record.session_id)
+            if kept is not None:
+                positions[record.session_id] = [
+                    p for p in kept if p < record.orphan_lsn
+                ]
+        elif isinstance(record, AnnouncementRecord):
+            msp.table.record(record.msp, record.epoch, record.recovered_lsn)
+        elif isinstance(record, MspCheckpointRecord):
+            msp.table.merge(RecoveryTable.from_snapshot(record.recovered_snapshot))
+        elif isinstance(record, SessionEndRecord):
+            ended.add(record.session_id)
+            positions.pop(record.session_id, None)
+            session_ckpts.pop(record.session_id, None)
+    msp.stats.recovery_scan_records += len(records)
+
+    if msp.config.sv_logging == "access-order":
+        # Access-order recovery: variables are reconstructed by
+        # re-executing every logged access in conflict order; until
+        # then, live accesses must block (the §3.3 coupling this
+        # ablation measures).
+        for name, sv in msp.shared.items():
+            sv.recovery_target_write = order_writes.get(name, sv.write_seq)
+            sv.expected_reads = dict(order_reads.get(name, {}))
+
+    # The largest persistent LSN is what we recovered to.
+    recovered_lsn = msp.store.durable_end
+    msp.table.record(msp.name, old_epoch, recovered_lsn)
+    msp.epoch = old_epoch + 1
+
+    # Rebuild the session objects (state itself is rebuilt by replay).
+    to_recover = []
+    for session_id in sorted(positions.keys() | session_ckpts.keys()):
+        if session_id in ended:
+            continue
+        session = msp.session_for(session_id)
+        session.status = SessionStatus.RECOVERING
+        session.recovery_pending = True
+        session.last_ckpt_lsn = session_ckpts.get(session_id)
+        stream = positions.get(session_id, [])
+        session.position_stream.replace(stream)
+        session.first_lsn = stream[0] if stream else session.last_ckpt_lsn
+        to_recover.append(session)
+
+    # 3. Broadcast the recovery message within the service domain.
+    msp.broadcast_recovery(old_epoch, recovered_lsn)
+
+    # 4. Make a fresh MSP checkpoint (so the next crash starts here).
+    from repro.core.checkpoint import perform_msp_checkpoint
+
+    yield from perform_msp_checkpoint(msp)
+
+    # 5. Recover sessions in parallel; the caller opens for business
+    # immediately, so new sessions are accepted while these replay.
+    # (The sequential mode exists only for the ablation benchmark — the
+    # paper's design point is that parallel recovery shortens outages.)
+    if msp.config.parallel_recovery:
+        for session in to_recover:
+            msp.sim.spawn(
+                run_session_recovery(msp, session, orphan=False),
+                name=f"{msp.name}.sessionrec.{session.id}",
+                group=msp.group,
+            )
+    else:
+        def _sequential():
+            for session in to_recover:
+                yield from run_session_recovery(msp, session, orphan=False)
+
+        msp.sim.spawn(
+            _sequential(), name=f"{msp.name}.sessionrec.seq", group=msp.group
+        )
+    msp.stats.recovery_scan_ms += msp.sim.now - started_at

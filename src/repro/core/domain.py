@@ -1,0 +1,62 @@
+"""Service domains (paper §1.3, §2.1).
+
+A service domain is a set of tightly associated MSPs with fast and
+reliable communication — typically run by one service provider.  The
+domain boundary is where the logging policy flips (§3.1):
+
+- *within* a domain, messages use optimistic logging (DV attached, no
+  flush before send);
+- *across* domains — including to and from end clients, which are
+  outside every domain — messages use pessimistic logging (distributed
+  log flush before send, no DV attached).
+
+Domains are disjoint; recovery announcements are broadcast only within
+the crashed MSP's domain, and DVs never propagate past a domain
+boundary, which bounds both DV size and rollback blast radius.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class ServiceDomainConfig:
+    """Immutable assignment of MSPs to disjoint service domains."""
+
+    def __init__(self, domains: Iterable[Iterable[str]] = ()):
+        self._domain_of: dict[str, frozenset[str]] = {}
+        for members in domains:
+            domain = frozenset(members)
+            if not domain:
+                raise ValueError("empty service domain")
+            for msp in domain:
+                if msp in self._domain_of:
+                    raise ValueError(f"MSP {msp!r} assigned to two service domains")
+                self._domain_of[msp] = domain
+
+    @staticmethod
+    def all_separate() -> "ServiceDomainConfig":
+        """No optimistic logging anywhere (the paper's Pessimistic
+        configuration puts each MSP in its own domain)."""
+        return ServiceDomainConfig()
+
+    def domain_of(self, msp: str) -> Optional[frozenset[str]]:
+        """The domain containing ``msp``; None if it stands alone
+        (every message it exchanges is pessimistically logged)."""
+        return self._domain_of.get(msp)
+
+    def peers_of(self, msp: str) -> frozenset[str]:
+        """Other members of ``msp``'s domain (announcement targets)."""
+        domain = self._domain_of.get(msp)
+        if domain is None:
+            return frozenset()
+        return domain - {msp}
+
+    def same_domain(self, a: str, b: str) -> bool:
+        """Do ``a`` and ``b`` share a service domain?
+
+        End clients never appear in a domain, so this correctly returns
+        False for any client-MSP pair.
+        """
+        domain = self._domain_of.get(a)
+        return domain is not None and b in domain

@@ -1,0 +1,273 @@
+"""State identifiers, dependency vectors and recovered-state knowledge.
+
+Paper §3.1: a process's *state identifier* consists of a *state number*
+(the LSN of its most recent log record) and an *epoch number* (a
+failure-free period, incremented after each crash recovery).  A
+*dependency vector* (DV) maps each MSP a piece of state transitively
+depends on to state identifiers in that MSP's log.  DVs travel on
+intra-domain messages and are merged by item-wise maximization.
+
+One refinement over the paper's simplified presentation (which "elides
+the epoch number"): we keep the maximum LSN *per epoch* rather than a
+single entry per MSP.  Collapsing an epoch-``e`` dependency when an
+epoch-``e+1`` entry arrives would mask an orphan if the epoch-``e``
+recovery announcement has not been processed yet (announcements and
+application messages race on the network).  Per-epoch entries are held
+until recovery knowledge resolves them: once ``(msp, e)``'s recovered
+LSN is known, the entry either proves orphan (LSN beyond it) or can be
+dropped (LSN covered, hence durable and never orphanable).  This matches
+the incarnation-number treatment in the classical optimistic-recovery
+protocols the paper cites (Strom & Yemini; Damani & Garg).
+
+Orphan detection works against a :class:`RecoveryTable`: when an MSP
+finishes crash recovery it announces ``(msp, epoch, recovered_lsn)`` —
+any dependency on that epoch with an LSN beyond ``recovered_lsn`` refers
+to log records that were lost in the crash, so the depending state is an
+orphan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+from repro.wire import Decoder, Encoder
+
+
+@dataclass(frozen=True, order=True)
+class StateId:
+    """An (epoch, state number) pair identifying a point in an MSP's log."""
+
+    epoch: int
+    lsn: int
+
+    def encode_into(self, enc: Encoder) -> None:
+        enc.uint(self.epoch).uint(self.lsn)
+
+    @staticmethod
+    def decode_from(dec: Decoder) -> "StateId":
+        return StateId(epoch=dec.uint(), lsn=dec.uint())
+
+
+class DependencyVector:
+    """``msp name -> {epoch -> max LSN}`` with lattice merge.
+
+    DVs mutate in place; ``copy()`` gives the snapshot the paper needs
+    where a shared-variable write *replaces* the variable's DV with the
+    writer session's DV.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Optional[Mapping[str, Mapping[int, int]]] = None):
+        self._entries: dict[str, dict[int, int]] = {}
+        if entries:
+            for msp, epochs in entries.items():
+                self._entries[msp] = dict(epochs)
+
+    # -- access ----------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def entry_count(self) -> int:
+        return sum(len(epochs) for epochs in self._entries.values())
+
+    def __iter__(self) -> Iterator[tuple[str, StateId]]:
+        """Iterate all (msp, StateId) entries in deterministic order."""
+        for msp in sorted(self._entries):
+            for epoch in sorted(self._entries[msp]):
+                yield msp, StateId(epoch, self._entries[msp][epoch])
+
+    def get(self, msp: str) -> Optional[StateId]:
+        """The most recent (highest-epoch) dependency on ``msp``."""
+        epochs = self._entries.get(msp)
+        if not epochs:
+            return None
+        epoch = max(epochs)
+        return StateId(epoch, epochs[epoch])
+
+    def msps(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DependencyVector):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{m}:{s.epoch}.{s.lsn}" for m, s in self)
+        return f"DV[{inner}]"
+
+    def copy(self) -> "DependencyVector":
+        return DependencyVector(self._entries)
+
+    # -- updates -----------------------------------------------------------
+
+    def observe(self, msp: str, state: StateId) -> None:
+        """Record a direct dependency (per-epoch item-wise maximization)."""
+        epochs = self._entries.setdefault(msp, {})
+        current = epochs.get(state.epoch)
+        if current is None or state.lsn > current:
+            epochs[state.epoch] = state.lsn
+
+    def merge(self, other: "DependencyVector") -> None:
+        """Item-wise maximization with ``other`` (paper Fig. 5)."""
+        for msp, state in other:
+            self.observe(msp, state)
+
+    def replace_with(self, other: "DependencyVector") -> None:
+        """Become a copy of ``other`` (shared-variable write semantics)."""
+        self._entries = {msp: dict(epochs) for msp, epochs in other._entries.items()}
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def prune_covered(self, msp: str, state: StateId) -> None:
+        """Drop entries for ``msp`` proven durable up to ``state``.
+
+        Called after a distributed log flush covered ``state`` at that
+        MSP, and when recovery knowledge shows an old-epoch entry
+        survived its crash.  A durable dependency can never become an
+        orphan, so carrying it is pure overhead — this is why the paper
+        can drop the DV from cross-domain messages after the flush.
+        Entries for *later* epochs, or for LSNs beyond ``state.lsn``
+        within the same epoch, are kept.
+        """
+        epochs = self._entries.get(msp)
+        if not epochs:
+            return
+        for epoch in list(epochs):
+            if epoch < state.epoch or (epoch == state.epoch and epochs[epoch] <= state.lsn):
+                del epochs[epoch]
+        if not epochs:
+            del self._entries[msp]
+
+    def prune_resolved(self, table: "RecoveryTable") -> None:
+        """Drop entries that recovery knowledge proves can never orphan."""
+        for msp in list(self._entries):
+            epochs = self._entries[msp]
+            for epoch in list(epochs):
+                recovered = table.recovered_lsn(msp, epoch)
+                if recovered is not None and epochs[epoch] < recovered:
+                    del epochs[epoch]
+            if not epochs:
+                del self._entries[msp]
+
+    # -- serialization -------------------------------------------------------
+
+    def encode_into(self, enc: Encoder) -> None:
+        enc.uint(len(self._entries))
+        for msp in sorted(self._entries):
+            enc.text(msp)
+            epochs = self._entries[msp]
+            enc.uint(len(epochs))
+            for epoch in sorted(epochs):
+                enc.uint(epoch).uint(epochs[epoch])
+
+    @staticmethod
+    def decode_from(dec: Decoder) -> "DependencyVector":
+        dv = DependencyVector()
+        for _ in range(dec.uint()):
+            msp = dec.text()
+            for _ in range(dec.uint()):
+                epoch = dec.uint()
+                dv.observe(msp, StateId(epoch, dec.uint()))
+        return dv
+
+    def wire_size(self) -> int:
+        """Bytes this DV adds to a message (used for network timing)."""
+        return 4 + 20 * self.entry_count()
+
+
+class RecoveryTable:
+    """Knowledge of recovered state numbers (paper §3.1, §4.3).
+
+    Maps ``msp -> {epoch -> recovered_end}``: after MSP ``p`` crashes in
+    epoch ``e`` and recovers, ``recovered_end`` is the offset just past
+    the last durable byte (the largest persistent LSN boundary).  Every
+    log record of epoch ``e`` that *starts* at or beyond it — i.e.
+    ``lsn >= recovered_end`` — is lost forever; dependencies on such
+    records are orphans.
+    """
+
+    def __init__(self) -> None:
+        self._recovered: dict[str, dict[int, int]] = {}
+
+    def record(self, msp: str, epoch: int, recovered_lsn: int) -> bool:
+        """Learn that ``msp`` recovered epoch ``epoch`` up to ``recovered_lsn``.
+
+        Returns True if this was new knowledge.
+        """
+        epochs = self._recovered.setdefault(msp, {})
+        if epoch in epochs:
+            epochs[epoch] = max(epochs[epoch], recovered_lsn)
+            return False
+        epochs[epoch] = recovered_lsn
+        return True
+
+    def merge(self, other: "RecoveryTable") -> bool:
+        """Merge ``other``'s knowledge; True if anything was new."""
+        fresh = False
+        for msp, epochs in other._recovered.items():
+            for epoch, lsn in epochs.items():
+                if self.record(msp, epoch, lsn):
+                    fresh = True
+        return fresh
+
+    def recovered_lsn(self, msp: str, epoch: int) -> Optional[int]:
+        epochs = self._recovered.get(msp)
+        if not epochs:
+            return None
+        return epochs.get(epoch)
+
+    def is_orphan_state(self, msp: str, state: StateId) -> bool:
+        """Is a dependency on ``(msp, state)`` known to be lost?
+
+        ``recovered`` is an end offset; the record starting at
+        ``state.lsn`` survived iff ``state.lsn < recovered``.
+        """
+        recovered = self.recovered_lsn(msp, state.epoch)
+        return recovered is not None and state.lsn >= recovered
+
+    def is_orphan(self, dv: DependencyVector) -> bool:
+        """Does any entry of ``dv`` depend on lost state?"""
+        return self.find_orphan_entry(dv) is not None
+
+    def find_orphan_entry(self, dv: DependencyVector) -> Optional[tuple[str, StateId]]:
+        """Return the first orphan entry of ``dv``, if any."""
+        for msp, state in dv:
+            if self.is_orphan_state(msp, state):
+                return msp, state
+        return None
+
+    def snapshot(self) -> dict[str, dict[int, int]]:
+        """A deep copy, for inclusion in MSP checkpoints."""
+        return {msp: dict(epochs) for msp, epochs in self._recovered.items()}
+
+    @staticmethod
+    def from_snapshot(snapshot: Mapping[str, Mapping[int, int]]) -> "RecoveryTable":
+        table = RecoveryTable()
+        for msp, epochs in snapshot.items():
+            for epoch, lsn in epochs.items():
+                table.record(msp, int(epoch), int(lsn))
+        return table
+
+    def encode_into(self, enc: Encoder) -> None:
+        enc.uint(len(self._recovered))
+        for msp in sorted(self._recovered):
+            enc.text(msp)
+            epochs = self._recovered[msp]
+            enc.uint(len(epochs))
+            for epoch in sorted(epochs):
+                enc.uint(epoch).uint(epochs[epoch])
+
+    @staticmethod
+    def decode_from(dec: Decoder) -> "RecoveryTable":
+        table = RecoveryTable()
+        for _ in range(dec.uint()):
+            msp = dec.text()
+            for _ in range(dec.uint()):
+                epoch = dec.uint()
+                table.record(msp, epoch, dec.uint())
+        return table

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the recovery infrastructure."""
+
+from __future__ import annotations
+
+
+class RecoveryError(Exception):
+    """Base class for recovery-infrastructure errors."""
+
+
+class OrphanDetected(RecoveryError):
+    """A session (or shared variable) was found to depend on lost state.
+
+    Raised at interception points — message send/receive, shared-variable
+    access, distributed log flush — to abort the current service method
+    execution and hand control to orphan recovery (paper §4.1).
+    """
+
+    def __init__(self, subject: str, detail: str = ""):
+        self.subject = subject
+        self.detail = detail
+        super().__init__(f"orphan detected: {subject}" + (f" ({detail})" if detail else ""))
+
+
+class ServiceBusy(RecoveryError):
+    """The server is checkpointing or recovering this session.
+
+    Clients react by sleeping 100 ms and resending (paper §5.4).
+    """
+
+
+class SessionProtocolError(RecoveryError):
+    """A violation of the request/reply session protocol."""
+
+
+class FlushFailed(RecoveryError):
+    """A distributed log flush could not cover a dependency — the
+    requesting state is an orphan."""

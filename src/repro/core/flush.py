@@ -1,0 +1,167 @@
+"""Distributed log flushes (paper §3.1, §3.2, §3.3).
+
+Before any state leaves a service domain (an outgoing cross-domain
+message, a session checkpoint, a shared-variable checkpoint), every
+dependency in the relevant DV must be made durable at its MSP: the
+coordinator issues one *leg* per DV entry — a local log flush for its
+own MSP, a :class:`~repro.core.messages.FlushRequest` to each remote MSP
+— and waits for all of them **in parallel** ("the separate local flushes
+required by a distributed log flush can be done in parallel").
+
+A leg fails when the target MSP has crashed and lost the requested
+state; the coordinator then knows the flushing state is an orphan and
+raises :class:`~repro.core.errors.FlushFailed`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.core.dv import DependencyVector, StateId
+from repro.core.errors import FlushFailed
+from repro.core.messages import FlushReply, FlushRequest
+from repro.sim import SimTimeoutError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.msp import MiddlewareServer
+
+_port_ids = itertools.count(1)
+
+
+def distributed_flush(msp: "MiddlewareServer", dv: DependencyVector, subject: str):
+    """Flush every dependency of ``dv`` (generator).
+
+    On success, prunes the covered entries out of ``dv`` — they are now
+    durable and can never become orphans (this is also why cross-domain
+    messages need no DV after the flush).  Raises :class:`FlushFailed`
+    when any leg reports the state lost.
+    """
+    dv.prune_resolved(msp.table)
+    entries = list(dv)
+    if not entries:
+        return
+    # Fail fast on entries already known to be orphans.
+    for target, state in entries:
+        if msp.table.is_orphan_state(target, state):
+            raise FlushFailed(f"{subject}: dependency on {target} {state} already lost")
+
+    legs = [
+        msp.sim.spawn(
+            _flush_leg(msp, target, state),
+            name=f"{msp.name}.flushleg.{target}",
+            group=msp.group,
+        )
+        for target, state in entries
+    ]
+    failures = []
+    for (target, state), leg in zip(entries, legs):
+        try:
+            yield leg
+        except FlushFailed as exc:
+            failures.append((target, state, exc))
+    if failures:
+        target, state, _ = failures[0]
+        raise FlushFailed(f"{subject}: dependency on {target} {state} lost in a crash")
+    for target, state in entries:
+        dv.prune_covered(target, state)
+    msp.stats.distributed_flushes += 1
+
+
+def _flush_leg(msp: "MiddlewareServer", target: str, state: StateId):
+    """One leg of a distributed flush: local or remote."""
+    if target == msp.name:
+        yield from _local_leg(msp, state)
+    else:
+        yield from _remote_leg(msp, target, state)
+
+
+def _local_leg(msp: "MiddlewareServer", state: StateId):
+    if state.epoch == msp.epoch:
+        yield from msp.cpu(msp.config.costs.flush_issue_ms)
+        # Flush the whole buffer, not only up to the DV entry (classical
+        # pessimistic logging "flushes the buffer").  Covering the tail
+        # matters: a shared-variable *write* record does not advance the
+        # session's state number (Fig. 8), so a flush cut exactly at the
+        # DV could leave the request's last write volatile — the reply
+        # would survive a crash while the write it derived from did not.
+        yield from msp.log.flush(None)
+        return
+    # A dependency on our own previous epoch: it survived iff our own
+    # recovery covered it (recovered is an end offset).
+    recovered = msp.table.recovered_lsn(msp.name, state.epoch)
+    if recovered is None or state.lsn >= recovered:
+        raise FlushFailed(f"local state {state} lost")
+
+
+def _remote_leg(msp: "MiddlewareServer", target: str, state: StateId):
+    """Ask ``target`` to flush; retry while it is down."""
+    port = f"flush-ack:{next(_port_ids)}"
+    inbox = msp.node.bind(port)
+    request = FlushRequest(
+        epoch=state.epoch, lsn=state.lsn, reply_to=msp.name, reply_port=port
+    )
+    try:
+        while True:
+            yield from msp.cpu(msp.config.costs.message_stack_ms)
+            msp.send(target, "flush", request)
+            try:
+                envelope = yield from inbox.get_with_timeout(
+                    msp.config.flush_retry_timeout_ms
+                )
+            except SimTimeoutError:
+                # The target may have crashed.  If an announcement since
+                # resolved our dependency, we can decide locally.
+                if msp.table.is_orphan_state(target, state):
+                    raise FlushFailed(f"remote state {target} {state} lost") from None
+                recovered = msp.table.recovered_lsn(target, state.epoch)
+                if recovered is not None and state.lsn < recovered:
+                    return  # durable: it survived the crash
+                continue  # still unknown: retry
+            reply: FlushReply = envelope.payload
+            if reply.req_id != request.req_id:
+                continue  # stale duplicate ack
+            if reply.table_snapshot:
+                # Piggybacked recovery knowledge: after simultaneous
+                # crashes, this is how we learn about recoveries whose
+                # broadcast we slept through.
+                msp.learn_recovery_knowledge(reply.table_snapshot)
+            if not reply.ok:
+                raise FlushFailed(f"remote {target} reports state {state} lost")
+            return
+    finally:
+        msp.node.unbind(port)
+
+
+def flush_service(msp: "MiddlewareServer"):
+    """Daemon serving incoming FlushRequests (one handler per request,
+    so legs from different coordinators proceed in parallel)."""
+    inbox = msp.node.bind("flush")
+    while True:
+        envelope = yield from inbox.get()
+        msp.sim.spawn(
+            _serve_flush(msp, envelope.payload),
+            name=f"{msp.name}.flushsvc",
+            group=msp.group,
+        )
+
+
+def _serve_flush(msp: "MiddlewareServer", request: FlushRequest):
+    yield from msp.cpu(msp.config.costs.message_stack_ms)
+    if request.epoch == msp.epoch:
+        ok = request.lsn < msp.log.end_lsn
+        if ok:
+            yield from msp.cpu(msp.config.costs.flush_issue_ms)
+            # Flush the whole buffer (see _local_leg): a strict superset
+            # of the requested range at essentially the same disk cost.
+            yield from msp.log.flush(None)
+    elif request.epoch < msp.epoch:
+        recovered = msp.table.recovered_lsn(msp.name, request.epoch)
+        ok = recovered is not None and request.lsn < recovered
+    else:
+        ok = False
+    yield from msp.cpu(msp.config.costs.message_stack_ms)
+    reply = FlushReply(
+        req_id=request.req_id, ok=ok, table_snapshot=msp.table.snapshot()
+    )
+    msp.send(request.reply_to, request.reply_port, reply)

@@ -1,0 +1,137 @@
+"""Network message payloads exchanged by clients and MSPs.
+
+These are in-memory dataclasses (only *log records* need byte encoding;
+the network simulation charges transmission time from the declared
+``wire_size``).  Sizes follow the paper's setup: request parameters and
+return values are counted at their byte length, plus a fixed protocol
+header, plus the attached DV's encoded size when present.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.dv import DependencyVector
+
+#: Fixed per-message protocol overhead (SOAP/HTTP-ish framing).
+HEADER_BYTES = 160
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class Request:
+    """A service request over a session (client -> MSP or MSP -> MSP)."""
+
+    session_id: str
+    seq: int
+    method: str
+    argument: bytes
+    reply_to: str  #: node name to send the reply to
+    reply_port: str
+    #: Present only when sender and receiver share a service domain.
+    sender_dv: Optional[DependencyVector] = None
+    #: True when this request ends the session.
+    end_session: bool = False
+
+    def wire_size(self) -> int:
+        size = HEADER_BYTES + len(self.method) + len(self.argument)
+        if self.sender_dv is not None:
+            size += self.sender_dv.wire_size()
+        return size
+
+
+@dataclass
+class Reply:
+    """The reply to a request; ``busy`` signals 'retry later' (the
+    server is checkpointing or recovering this session, paper §5.4);
+    ``error`` reports a request the server will never be able to serve
+    (e.g. an unknown method), so the client must not retry."""
+
+    session_id: str
+    seq: int
+    payload: bytes
+    sender_dv: Optional[DependencyVector] = None
+    busy: bool = False
+    error: bool = False
+
+    def wire_size(self) -> int:
+        size = HEADER_BYTES + len(self.payload)
+        if self.sender_dv is not None:
+            size += self.sender_dv.wire_size()
+        return size
+
+
+@dataclass
+class FlushRequest:
+    """One leg of a distributed log flush (paper §3.1).
+
+    Asks the target MSP to make its log durable through ``lsn`` of
+    ``epoch``.  The target acks failure when that state is lost (the
+    requester is then an orphan).
+    """
+
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+    epoch: int = 0
+    lsn: int = 0
+    reply_to: str = ""
+    reply_port: str = ""
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES
+
+
+@dataclass
+class FlushReply:
+    """Ack of a flush leg.
+
+    Carries the replier's recovered-state-number knowledge: when the
+    requester's dependency turns out lost (``ok=False``), the snapshot
+    is exactly the knowledge the requester needs to locate the orphan
+    log record during its recovery — essential when simultaneous
+    crashes made both sides miss each other's recovery broadcasts.
+    """
+
+    req_id: int
+    ok: bool
+    table_snapshot: dict = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        entries = sum(len(v) for v in self.table_snapshot.values())
+        return HEADER_BYTES + 20 * entries
+
+
+@dataclass
+class RecoveryAnnouncement:
+    """Broadcast at the end of MSP crash recovery (paper §4.3).
+
+    Carries the full recovered-state-number table so domain peers —
+    including ones that were down during earlier broadcasts — converge
+    on the same knowledge.
+    """
+
+    msp: str
+    epoch: int
+    recovered_lsn: int
+    table_snapshot: dict[str, dict[int, int]]
+    reply_to: str = ""
+    reply_port: str = ""
+
+    def wire_size(self) -> int:
+        entries = sum(len(v) for v in self.table_snapshot.values())
+        return HEADER_BYTES + 20 * entries
+
+
+@dataclass
+class AnnouncementAck:
+    """A peer's response to an announcement: its own knowledge, so the
+    freshly recovered MSP catches up on announcements it slept through."""
+
+    msp: str
+    table_snapshot: dict[str, dict[int, int]]
+
+    def wire_size(self) -> int:
+        entries = sum(len(v) for v in self.table_snapshot.values())
+        return HEADER_BYTES + 20 * entries

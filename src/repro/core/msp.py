@@ -1,0 +1,652 @@
+"""The Middleware Server Process (paper §2).
+
+A :class:`MiddlewareServer` hosts service methods behind a request queue
+and a thread pool, maintains session state and shared variables, logs
+nondeterministic events to its single shared physical log, and recovers
+from crashes.  The normal-execution message actions follow paper Fig. 7,
+shared-variable accesses follow Fig. 8, and the crash lifecycle is:
+
+    start() -> crash() -> restart() [runs Fig. 12 crash recovery]
+
+Service methods are generator functions ``method(ctx, argument: bytes)``
+returning reply bytes; they interact with the world only through the
+:class:`~repro.core.context.ServiceContext` they are given, which is how
+the same business code runs identically in normal execution and in
+logged-request replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.core.checkpoint import (
+    maybe_session_checkpoint,
+    msp_checkpoint_daemon,
+    sv_checkpoint,
+)
+from repro.core.config import LoggingMode, RecoveryConfig
+from repro.core.context import NormalContext
+from repro.core.crash_recovery import recover_msp
+from repro.core.domain import ServiceDomainConfig
+from repro.core.dv import RecoveryTable
+from repro.core.errors import FlushFailed, OrphanDetected, SessionProtocolError
+from repro.core.flush import distributed_flush, flush_service
+from repro.core.log_manager import LogManager
+from repro.core.messages import (
+    AnnouncementAck,
+    RecoveryAnnouncement,
+    Reply,
+    Request,
+)
+from repro.core.records import (
+    AnnouncementRecord,
+    LogRecord,
+    RequestRecord,
+    SessionEndRecord,
+)
+from repro.core.replay import run_session_recovery
+from repro.core.session import Session, SessionStatus
+from repro.core.shared_variable import SharedVariable
+from repro.net import Network
+from repro.sim import ProcessGroup, Resource, RngRegistry, Simulator
+from repro.storage import Disk, DiskModel, StableStore
+
+ServiceMethod = Callable[..., Generator]
+
+
+@dataclass
+class MspStats:
+    """Everything the experiment harness reads off one MSP."""
+
+    requests_processed: int = 0
+    requests_duplicate: int = 0
+    requests_out_of_order: int = 0
+    busy_replies: int = 0
+    buffered_reply_resends: int = 0
+    orphan_messages_discarded: int = 0
+    distributed_flushes: int = 0
+    session_checkpoints: int = 0
+    sv_checkpoints: int = 0
+    msp_checkpoints: int = 0
+    forced_checkpoints: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    protocol_errors: int = 0
+    orphan_recoveries: int = 0
+    sv_rollbacks: int = 0
+    replayed_requests: int = 0
+    recovery_scan_records: int = 0
+    recovery_scan_ms: float = 0.0
+
+
+class MiddlewareServer:
+    """One recoverable middleware server process on its own node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        domains: ServiceDomainConfig,
+        config: Optional[RecoveryConfig] = None,
+        rng: Optional[RngRegistry] = None,
+        disk_model: Optional[DiskModel] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.domains = domains
+        self.config = config or RecoveryConfig()
+        self.node = network.node(name)
+        rng = rng or RngRegistry(0)
+        self.disk = Disk(
+            sim,
+            model=disk_model or DiskModel(),
+            rng=rng.stream(f"disk.{name}"),
+            name=f"disk.{name}",
+        )
+        self.store = StableStore(name=f"log.{name}")
+        self._cpu = Resource(sim, capacity=self.config.cpu_cores, name=f"cpu.{name}")
+        self.table = RecoveryTable()
+        self.epoch = 0
+        self.sessions: dict[str, Session] = {}
+        self.shared: dict[str, SharedVariable] = {}
+        self._services: dict[str, ServiceMethod] = {}
+        self._shared_registry: dict[str, bytes] = {}
+        self.log: Optional[LogManager] = None
+        self.group: Optional[ProcessGroup] = None
+        self.running = False
+        self.stats = MspStats()
+        # Ablation support: the single MSP-wide DV (see session_for).
+        from repro.core.dv import DependencyVector
+
+        self._msp_wide_dv = DependencyVector()
+
+    # ------------------------------------------------------------------
+    # program registration (done once, before start)
+    # ------------------------------------------------------------------
+
+    def register_service(self, name: str, method: ServiceMethod) -> None:
+        """Register generator function ``method(ctx, argument)``."""
+        self._services[name] = method
+
+    def register_shared(self, name: str, initial_value: bytes) -> None:
+        """Declare a shared variable with its deterministic initial value."""
+        self._shared_registry[name] = bytes(initial_value)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def recoverable(self) -> bool:
+        return self.config.mode is LoggingMode.RECOVERABLE
+
+    def start(self):
+        """Boot the server (generator).  A cold boot on an empty log; if
+        the log holds durable state, runs full crash recovery instead.
+
+        Prefer :meth:`start_process`/:meth:`restart_process`: they run
+        the boot *inside* the MSP's process group, so a crash during
+        recovery kills the recovery itself — a half-finished recovery
+        surviving a second crash would resurrect stale state.
+        """
+        if self.running:
+            raise SessionProtocolError(f"{self.name} already running")
+        if self.recoverable and self.config.sv_logging == "access-order":
+            # The ablation supports crash recovery of standalone MSPs
+            # only: checkpoints would cut the access chains replay must
+            # re-execute, and optimistic domains would need the very
+            # orphan machinery value logging exists to simplify.
+            problems = []
+            if self.domains.peers_of(self.name):
+                problems.append("MSP must not be in a multi-MSP service domain")
+            if self.config.session_ckpt_threshold_bytes is not None:
+                problems.append("session checkpointing must be disabled")
+            if self.config.sv_ckpt_write_threshold < 10**9:
+                problems.append("shared-variable checkpointing must be disabled")
+            if problems:
+                raise SessionProtocolError(
+                    "access-order logging ablation: " + "; ".join(problems)
+                )
+        if self.group is None:
+            self.group = ProcessGroup(self.name)
+        self.log = LogManager(
+            self.sim,
+            self.store,
+            self.disk,
+            name=f"log.{self.name}",
+            batch_flush_timeout_ms=self.config.batch_flush_timeout_ms,
+            max_block_sectors=self.config.max_block_sectors,
+            read_chunk_sectors=self.config.read_chunk_sectors,
+            cpu=self.cpu,
+            flush_cpu_ms=self.config.costs.flush_cpu_ms,
+            record_overhead_bytes=self.config.log_record_overhead_bytes,
+        )
+        self.log.start(group=self.group)
+        self.sessions = {}
+        self.shared = {
+            name: SharedVariable(self.sim, name, value)
+            for name, value in self._shared_registry.items()
+        }
+        needs_recovery = self.recoverable and (
+            self.store.durable_end > 0 or self.log.read_anchor() is not None
+        )
+        if needs_recovery:
+            self.stats.recoveries += 1
+            yield from recover_msp(self)
+        elif self.recoverable:
+            # First boot: durably anchor an initial MSP checkpoint
+            # *before* accepting work.  Without this boot record, a
+            # crash before the first flush would restart us with an
+            # empty log and no way to know we crashed — we would reuse
+            # epoch 0 while other MSPs hold dependencies on the lost
+            # buffered records, and never announce their loss.
+            from repro.core.checkpoint import perform_msp_checkpoint
+
+            yield from perform_msp_checkpoint(self)
+        self._open_for_business()
+
+    def start_process(self):
+        """Spawn :meth:`start` inside the MSP's group and return it."""
+        if self.group is None:
+            self.group = ProcessGroup(self.name)
+        return self.sim.spawn(self.start(), name=f"{self.name}.start", group=self.group)
+
+    def _open_for_business(self) -> None:
+        """Bind ports and spawn daemons + the worker pool."""
+        inbox = self.node.bind("request")
+        for i in range(self.config.thread_pool_size):
+            self.sim.spawn(
+                self._worker(inbox), name=f"{self.name}.worker{i}", group=self.group
+            )
+        if self.recoverable:
+            self.sim.spawn(
+                flush_service(self), name=f"{self.name}.flushsvc", group=self.group
+            )
+            self.sim.spawn(
+                self._announcement_service(),
+                name=f"{self.name}.annsvc",
+                group=self.group,
+            )
+            self.sim.spawn(
+                msp_checkpoint_daemon(self),
+                name=f"{self.name}.ckptd",
+                group=self.group,
+            )
+        self.running = True
+
+    def crash(self) -> None:
+        """Fail-stop: kill every thread, lose all volatile state.
+
+        The flushed log prefix (and the durable anchor) survive; nothing
+        else does.
+        """
+        if not self.running and self.group is None:
+            return
+        self.stats.crashes += 1
+        if self.group is not None:
+            self.group.kill_all()
+        self.store.crash()
+        self.node.unbind_all()
+        self.sessions = {}
+        self.shared = {}
+        self.log = None
+        self.group = None
+        self.running = False
+
+    def restart(self):
+        """Boot after a crash (generator): runs Fig. 12 crash recovery."""
+        yield self.config.restart_delay_ms
+        yield from self.start()
+
+    def restart_process(self):
+        """Spawn :meth:`restart` inside a fresh group and return it.
+
+        The restart lives in the group, so a further crash while the
+        recovery is still in progress kills it cleanly; the restart
+        after *that* crash recovers from the durable log alone.
+        """
+        if self.group is None:
+            self.group = ProcessGroup(self.name)
+        return self.sim.spawn(
+            self.restart(), name=f"{self.name}.restart", group=self.group
+        )
+
+    # ------------------------------------------------------------------
+    # low-level helpers shared by the whole package
+    # ------------------------------------------------------------------
+
+    def cpu(self, ms: float):
+        """Consume ``ms`` of CPU on this server (generator; queues on
+        the core pool, so CPU contention is modeled)."""
+        if ms <= 0:
+            return
+        yield from self._cpu.acquire()
+        try:
+            yield ms
+        finally:
+            self._cpu.release()
+
+    def cpu_utilization(self, since: float = 0.0) -> float:
+        return self._cpu.utilization(since=since)
+
+    def send(self, destination: str, port: str, payload) -> None:
+        self.node.send(destination, port, payload, payload.wire_size())
+
+    def append_session_record(self, session: Session, record: LogRecord):
+        """Log a record on behalf of ``session`` (generator).
+
+        Charges the append CPU, updates the session's state number, DV
+        self-entry, position stream and checkpoint accounting, and pays
+        the occasional position-buffer spill.
+        Returns ``(lsn, size)``.
+        """
+        yield from self.cpu(self.config.costs.log_append_ms)
+        lsn, size = self.log.append(record)
+        spill_due = session.account_record(lsn, size, self.epoch)
+        if spill_due:
+            yield from session.position_stream.spill(self.disk)
+        return lsn, size
+
+    def append_write_record(self, session: Session, record: LogRecord):
+        """Log a shared-variable write (generator).
+
+        The record enters the session's position stream (replay skips
+        it) and counts toward its checkpoint threshold, but does *not*
+        advance the session's state number — a write changes the
+        variable's state number, not the session's (paper Fig. 8).
+        """
+        yield from self.cpu(self.config.costs.log_append_ms)
+        lsn, size = self.log.append(record)
+        if session.first_lsn is None:
+            session.first_lsn = lsn
+        session.bytes_since_ckpt += size
+        if session.position_stream.append(lsn):
+            yield from session.position_stream.spill(self.disk)
+        return lsn, size
+
+    def check_session_orphan(self, session: Session) -> None:
+        """Interception-point orphan check (paper §4.1); raises."""
+        if self.recoverable and session.is_orphan(self.table):
+            raise OrphanDetected(f"session {session.id}")
+
+    def learn_recovery_knowledge(self, snapshot) -> None:
+        """Merge recovered-state-number knowledge from any source
+        (announcement, ack, or flush-reply piggyback) and start orphan
+        recovery for idle sessions the new knowledge convicts."""
+        fresh = self.table.merge(RecoveryTable.from_snapshot(snapshot))
+        if not fresh:
+            return
+        for session in list(self.sessions.values()):
+            if (
+                not session.busy
+                and session.status is SessionStatus.NORMAL
+                and session.is_orphan(self.table)
+            ):
+                self._ensure_recovery(session)
+
+    def distributed_flush(self, session_or_dv, subject: str):
+        """Run a distributed flush for a DV (generator; raises
+        :class:`FlushFailed` and therefore signals orphanhood)."""
+        yield from distributed_flush(self, session_or_dv, subject)
+
+    def session_for(self, session_id: str, create: bool = True) -> Optional[Session]:
+        session = self.sessions.get(session_id)
+        if session is None and create:
+            session = Session(
+                session_id,
+                self.name,
+                buffer_capacity=self.config.position_buffer_capacity,
+            )
+            if not self.config.per_session_dv:
+                # Ablation: one DV shared by every session.  A remote
+                # crash then orphans all sessions together ("all its
+                # sessions will roll back, possibly unnecessarily",
+                # paper S3.2) -- the cost the per-session design avoids.
+                session.dv = self._msp_wide_dv
+            self.sessions[session_id] = session
+        return session
+
+    def shared_variable(self, name: str) -> SharedVariable:
+        try:
+            return self.shared[name]
+        except KeyError:
+            raise SessionProtocolError(
+                f"{self.name}: unknown shared variable {name!r}"
+            ) from None
+
+    def service(self, name: str) -> ServiceMethod:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise SessionProtocolError(f"{self.name}: unknown service {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # request handling (the worker pool)
+    # ------------------------------------------------------------------
+
+    def _worker(self, inbox):
+        while True:
+            envelope = yield from inbox.get()
+            try:
+                yield from self._handle_request(envelope.payload)
+            except SessionProtocolError:
+                # A programming error in a service method (bad return
+                # type, replay divergence surfacing late).  Losing one
+                # request is bad; losing the worker thread forever is
+                # worse.
+                self.stats.protocol_errors += 1
+
+    def _handle_request(self, request: Request):
+        costs = self.config.costs
+        yield from self.cpu(costs.message_stack_ms + costs.request_dispatch_ms)
+        session = self.session_for(request.session_id)
+
+        if session.status is not SessionStatus.NORMAL:
+            # Checkpointing or recovering: tell the client to retry
+            # (paper §5.4: it sleeps 100 ms and resends).
+            self.stats.busy_replies += 1
+            yield from self._send_reply(
+                request, Reply(request.session_id, request.seq, b"", busy=True)
+            )
+            return
+
+        # Duplicate / out-of-order detection (paper §3.1).
+        if request.seq < session.next_expected_seq:
+            self.stats.requests_duplicate += 1
+            # Interception point: the buffered reply is part of the
+            # session state; if the session is an orphan, recover it
+            # instead of propagating orphan data.
+            if self.recoverable and session.is_orphan(self.table):
+                self._ensure_recovery(session)
+                return
+            if request.seq == session.buffered_reply_seq:
+                self.stats.buffered_reply_resends += 1
+                try:
+                    yield from self._resend_buffered_reply(request, session)
+                except (FlushFailed, OrphanDetected):
+                    # The recovered reply depends on state lost in a
+                    # remote crash: the session is an orphan.  Recover
+                    # it; the client keeps resending meanwhile.
+                    self._ensure_recovery(session)
+            return
+        if request.seq > session.next_expected_seq:
+            if self.recoverable:
+                self.stats.requests_out_of_order += 1
+                return
+            # NOLOG baselines do not recover protocol state: after a
+            # crash the server restarts at seq 0 while the client is
+            # further along.  Accept the gap -- these configurations
+            # make no exactly-once promise (that is the paper's point).
+            session.next_expected_seq = request.seq
+        if session.busy:
+            # A duplicate of the in-flight request: drop it; the client
+            # is still waiting for the real reply.
+            self.stats.requests_duplicate += 1
+            return
+
+        # Interception point: has this session become an orphan?
+        if self.recoverable and session.is_orphan(self.table):
+            self.stats.busy_replies += 1
+            yield from self._send_reply(
+                request, Reply(request.session_id, request.seq, b"", busy=True)
+            )
+            self._ensure_recovery(session)
+            return
+
+        session.busy = True
+        try:
+            yield from self._process_new_request(request, session)
+        except OrphanDetected:
+            session.busy = False
+            self._ensure_recovery(session)
+            return
+        except FlushFailed:
+            session.busy = False
+            self._ensure_recovery(session)
+            return
+        finally:
+            session.busy = False
+
+        # Between requests: take a session checkpoint if due (§3.2).
+        if self.recoverable and session.id in self.sessions:
+            yield from maybe_session_checkpoint(self, session)
+
+    def _process_new_request(self, request: Request, session: Session):
+        costs = self.config.costs
+        # Fig. 7 "after receive" actions.
+        if self.recoverable:
+            if request.sender_dv is not None:
+                request.sender_dv.prune_resolved(self.table)
+                if self.table.is_orphan(request.sender_dv):
+                    # Orphan message: discard and stop.  The sender will
+                    # be recovered by its own MSP and resend.
+                    self.stats.orphan_messages_discarded += 1
+                    return
+            record = RequestRecord(
+                session_id=session.id,
+                seq=request.seq,
+                method=request.method,
+                argument=request.argument,
+                sender_dv=request.sender_dv,
+            )
+            yield from self.append_session_record(session, record)
+            if request.sender_dv is not None:
+                yield from self.cpu(costs.dv_track_ms)
+                session.dv.merge(request.sender_dv)
+
+        if request.end_session:
+            yield from self._end_session(request, session)
+            return
+
+        if request.method not in self._services:
+            # Unknown method: a permanent, deterministic error.  The
+            # request was logged like any other (so replay reproduces
+            # the same outcome), it consumes the sequence number, and
+            # the client is told not to retry.
+            self.stats.protocol_errors += 1
+            reply = Reply(session.id, request.seq, b"unknown method", error=True)
+            if self.recoverable and self.domains.same_domain(self.name, request.reply_to):
+                reply.sender_dv = session.dv.copy()
+            elif self.recoverable:
+                yield from self.distributed_flush(session.dv, f"session {session.id}")
+            yield from self._send_reply(request, reply)
+            session.buffered_reply = reply.payload
+            session.buffered_reply_seq = request.seq
+            session.buffered_reply_error = True
+            session.next_expected_seq = request.seq + 1
+            return
+
+        yield from self._before_method(session)
+        ctx = NormalContext(self, session)
+        method = self.service(request.method)
+        result = yield from method(ctx, request.argument)
+        yield from self._after_method(session)
+        if not isinstance(result, bytes):
+            raise SessionProtocolError(
+                f"{self.name}.{request.method} returned {type(result).__name__}, "
+                "expected bytes"
+            )
+
+        reply = Reply(session_id=session.id, seq=request.seq, payload=result)
+        # Fig. 7 "before send" actions for the reply.
+        if self.recoverable:
+            if self.domains.same_domain(self.name, request.reply_to):
+                yield from self.cpu(costs.dv_track_ms)
+                reply.sender_dv = session.dv.copy()
+            else:
+                yield from self.distributed_flush(session.dv, f"session {session.id}")
+
+        yield from self._send_reply(request, reply)
+        session.buffered_reply = result
+        session.buffered_reply_seq = request.seq
+        session.buffered_reply_error = False
+        session.next_expected_seq = request.seq + 1
+        self.stats.requests_processed += 1
+
+    def _before_method(self, session: Session):
+        """Hook for alternative session-persistence baselines (Psession,
+        StateServer): runs before each service method (generator)."""
+        yield from ()
+
+    def _after_method(self, session: Session):
+        """Hook: runs after each service method completes (generator)."""
+        yield from ()
+
+    def _end_session(self, request: Request, session: Session):
+        """Session end: log the marker and discard the session (§3.2)."""
+        if self.recoverable:
+            # The session's durable footprint must not outlive it
+            # inconsistently; flush its dependencies, then mark the end.
+            yield from self.distributed_flush(session.dv, f"session {session.id}")
+            yield from self.cpu(self.config.costs.log_append_ms)
+            self.log.append(SessionEndRecord(session_id=session.id))
+        self.sessions.pop(session.id, None)
+        yield from self._send_reply(
+            request, Reply(session_id=session.id, seq=request.seq, payload=b"")
+        )
+
+    def _resend_buffered_reply(self, request: Request, session: Session):
+        """Re-send the buffered reply for a duplicate request (§3.1)."""
+        reply = Reply(
+            session_id=session.id,
+            seq=request.seq,
+            payload=session.buffered_reply or b"",
+            error=session.buffered_reply_error,
+        )
+        if self.recoverable:
+            if self.domains.same_domain(self.name, request.reply_to):
+                reply.sender_dv = session.dv.copy()
+            else:
+                yield from self.distributed_flush(session.dv, f"session {session.id}")
+        yield from self._send_reply(request, reply)
+
+    def _send_reply(self, request: Request, reply: Reply):
+        yield from self.cpu(self.config.costs.message_stack_ms)
+        self.send(request.reply_to, request.reply_port, reply)
+
+    # ------------------------------------------------------------------
+    # orphan recovery entry points
+    # ------------------------------------------------------------------
+
+    def _ensure_recovery(self, session: Session) -> None:
+        """Start session orphan recovery once (idempotent)."""
+        if session.recovery_pending or session.status is SessionStatus.RECOVERING:
+            return
+        session.recovery_pending = True
+        self.sim.spawn(
+            run_session_recovery(self, session, orphan=True),
+            name=f"{self.name}.orphanrec.{session.id}",
+            group=self.group,
+        )
+
+    def _announcement_service(self):
+        """Daemon receiving recovery announcements (paper §4.3)."""
+        inbox = self.node.bind("recovery")
+        while True:
+            envelope = yield from inbox.get()
+            payload = envelope.payload
+            if isinstance(payload, RecoveryAnnouncement):
+                yield from self._handle_announcement(payload)
+            elif isinstance(payload, AnnouncementAck):
+                self.learn_recovery_knowledge(payload.table_snapshot)
+
+    def _handle_announcement(self, ann: RecoveryAnnouncement):
+        yield from self.cpu(self.config.costs.message_stack_ms)
+        fresh = self.table.record(ann.msp, ann.epoch, ann.recovered_lsn)
+        self.learn_recovery_knowledge(ann.table_snapshot)
+        if fresh:
+            # Log the knowledge so it survives our own crashes.
+            yield from self.cpu(self.config.costs.log_append_ms)
+            self.log.append(
+                AnnouncementRecord(
+                    msp=ann.msp, epoch=ann.epoch, recovered_lsn=ann.recovered_lsn
+                )
+            )
+        if ann.reply_to:
+            ack = AnnouncementAck(msp=self.name, table_snapshot=self.table.snapshot())
+            self.send(ann.reply_to, ann.reply_port, ack)
+        if fresh:
+            # Check idle sessions now; busy ones hit interception points.
+            for session in list(self.sessions.values()):
+                if (
+                    not session.busy
+                    and session.status is SessionStatus.NORMAL
+                    and session.is_orphan(self.table)
+                ):
+                    self._ensure_recovery(session)
+
+    def broadcast_recovery(self, old_epoch: int, recovered_lsn: int) -> None:
+        """Announce our recovery within the service domain (§4.3)."""
+        announcement = RecoveryAnnouncement(
+            msp=self.name,
+            epoch=old_epoch,
+            recovered_lsn=recovered_lsn,
+            table_snapshot=self.table.snapshot(),
+            reply_to=self.name,
+            reply_port="recovery",
+        )
+        for peer in self.domains.peers_of(self.name):
+            self.send(peer, "recovery", announcement)

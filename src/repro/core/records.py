@@ -1,0 +1,499 @@
+"""Log record types and their on-log byte codecs.
+
+Every nondeterministic event of an MSP is captured by one of these
+records (paper §3): message receipts (requests and replies), shared-
+variable reads and writes (value logging, §3.3), the three checkpoint
+kinds (session §3.2, shared-variable §3.3, fuzzy MSP §3.4), end-of-skip
+markers written by orphan recovery (§4.1), recovery announcements
+learned from other MSPs, and session-end markers.
+
+Records are encoded to real bytes before they hit the physical log and
+parsed back during recovery — recovery never touches live Python objects
+from "before the crash".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.dv import DependencyVector
+from repro.wire import Decoder, Encoder
+
+# Record kind tags (one byte each on the log).
+KIND_REQUEST = 1
+KIND_REPLY = 2
+KIND_SV_READ = 3
+KIND_SV_WRITE = 4
+KIND_SV_CHECKPOINT = 5
+KIND_SESSION_CHECKPOINT = 6
+KIND_MSP_CHECKPOINT = 7
+KIND_EOS = 8
+KIND_ANNOUNCEMENT = 9
+KIND_SESSION_END = 10
+KIND_FILLER = 11
+KIND_SV_UPDATE = 12
+KIND_SV_ORDER = 13
+
+#: Sentinel "no previous write" value for backward chains.
+NO_LSN = 0xFFFFFFFFFFFF
+
+
+@dataclass
+class RequestRecord:
+    """A client request received over a session (paper Fig. 7, receive).
+
+    The attached DV is present only for intra-domain senders (optimistic
+    logging); cross-domain messages arrive flushed and carry none.
+    """
+
+    session_id: str
+    seq: int
+    method: str
+    argument: bytes
+    sender_dv: Optional[DependencyVector] = None
+    kind: int = field(default=KIND_REQUEST, init=False)
+
+    def encode(self) -> bytes:
+        enc = Encoder().uint(self.kind).text(self.session_id).uint(self.seq)
+        enc.text(self.method).raw(self.argument)
+        _encode_optional_dv(enc, self.sender_dv)
+        return enc.finish()
+
+
+@dataclass
+class ReplyRecord:
+    """A reply received from another MSP for an outgoing call."""
+
+    session_id: str  #: the *local* session that made the outgoing call
+    outgoing_session_id: str
+    seq: int
+    payload: bytes
+    sender_dv: Optional[DependencyVector] = None
+    kind: int = field(default=KIND_REPLY, init=False)
+
+    def encode(self) -> bytes:
+        enc = Encoder().uint(self.kind).text(self.session_id)
+        enc.text(self.outgoing_session_id).uint(self.seq).raw(self.payload)
+        _encode_optional_dv(enc, self.sender_dv)
+        return enc.finish()
+
+
+@dataclass
+class SvReadRecord:
+    """Value logging for a shared-variable read (paper Fig. 8, read).
+
+    Logging the value *and* the variable's DV lets a recovering reader
+    obtain the value straight from the log, without involving the writer
+    session — the recovery-independence argument of §3.3.
+    """
+
+    session_id: str
+    variable: str
+    value: bytes
+    variable_dv: DependencyVector
+    kind: int = field(default=KIND_SV_READ, init=False)
+
+    def encode(self) -> bytes:
+        enc = Encoder().uint(self.kind).text(self.session_id).text(self.variable)
+        enc.raw(self.value)
+        self.variable_dv.encode_into(enc)
+        return enc.finish()
+
+
+@dataclass
+class SvWriteRecord:
+    """Value logging for a shared-variable write (paper Fig. 8, write).
+
+    ``prev_write_lsn`` chains write records backward so orphan rollback
+    can walk to the most recent non-orphan value; the chain breaks at
+    checkpoints.
+    """
+
+    session_id: str
+    variable: str
+    value: bytes
+    writer_dv: DependencyVector
+    prev_write_lsn: int = NO_LSN
+    kind: int = field(default=KIND_SV_WRITE, init=False)
+
+    def encode(self) -> bytes:
+        enc = Encoder().uint(self.kind).text(self.session_id).text(self.variable)
+        enc.raw(self.value)
+        self.writer_dv.encode_into(enc)
+        enc.uint(self.prev_write_lsn)
+        return enc.finish()
+
+
+@dataclass
+class SvUpdateRecord:
+    """An atomic read-modify-write of a shared variable.
+
+    Extension over the paper (see ``ServiceContext.update_shared``): one
+    record captures both the value read (``old_value`` with the
+    variable's DV at that moment — the nondeterministic input) and the
+    value written (``new_value`` with the writer's resulting DV and the
+    backward chain link).  Replay consumes exactly one record per RMW,
+    so a lost record means the whole RMW re-executes live — atomicity is
+    preserved across the replay/normal boundary.
+    """
+
+    session_id: str
+    variable: str
+    old_value: bytes
+    new_value: bytes
+    variable_dv: DependencyVector
+    writer_dv: DependencyVector
+    prev_write_lsn: int = NO_LSN
+    kind: int = field(default=KIND_SV_UPDATE, init=False)
+
+    def encode(self) -> bytes:
+        enc = Encoder().uint(self.kind).text(self.session_id).text(self.variable)
+        enc.raw(self.old_value).raw(self.new_value)
+        self.variable_dv.encode_into(enc)
+        self.writer_dv.encode_into(enc)
+        enc.uint(self.prev_write_lsn)
+        return enc.finish()
+
+
+@dataclass
+class SvCheckpointRecord:
+    """A shared-variable checkpoint: a value that can never be an orphan.
+
+    Written after a distributed log flush covered the variable's DV, so
+    no DV needs to be stored and the backward chain breaks here.
+    ``version`` is the variable's write-version counter at checkpoint
+    time; it is only consumed by the access-order-logging ablation,
+    whose recovery replays accesses in version order from here.
+    """
+
+    variable: str
+    value: bytes
+    version: int = 0
+    kind: int = field(default=KIND_SV_CHECKPOINT, init=False)
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .uint(self.kind)
+            .text(self.variable)
+            .raw(self.value)
+            .uint(self.version)
+            .finish()
+        )
+
+
+@dataclass
+class SvOrderRecord:
+    """Access-order logging (the paper's rejected §3.3 alternative [16]).
+
+    Logs only *which version* of the variable an access observed or
+    produced — no values.  Recovery must reconstruct shared state by
+    re-executing every writer in the logged order, which couples the
+    recoveries of otherwise independent sessions; this record type
+    exists to measure that coupling (see the access-order ablation).
+    """
+
+    session_id: str
+    variable: str
+    #: For a read: the version observed.  For a write: the version the
+    #: write produced (observed + 1).
+    version: int
+    is_write: bool
+    kind: int = field(default=KIND_SV_ORDER, init=False)
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .uint(self.kind)
+            .text(self.session_id)
+            .text(self.variable)
+            .uint(self.version)
+            .boolean(self.is_write)
+            .finish()
+        )
+
+
+@dataclass
+class SessionCheckpointRecord:
+    """A session checkpoint (paper §3.2).
+
+    Contains exactly what the paper lists: session variables, the
+    buffered reply, the next expected request sequence number, and every
+    outgoing session's next available sequence number — no control state
+    (stacks, program counters), because checkpoints are only taken
+    between requests.
+    """
+
+    session_id: str
+    variables: dict[str, bytes]
+    buffered_reply: Optional[bytes]
+    buffered_reply_seq: int
+    next_expected_seq: int
+    outgoing_next_seq: dict[str, int]  #: outgoing session id -> next seq
+    buffered_reply_error: bool = False
+    kind: int = field(default=KIND_SESSION_CHECKPOINT, init=False)
+
+    def encode(self) -> bytes:
+        enc = Encoder().uint(self.kind).text(self.session_id)
+        enc.uint(len(self.variables))
+        for name in sorted(self.variables):
+            enc.text(name).raw(self.variables[name])
+        enc.boolean(self.buffered_reply is not None)
+        if self.buffered_reply is not None:
+            enc.raw(self.buffered_reply)
+        enc.uint(self.buffered_reply_seq)
+        enc.uint(self.next_expected_seq)
+        enc.uint(len(self.outgoing_next_seq))
+        for target in sorted(self.outgoing_next_seq):
+            enc.text(target).uint(self.outgoing_next_seq[target])
+        enc.boolean(self.buffered_reply_error)
+        return enc.finish()
+
+
+@dataclass
+class MspCheckpointRecord:
+    """The fuzzy MSP checkpoint (paper §3.4).
+
+    "Mainly contains recovered state numbers of MSPs in the service
+    domain, the LSN of each session's most recent checkpoint, and the
+    LSN of each shared variable's most recent checkpoint."  For sessions
+    and variables that have never been checkpointed we record the LSN of
+    their first log record instead, so the minimal LSN still bounds the
+    recovery scan.
+    """
+
+    recovered_snapshot: dict[str, dict[int, int]]
+    session_start_lsns: dict[str, int]  #: session id -> scan-start LSN
+    sv_start_lsns: dict[str, int]  #: variable -> scan-start LSN
+    epoch: int = 0
+    kind: int = field(default=KIND_MSP_CHECKPOINT, init=False)
+
+    def min_lsn(self, own_lsn: int) -> int:
+        """Start point of the crash-recovery log scan."""
+        candidates = [own_lsn]
+        candidates.extend(self.session_start_lsns.values())
+        candidates.extend(self.sv_start_lsns.values())
+        return min(candidates)
+
+    def encode(self) -> bytes:
+        enc = Encoder().uint(self.kind).uint(self.epoch)
+        enc.uint(len(self.recovered_snapshot))
+        for msp in sorted(self.recovered_snapshot):
+            enc.text(msp)
+            epochs = self.recovered_snapshot[msp]
+            enc.uint(len(epochs))
+            for ep in sorted(epochs):
+                enc.uint(ep).uint(epochs[ep])
+        enc.uint(len(self.session_start_lsns))
+        for sid in sorted(self.session_start_lsns):
+            enc.text(sid).uint(self.session_start_lsns[sid])
+        enc.uint(len(self.sv_start_lsns))
+        for name in sorted(self.sv_start_lsns):
+            enc.text(name).uint(self.sv_start_lsns[name])
+        return enc.finish()
+
+
+@dataclass
+class EosRecord:
+    """End-of-skip marker written at orphan-recovery end (paper §4.1).
+
+    Points back at the orphan log record; everything between them is
+    invisible to subsequent recoveries of this session.
+    """
+
+    session_id: str
+    orphan_lsn: int
+    kind: int = field(default=KIND_EOS, init=False)
+
+    def encode(self) -> bytes:
+        return Encoder().uint(self.kind).text(self.session_id).uint(self.orphan_lsn).finish()
+
+
+@dataclass
+class AnnouncementRecord:
+    """Another MSP's recovery announcement, logged so the knowledge
+    survives our own crashes (paper §4.3 scan step c)."""
+
+    msp: str
+    epoch: int
+    recovered_lsn: int
+    kind: int = field(default=KIND_ANNOUNCEMENT, init=False)
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .uint(self.kind)
+            .text(self.msp)
+            .uint(self.epoch)
+            .uint(self.recovered_lsn)
+            .finish()
+        )
+
+
+@dataclass
+class FillerRecord:
+    """Storage padding modeling per-record serialization overhead.
+
+    The paper's .NET prototype logs fatter records than our binary
+    codec; the calibrated per-record overhead (see RecoveryConfig) is
+    materialized as filler so sector accounting and checkpoint-threshold
+    arithmetic match the paper's (~1.5 KB logged per request at MSP1,
+    i.e. a session checkpoint every ~682 requests at the 1 MB
+    threshold).  Recovery ignores fillers entirely.
+    """
+
+    size: int
+    kind: int = field(default=KIND_FILLER, init=False)
+
+    def encode(self) -> bytes:
+        return Encoder().uint(self.kind).raw(b"\x00" * self.size).finish()
+
+
+@dataclass
+class SessionEndRecord:
+    """Marks the end of a session's log records (paper §3.2)."""
+
+    session_id: str
+    kind: int = field(default=KIND_SESSION_END, init=False)
+
+    def encode(self) -> bytes:
+        return Encoder().uint(self.kind).text(self.session_id).finish()
+
+
+LogRecord = (
+    RequestRecord
+    | FillerRecord
+    | ReplyRecord
+    | SvOrderRecord
+    | SvUpdateRecord
+    | SvReadRecord
+    | SvWriteRecord
+    | SvCheckpointRecord
+    | SessionCheckpointRecord
+    | MspCheckpointRecord
+    | EosRecord
+    | AnnouncementRecord
+    | SessionEndRecord
+)
+
+
+def _encode_optional_dv(enc: Encoder, dv: Optional[DependencyVector]) -> None:
+    enc.boolean(dv is not None)
+    if dv is not None:
+        dv.encode_into(enc)
+
+
+def _decode_optional_dv(dec: Decoder) -> Optional[DependencyVector]:
+    if dec.boolean():
+        return DependencyVector.decode_from(dec)
+    return None
+
+
+def decode_record(payload: bytes) -> LogRecord:
+    """Parse one log record from its encoded payload."""
+    dec = Decoder(payload)
+    kind = dec.uint()
+    if kind == KIND_REQUEST:
+        record: LogRecord = RequestRecord(
+            session_id=dec.text(),
+            seq=dec.uint(),
+            method=dec.text(),
+            argument=dec.raw(),
+            sender_dv=_decode_optional_dv(dec),
+        )
+    elif kind == KIND_REPLY:
+        record = ReplyRecord(
+            session_id=dec.text(),
+            outgoing_session_id=dec.text(),
+            seq=dec.uint(),
+            payload=dec.raw(),
+            sender_dv=_decode_optional_dv(dec),
+        )
+    elif kind == KIND_SV_READ:
+        record = SvReadRecord(
+            session_id=dec.text(),
+            variable=dec.text(),
+            value=dec.raw(),
+            variable_dv=DependencyVector.decode_from(dec),
+        )
+    elif kind == KIND_SV_WRITE:
+        record = SvWriteRecord(
+            session_id=dec.text(),
+            variable=dec.text(),
+            value=dec.raw(),
+            writer_dv=DependencyVector.decode_from(dec),
+            prev_write_lsn=dec.uint(),
+        )
+    elif kind == KIND_SV_CHECKPOINT:
+        record = SvCheckpointRecord(variable=dec.text(), value=dec.raw(), version=dec.uint())
+    elif kind == KIND_SESSION_CHECKPOINT:
+        session_id = dec.text()
+        variables = {}
+        for _ in range(dec.uint()):
+            name = dec.text()
+            variables[name] = dec.raw()
+        buffered_reply = dec.raw() if dec.boolean() else None
+        record = SessionCheckpointRecord(
+            session_id=session_id,
+            variables=variables,
+            buffered_reply=buffered_reply,
+            buffered_reply_seq=dec.uint(),
+            next_expected_seq=dec.uint(),
+            outgoing_next_seq={dec.text(): dec.uint() for _ in range(dec.uint())},
+            buffered_reply_error=dec.boolean(),
+        )
+    elif kind == KIND_MSP_CHECKPOINT:
+        epoch = dec.uint()
+        recovered: dict[str, dict[int, int]] = {}
+        for _ in range(dec.uint()):
+            msp = dec.text()
+            recovered[msp] = {dec.uint(): dec.uint() for _ in range(dec.uint())}
+        session_start = {dec.text(): dec.uint() for _ in range(dec.uint())}
+        sv_start = {dec.text(): dec.uint() for _ in range(dec.uint())}
+        record = MspCheckpointRecord(
+            recovered_snapshot=recovered,
+            session_start_lsns=session_start,
+            sv_start_lsns=sv_start,
+            epoch=epoch,
+        )
+    elif kind == KIND_EOS:
+        record = EosRecord(session_id=dec.text(), orphan_lsn=dec.uint())
+    elif kind == KIND_ANNOUNCEMENT:
+        record = AnnouncementRecord(msp=dec.text(), epoch=dec.uint(), recovered_lsn=dec.uint())
+    elif kind == KIND_SESSION_END:
+        record = SessionEndRecord(session_id=dec.text())
+    elif kind == KIND_FILLER:
+        record = FillerRecord(size=len(dec.raw()))
+    elif kind == KIND_SV_ORDER:
+        record = SvOrderRecord(
+            session_id=dec.text(),
+            variable=dec.text(),
+            version=dec.uint(),
+            is_write=dec.boolean(),
+        )
+    elif kind == KIND_SV_UPDATE:
+        record = SvUpdateRecord(
+            session_id=dec.text(),
+            variable=dec.text(),
+            old_value=dec.raw(),
+            new_value=dec.raw(),
+            variable_dv=DependencyVector.decode_from(dec),
+            writer_dv=DependencyVector.decode_from(dec),
+            prev_write_lsn=dec.uint(),
+        )
+    else:
+        raise ValueError(f"unknown log record kind {kind}")
+    dec.expect_end()
+    return record
+
+
+def session_of(record: LogRecord) -> Optional[str]:
+    """The owning session for records that belong to a position stream."""
+    if isinstance(
+        record,
+        (RequestRecord, ReplyRecord, SvReadRecord, SvWriteRecord, SvUpdateRecord,
+         SvOrderRecord),
+    ):
+        return record.session_id
+    return None

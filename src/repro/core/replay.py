@@ -1,0 +1,142 @@
+"""Session recovery: logged-request replay (paper §4.1).
+
+The same engine drives both *session orphan recovery* (the session's MSP
+is alive but the session depends on lost remote state) and *session
+recovery after the crash-recovery scan* (§4.3): re-initialize from the
+most recent session checkpoint, then re-execute the logged requests by
+following the position stream, feeding each nondeterministic event from
+the log through a :class:`~repro.core.context.ReplayContext`.
+
+Multiple concurrent crashes are handled by restarting the pass: if new
+recovery knowledge arrives mid-replay and invalidates already-replayed
+state, the pass is restarted from the checkpoint and this time stops at
+the (now detectable) orphan log record, writes the EOS record and
+switches to normal execution — one EOS per crash at most, the invariant
+behind the paper's Fig. 11 pair combinations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.context import (
+    OrphanRecordFound,
+    ReplayContext,
+    ReplayCursor,
+    write_eos,
+)
+from repro.core.dv import StateId
+from repro.core.errors import SessionProtocolError
+from repro.core.log_manager import LogWindowReader
+from repro.core.records import RequestRecord, SessionCheckpointRecord
+from repro.core.session import Session, SessionStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.msp import MiddlewareServer
+
+
+class _RestartReplay(Exception):
+    """Internal: fresh recovery knowledge invalidated replayed state."""
+
+
+def run_session_recovery(msp: "MiddlewareServer", session: Session, orphan: bool):
+    """Recover one session to its most recent non-orphan state (generator).
+
+    New requests for the session are bounced with busy replies while it
+    runs (status RECOVERING); other sessions keep executing normally —
+    the recovery-independence property.
+    """
+    session.status = SessionStatus.RECOVERING
+    try:
+        while True:
+            try:
+                yield from _replay_pass(msp, session)
+                break
+            except _RestartReplay:
+                continue
+    finally:
+        session.status = SessionStatus.NORMAL
+        session.recovery_pending = False
+    if orphan:
+        msp.stats.orphan_recoveries += 1
+
+
+def _replay_pass(msp: "MiddlewareServer", session: Session):
+    # 1. Re-initialize from the most recent session checkpoint.
+    if session.last_ckpt_lsn is not None:
+        reader = LogWindowReader(msp.log, durable_only=False)
+        record = yield from reader.fetch(session.last_ckpt_lsn)
+        if not isinstance(record, SessionCheckpointRecord) or record.session_id != session.id:
+            raise SessionProtocolError(
+                f"bad session checkpoint for {session.id} at {session.last_ckpt_lsn}: {record!r}"
+            )
+        session.restore_checkpoint(record)
+    else:
+        session.reset_fresh()
+
+    # 2. Redo recovery: replay logged requests along the position stream.
+    cursor = ReplayCursor(msp, list(session.position_stream.positions()))
+    ctx = ReplayContext(msp, session, cursor)
+    while cursor.has_next() and not ctx.switched:
+        try:
+            lsn, record = yield from cursor.fetch_next()
+        except OrphanRecordFound as found:
+            # The orphan log record is a request: skip it and everything
+            # after, write EOS, go back to waiting for new requests.
+            yield from write_eos(msp, session, found.lsn)
+            return
+        if not isinstance(record, RequestRecord):
+            raise SessionProtocolError(
+                f"replay of {session.id}: expected a request record at "
+                f"{lsn}, found {record!r}"
+            )
+        yield from _replay_request(msp, session, ctx, lsn, record)
+        # Interception between requests: knowledge that arrived while we
+        # replayed may have orphaned what we just rebuilt.
+        if not ctx.switched and session.is_orphan(msp.table):
+            raise _RestartReplay
+    # Stream exhausted (or completed live after a mid-method switch):
+    # back to normal execution.
+
+
+def _replay_request(
+    msp: "MiddlewareServer",
+    session: Session,
+    ctx: ReplayContext,
+    lsn: int,
+    record: RequestRecord,
+):
+    """Re-execute one logged request (paper §4.1 replay rules)."""
+    costs = msp.config.costs
+    yield from msp.cpu(costs.replay_dispatch_ms)
+    # Receive effects, replayed: state number and DV move exactly as
+    # they did in normal execution.
+    session.state_lsn = lsn
+    session.dv.observe(msp.name, StateId(msp.epoch, lsn))
+    if record.sender_dv is not None:
+        yield from msp.cpu(costs.dv_track_ms)
+        session.dv.merge(record.sender_dv)
+
+    if record.method not in msp._services:
+        # The original execution rejected this unknown method; replay
+        # reproduces the same permanent-error outcome.
+        session.buffered_reply = b"unknown method"
+        session.buffered_reply_seq = record.seq
+        session.buffered_reply_error = True
+        session.next_expected_seq = record.seq + 1
+        return
+
+    method = msp.service(record.method)
+    result = yield from method(ctx, record.argument)
+    if not isinstance(result, bytes):
+        raise SessionProtocolError(
+            f"{msp.name}.{record.method} returned {type(result).__name__} during replay"
+        )
+    # The reply is buffered, not sent: if the client never received the
+    # original reply it will resend the request, and the duplicate
+    # detection path serves the buffered copy — exactly-once execution.
+    session.buffered_reply = result
+    session.buffered_reply_seq = record.seq
+    session.buffered_reply_error = False
+    session.next_expected_seq = record.seq + 1
+    msp.stats.replayed_requests += 1

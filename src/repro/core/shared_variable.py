@@ -1,0 +1,154 @@
+"""Shared variables: value logging, dependency tracking, undo rollback.
+
+Paper §3.3.  A shared variable is a passive recovery unit accessed by
+sessions under short read/write locks.  Reads and writes are *value
+logged* (the value itself goes to the log), which buys recovery
+independence between sessions: a recovering reader takes values straight
+from the log, and an orphan variable is rolled back by whoever trips
+over it, by walking the backward chain of write records — no other
+session has to roll back, and no thread-pool deadlock can arise.
+
+Dependency tracking is the paper's refined, asymmetric rule:
+
+- a **read** merges the variable's DV into the reader session's DV (the
+  reader now depends on whatever produced the value) — the variable
+  does *not* pick up the reader's dependencies;
+- a **write** *replaces* the variable's DV with the writer session's DV
+  (the old value, and its dependencies, are gone).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dv import DependencyVector, RecoveryTable
+from repro.core.log_manager import LogManager, LogWindowReader
+from repro.core.records import NO_LSN, SvCheckpointRecord, SvUpdateRecord, SvWriteRecord
+from repro.sim import RWLock, Simulator
+
+
+class SharedVariable:
+    """In-memory state and recovery bookkeeping of one shared variable."""
+
+    def __init__(self, sim: Simulator, name: str, initial_value: bytes):
+        self.name = name
+        #: The value registered at MSP startup — deterministic, so it
+        #: needs no log record and is never an orphan.
+        self.initial_value = bytes(initial_value)
+        self.value = bytes(initial_value)
+        self.dv = DependencyVector()
+        #: LSN of the most recent write (or checkpoint) record, i.e. the
+        #: variable's state number (paper §3.3); None before any write.
+        self.state_lsn: Optional[int] = None
+        #: Head of the backward chain of write records; NO_LSN when the
+        #: current value comes from a checkpoint or is the initial value.
+        self.last_write_lsn: int = NO_LSN
+        self.lock = RWLock(sim, name=f"sv:{name}")
+        self.writes_since_ckpt = 0
+        #: LSN of the most recent checkpoint record (None if never).
+        self.last_ckpt_lsn: Optional[int] = None
+        #: LSN of the first write ever (scan start when no checkpoint).
+        self.first_write_lsn: Optional[int] = None
+        #: Checkpoint-staleness counter for forced checkpoints (§3.4).
+        self.msp_ckpts_since_own_ckpt = 0
+        #: Access-order ablation state (paper §3.3's rejected
+        #: alternative [16]).  ``write_seq`` counts committed writes;
+        #: reads log the write version they observed (concurrent reads
+        #: of one version commute).  During recovery, ``expected_reads``
+        #: holds how many logged reads of each version must replay
+        #: before the next write may, and ``recovery_target_write`` is
+        #: the final version re-execution must reach; live accesses
+        #: block until both are satisfied — the coupling the paper
+        #: rejects access-order logging for.
+        self.write_seq = 0
+        self.expected_reads: dict[int, int] = {}
+        self.recovery_target_write = 0
+
+    # -- bookkeeping helpers used by the MSP ------------------------------
+
+    def apply_write(self, lsn: int, value: bytes, writer_dv: DependencyVector) -> None:
+        """Install a new value (paper Fig. 8 write actions)."""
+        self.dv.replace_with(writer_dv)
+        self.state_lsn = lsn
+        self.value = bytes(value)
+        self.last_write_lsn = lsn
+        self.writes_since_ckpt += 1
+        if self.first_write_lsn is None:
+            self.first_write_lsn = lsn
+
+    def apply_checkpoint(self, lsn: int) -> None:
+        """Account a just-logged checkpoint of the current value."""
+        self.dv.clear()
+        self.state_lsn = lsn
+        self.last_write_lsn = lsn  # next write chains back to the ckpt
+        self.writes_since_ckpt = 0
+        self.last_ckpt_lsn = lsn
+        self.msp_ckpts_since_own_ckpt = 0
+
+    def scan_start_lsn(self) -> Optional[int]:
+        """Where the crash-recovery scan must start for this variable."""
+        if self.last_ckpt_lsn is not None:
+            return self.last_ckpt_lsn
+        return self.first_write_lsn
+
+    @property
+    def reconstructing(self) -> bool:
+        """Access-order mode: is replay still rebuilding this variable?"""
+        return self.write_seq < self.recovery_target_write or any(
+            self.expected_reads.values()
+        )
+
+    def is_orphan(self, table: RecoveryTable) -> bool:
+        self.dv.prune_resolved(table)
+        return table.is_orphan(self.dv)
+
+    # -- orphan rollback (undo recovery, paper §4.2) -------------------------
+
+    def roll_back(self, log: LogManager, table: RecoveryTable):
+        """Walk the backward chain to the most recent non-orphan value.
+
+        A generator (charges log-read time).  Performed inline by the
+        reader session or the checkpointing thread that detected the
+        orphan — the deadlock-avoidance property of value logging.
+        Returns the number of chain hops walked.
+        """
+        reader = LogWindowReader(log, durable_only=False)
+        cursor = self.last_write_lsn
+        hops = 0
+        while cursor != NO_LSN:
+            record = yield from reader.fetch(cursor)
+            if isinstance(record, SvCheckpointRecord):
+                # Checkpointed values are never orphans; chain ends here.
+                self.value = record.value
+                self.dv.clear()
+                self.state_lsn = cursor
+                self.last_write_lsn = cursor
+                return hops
+            if (
+                not isinstance(record, (SvWriteRecord, SvUpdateRecord))
+                or record.variable != self.name
+            ):
+                raise ValueError(
+                    f"shared variable {self.name!r}: backward chain hit "
+                    f"unexpected record {record!r} at LSN {cursor}"
+                )
+            candidate_dv = record.writer_dv.copy()
+            candidate_dv.prune_resolved(table)
+            if not table.is_orphan(candidate_dv):
+                self.value = (
+                    record.value
+                    if isinstance(record, SvWriteRecord)
+                    else record.new_value
+                )
+                self.dv = candidate_dv
+                self.state_lsn = cursor
+                self.last_write_lsn = cursor
+                return hops
+            hops += 1
+            cursor = record.prev_write_lsn
+        # Chain exhausted: fall back to the deterministic initial value.
+        self.value = bytes(self.initial_value)
+        self.dv = DependencyVector()
+        self.state_lsn = None
+        self.last_write_lsn = NO_LSN
+        return hops

@@ -1,0 +1,19 @@
+"""A miniature transactional key-value store.
+
+This is the substrate for the paper's *Psession* baseline (§5.2):
+"persistent sessions via the web server storing session states inside a
+local DBMS.  When a request is processed, the session state is fetched
+from the database, and after processing, the session state is written
+back" — i.e. one read transaction and one write transaction per request
+per MSP.
+
+The store is write-ahead logged on a simulated disk: commits force the
+WAL (a real disk write with the paper's timing model), and recovery
+replays the durable WAL prefix.  It is deliberately small but honest —
+the transaction cost that makes Psession slow in the paper (a log force
+per commit plus DB CPU) is exactly what this store charges.
+"""
+
+from repro.db.kvstore import KVStore, Transaction, TransactionError
+
+__all__ = ["KVStore", "Transaction", "TransactionError"]

@@ -1,0 +1,41 @@
+"""Response-time statistics helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ResponseStats:
+    """Summary of a set of response times (ms)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    maximum: float
+    minimum: float
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "ResponseStats":
+        if not samples:
+            return ResponseStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        n = len(ordered)
+
+        def percentile(p: float) -> float:
+            index = min(n - 1, max(0, math.ceil(p * n) - 1))
+            return ordered[index]
+
+        return ResponseStats(
+            count=n,
+            mean=sum(ordered) / n,
+            median=percentile(0.50),
+            p95=percentile(0.95),
+            p99=percentile(0.99),
+            maximum=ordered[-1],
+            minimum=ordered[0],
+        )

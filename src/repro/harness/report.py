@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment results (tables like the paper's)."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import ExperimentResult
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Render one experiment as an aligned text table with its claims."""
+    lines = [f"== {result.experiment}: {result.description} =="]
+    if result.rows:
+        columns = list(result.rows[0].keys())
+        table = [[_format_value(row.get(col)) for col in columns] for row in result.rows]
+        widths = [
+            max(len(col), *(len(line[i]) for line in table))
+            for i, col in enumerate(columns)
+        ]
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for line in table:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    if result.paper:
+        lines.append("")
+        lines.append("paper reference values:")
+        for key, value in result.paper.items():
+            lines.append(f"  {key}: {value}")
+    if result.claims:
+        lines.append("")
+        lines.append("shape claims:")
+        for claim, ok in result.claims:
+            marker = "PASS" if ok else "FAIL"
+            lines.append(f"  [{marker}] {claim}")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Simulated network: nodes, ports, links with latency/bandwidth, faults.
+
+The paper's message model (§2.1) is unreliable between clients and MSPs —
+messages "may arrive out of order, may be duplicated, or get lost" — and
+fast and reliable between MSPs inside a service domain.  Both regimes are
+configurations of the same :class:`~repro.net.network.Network`: every
+link has a latency and a bandwidth, and an optional
+:class:`~repro.net.faults.FaultModel` that drops, duplicates or delays
+envelopes using a seeded random stream.
+"""
+
+from repro.net.faults import FaultModel
+from repro.net.network import Envelope, Network, Node
+
+__all__ = ["Envelope", "FaultModel", "Network", "Node"]

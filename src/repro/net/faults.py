@@ -1,0 +1,38 @@
+"""Message fault injection: loss, duplication and reorder delay."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-link fault probabilities, applied to every envelope.
+
+    ``reorder_prob`` adds a random extra delay of up to
+    ``reorder_max_delay_ms`` which lets later messages overtake earlier
+    ones — the paper's "out of order" arrivals.
+    """
+
+    loss_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_max_delay_ms: float = 5.0
+
+    def is_reliable(self) -> bool:
+        return self.loss_prob == 0.0 and self.duplicate_prob == 0.0 and self.reorder_prob == 0.0
+
+    def should_drop(self, rng: random.Random) -> bool:
+        return self.loss_prob > 0.0 and rng.random() < self.loss_prob
+
+    def should_duplicate(self, rng: random.Random) -> bool:
+        return self.duplicate_prob > 0.0 and rng.random() < self.duplicate_prob
+
+    def extra_delay(self, rng: random.Random) -> float:
+        if self.reorder_prob > 0.0 and rng.random() < self.reorder_prob:
+            return rng.uniform(0.0, self.reorder_max_delay_ms)
+        return 0.0
+
+
+RELIABLE = FaultModel()

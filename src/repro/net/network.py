@@ -1,0 +1,185 @@
+"""Nodes, ports and links of the simulated network.
+
+A :class:`Node` is a computer (client machine, web server hosting an
+MSP, state server).  Software on a node *binds* named ports to
+:class:`~repro.sim.resources.Store` inboxes; the network delivers
+envelopes into the bound store after the link's latency plus the
+payload's transmission time at the link bandwidth.
+
+Delivery to an unbound port silently drops the envelope — this is what a
+crashed server looks like from the outside, and it is precisely why the
+paper's clients must resend requests until a reply arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.faults import RELIABLE, FaultModel
+from repro.sim import RngRegistry, Simulator, Store
+
+#: Default one-way propagation latency (ms).  Calibrated so that a
+#: request/reply round trip between two MSPs costs ~3.6 ms (paper §5.2
+#: measured 3.596 ms) once transmission and CPU costs are added.
+DEFAULT_LATENCY_MS = 0.35
+
+#: 100 Mbps Ethernet (paper Fig. 13) = 12_500 bytes per ms.
+DEFAULT_BANDWIDTH_BYTES_PER_MS = 12_500.0
+
+
+@dataclass
+class Envelope:
+    """One message in flight."""
+
+    source: str
+    destination: str
+    port: str
+    payload: Any
+    size_bytes: int
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class Link:
+    """Directed link parameters between two nodes."""
+
+    latency_ms: float = DEFAULT_LATENCY_MS
+    bandwidth_bytes_per_ms: float = DEFAULT_BANDWIDTH_BYTES_PER_MS
+    faults: FaultModel = RELIABLE
+
+
+class Node:
+    """A computer attached to the network."""
+
+    def __init__(self, network: "Network", name: str):
+        self.network = network
+        self.name = name
+        self._ports: dict[str, Store] = {}
+
+    def bind(self, port: str) -> Store:
+        """Create (or return) the inbox store for ``port``."""
+        store = self._ports.get(port)
+        if store is None:
+            store = Store(self.network.sim, name=f"{self.name}:{port}")
+            self._ports[port] = store
+        return store
+
+    def unbind(self, port: str) -> None:
+        """Remove a port; in-flight messages to it will be dropped."""
+        self._ports.pop(port, None)
+
+    def unbind_all(self) -> None:
+        """Drop every port (used when the hosted process crashes)."""
+        self._ports.clear()
+
+    def inbox(self, port: str) -> Optional[Store]:
+        return self._ports.get(port)
+
+    def send(self, destination: str, port: str, payload: Any, size_bytes: int) -> None:
+        """Fire-and-forget send over the network."""
+        self.network.send(self.name, destination, port, payload, size_bytes)
+
+
+class Network:
+    """The message fabric connecting all nodes."""
+
+    def __init__(self, sim: Simulator, rng: Optional[RngRegistry] = None):
+        self.sim = sim
+        self._rng = rng or RngRegistry(0)
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._default_link = Link()
+        #: Counters for experiment reporting.
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- topology ---------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        """Create (or fetch) the node called ``name``."""
+        existing = self._nodes.get(name)
+        if existing is not None:
+            return existing
+        node = Node(self, name)
+        self._nodes[name] = node
+        return node
+
+    def set_link(
+        self,
+        source: str,
+        destination: str,
+        latency_ms: float = DEFAULT_LATENCY_MS,
+        bandwidth_bytes_per_ms: float = DEFAULT_BANDWIDTH_BYTES_PER_MS,
+        faults: FaultModel = RELIABLE,
+        symmetric: bool = True,
+    ) -> None:
+        """Configure the link between two nodes."""
+        link = Link(latency_ms, bandwidth_bytes_per_ms, faults)
+        self._links[(source, destination)] = link
+        if symmetric:
+            self._links[(destination, source)] = link
+
+    def link(self, source: str, destination: str) -> Link:
+        return self._links.get((source, destination), self._default_link)
+
+    # -- transmission ------------------------------------------------------
+
+    def send(self, source: str, destination: str, port: str, payload: Any, size_bytes: int) -> None:
+        """Queue ``payload`` for delivery; applies link faults and timing."""
+        link = self.link(source, destination)
+        rng = self._rng.stream(f"net:{source}->{destination}")
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+
+        copies = 1
+        if link.faults.should_drop(rng):
+            self.messages_dropped += 1
+            copies = 0
+        elif link.faults.should_duplicate(rng):
+            copies = 2
+
+        for _ in range(copies):
+            delay = (
+                link.latency_ms
+                + size_bytes / link.bandwidth_bytes_per_ms
+                + link.faults.extra_delay(rng)
+            )
+            envelope = Envelope(
+                source=source,
+                destination=destination,
+                port=port,
+                payload=payload,
+                size_bytes=size_bytes,
+                sent_at=self.sim.now,
+            )
+            self.sim.call_later(delay, lambda env=envelope: self._deliver(env))
+
+    def _deliver(self, envelope: Envelope) -> None:
+        node = self._nodes.get(envelope.destination)
+        if node is None:
+            self.messages_dropped += 1
+            return
+        inbox = node.inbox(envelope.port)
+        if inbox is None or inbox.closed:
+            # Destination process is down (crashed or not yet started):
+            # the message is lost, exactly like a TCP RST in production.
+            self.messages_dropped += 1
+            return
+        envelope.delivered_at = self.sim.now
+        self.messages_delivered += 1
+        inbox.put(envelope)
+
+    def round_trip_ms(self, a: str, b: str, size_bytes: int = 100) -> float:
+        """Analytic round-trip estimate (no queueing, no faults)."""
+        there = self.link(a, b)
+        back = self.link(b, a)
+        return (
+            there.latency_ms
+            + size_bytes / there.bandwidth_bytes_per_ms
+            + back.latency_ms
+            + size_bytes / back.bandwidth_bytes_per_ms
+        )

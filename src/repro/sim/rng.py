@@ -1,0 +1,35 @@
+"""Named deterministic random streams.
+
+Every stochastic component (disk seek jitter, network fault injection,
+workload think times) draws from its own named stream derived from a
+single experiment seed, so adding randomness to one component never
+perturbs another and every run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngRegistry:
+    """Hands out independent :class:`random.Random` streams by name."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the (cached) stream for ``name``.
+
+        The stream seed is a stable hash of ``(seed, name)`` so it does
+        not depend on creation order or on Python's randomized string
+        hashing.
+        """
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        stream = random.Random(int.from_bytes(digest[:8], "big"))
+        self._streams[name] = stream
+        return stream

@@ -1,0 +1,14 @@
+"""Simulated durable storage: disk timing model and stable byte stores.
+
+The disk timing model implements the exact cost formula the paper uses in
+its §5.2 analysis (7200 RPM rotational latency, 63 sectors/track transfer
+rate, track-to-track seeks, and occasional random seeks caused by OS
+interference).  A :class:`~repro.storage.stable.StableStore` is an
+append-only byte store whose *flushed prefix* survives crashes — exactly
+the failure model log-based recovery is designed against.
+"""
+
+from repro.storage.disk import Disk, DiskModel, DiskStats
+from repro.storage.stable import StableStore
+
+__all__ = ["Disk", "DiskModel", "DiskStats", "StableStore"]

@@ -1,0 +1,112 @@
+"""Crash-aware append-only byte store.
+
+A :class:`StableStore` is the durability abstraction under a physical
+log: bytes appended to it live in a volatile tail until ``mark_durable``
+advances the durable boundary (the log manager calls it after the
+simulated disk write completes).  A crash discards exactly the volatile
+tail — the durable prefix always survives.  This is the failure model
+every piece of the paper's recovery machinery is designed against, so we
+enforce it in one place and test it in isolation.
+
+The store also keeps a small *anchor block* (the paper's §3.4 "log
+anchor ... a block located at a specific location inside the physical
+log such as the log header") with its own durability flag.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class StableStoreError(Exception):
+    """Raised for out-of-range reads or misuse of the store."""
+
+
+class StableStore:
+    """Append-only byte store with a durable prefix and a volatile tail."""
+
+    def __init__(self, name: str = "log"):
+        self.name = name
+        self._data = bytearray()
+        self._durable_end = 0
+        self._anchor_volatile: Optional[bytes] = None
+        self._anchor_durable: Optional[bytes] = None
+        #: Number of crashes survived (diagnostics only).
+        self.crash_count = 0
+
+    # -- appending ------------------------------------------------------
+
+    def append(self, data: bytes) -> int:
+        """Append ``data`` to the volatile tail; returns its start offset."""
+        offset = len(self._data)
+        self._data.extend(data)
+        return offset
+
+    @property
+    def end(self) -> int:
+        """Offset just past the last appended byte (volatile end)."""
+        return len(self._data)
+
+    @property
+    def durable_end(self) -> int:
+        """Offset up to which data is crash-proof."""
+        return self._durable_end
+
+    @property
+    def unflushed_bytes(self) -> int:
+        return len(self._data) - self._durable_end
+
+    def mark_durable(self, upto: int) -> None:
+        """Advance the durable boundary to ``upto`` (monotone)."""
+        if upto > len(self._data):
+            raise StableStoreError(
+                f"{self.name}: cannot mark durable past end ({upto} > {len(self._data)})"
+            )
+        self._durable_end = max(self._durable_end, upto)
+
+    # -- reading ----------------------------------------------------------
+
+    def read(self, start: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``start`` (volatile tail included).
+
+        Normal-execution code may read its own unflushed buffer; after a
+        crash the tail no longer exists so all reads are durable ones.
+        """
+        if start < 0 or start + length > len(self._data):
+            raise StableStoreError(
+                f"{self.name}: read [{start}, {start + length}) out of range "
+                f"(end={len(self._data)})"
+            )
+        return bytes(self._data[start : start + length])
+
+    def read_durable(self, start: int, length: int) -> bytes:
+        """Read from the durable prefix only (what recovery may rely on)."""
+        if start + length > self._durable_end:
+            raise StableStoreError(
+                f"{self.name}: durable read [{start}, {start + length}) past "
+                f"durable end {self._durable_end}"
+            )
+        return self.read(start, length)
+
+    # -- the anchor block -------------------------------------------------
+
+    def write_anchor(self, data: bytes) -> None:
+        """Stage new anchor contents (volatile until :meth:`flush_anchor`)."""
+        self._anchor_volatile = bytes(data)
+
+    def flush_anchor(self) -> None:
+        """Make the staged anchor durable (caller pays the disk write)."""
+        if self._anchor_volatile is not None:
+            self._anchor_durable = self._anchor_volatile
+
+    def read_anchor(self) -> Optional[bytes]:
+        """Return the durable anchor contents (``None`` if never flushed)."""
+        return self._anchor_durable
+
+    # -- crashes ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Discard the volatile tail and any unflushed anchor staging."""
+        del self._data[self._durable_end :]
+        self._anchor_volatile = self._anchor_durable
+        self.crash_count += 1

@@ -1,0 +1,164 @@
+"""Low-level binary encoder/decoder used by log records and DB pages.
+
+A tiny, explicit format: unsigned varints (LEB128), zig-zag signed ints,
+length-prefixed bytes/strings, fixed 8-byte floats, and homogeneous
+sequences.  No reflection, no pickle — every record type spells out its
+own fields, which keeps the on-log format stable and debuggable.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterable, Sequence
+
+
+class CodecError(Exception):
+    """Raised on malformed input during decoding."""
+
+
+class Encoder:
+    """Builds a byte string field by field."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def uint(self, value: int) -> "Encoder":
+        """Append an unsigned LEB128 varint."""
+        if value < 0:
+            raise ValueError(f"uint cannot encode negative value {value}")
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+        self._parts.append(bytes(out))
+        return self
+
+    def sint(self, value: int) -> "Encoder":
+        """Append a zig-zag encoded signed varint."""
+        zigzag = (value << 1) ^ (value >> 63) if value < 0 else value << 1
+        return self.uint(zigzag & ((1 << 64) - 1))
+
+    def boolean(self, value: bool) -> "Encoder":
+        return self.uint(1 if value else 0)
+
+    def float64(self, value: float) -> "Encoder":
+        self._parts.append(struct.pack("<d", value))
+        return self
+
+    def raw(self, data: bytes) -> "Encoder":
+        """Append length-prefixed bytes."""
+        self.uint(len(data))
+        self._parts.append(bytes(data))
+        return self
+
+    def text(self, value: str) -> "Encoder":
+        return self.raw(value.encode("utf-8"))
+
+    def seq(self, items: Sequence, item_encoder: Callable[["Encoder", object], None]) -> "Encoder":
+        """Append a count-prefixed homogeneous sequence."""
+        self.uint(len(items))
+        for item in items:
+            item_encoder(self, item)
+        return self
+
+    def finish(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Decoder:
+    """Consumes a byte string field by field (mirror of :class:`Encoder`)."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def uint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            if self._pos >= len(self._data):
+                raise CodecError("truncated varint")
+            byte = self._data[self._pos]
+            self._pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 70:
+                raise CodecError("varint too long")
+
+    def sint(self) -> int:
+        zigzag = self.uint()
+        value = zigzag >> 1
+        if zigzag & 1:
+            value = ~value
+        return value
+
+    def boolean(self) -> bool:
+        flag = self.uint()
+        if flag not in (0, 1):
+            raise CodecError(f"bad boolean value {flag}")
+        return flag == 1
+
+    def float64(self) -> float:
+        if self.remaining < 8:
+            raise CodecError("truncated float64")
+        (value,) = struct.unpack_from("<d", self._data, self._pos)
+        self._pos += 8
+        return value
+
+    def raw(self) -> bytes:
+        length = self.uint()
+        if self.remaining < length:
+            raise CodecError(f"truncated bytes field (need {length}, have {self.remaining})")
+        data = self._data[self._pos : self._pos + length]
+        self._pos += length
+        return bytes(data)
+
+    def text(self) -> str:
+        return self.raw().decode("utf-8")
+
+    def seq(self, item_decoder: Callable[["Decoder"], object]) -> list:
+        count = self.uint()
+        return [item_decoder(self) for _ in range(count)]
+
+    def expect_end(self) -> None:
+        """Assert the record was fully consumed (catches schema drift)."""
+        if not self.exhausted:
+            raise CodecError(f"{self.remaining} trailing bytes after decode")
+
+
+def encode_all(*fields: Iterable) -> bytes:  # pragma: no cover - convenience
+    """Convenience: encode a flat tuple of ints/bytes/strs."""
+    enc = Encoder()
+    for field in fields:
+        if isinstance(field, bool):
+            enc.boolean(field)
+        elif isinstance(field, int):
+            enc.sint(field)
+        elif isinstance(field, bytes):
+            enc.raw(field)
+        elif isinstance(field, str):
+            enc.text(field)
+        elif isinstance(field, float):
+            enc.float64(field)
+        else:
+            raise TypeError(f"cannot encode {type(field).__name__}")
+    return enc.finish()

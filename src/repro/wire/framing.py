@@ -1,0 +1,72 @@
+"""Record framing: length prefix + CRC32 checksum.
+
+The physical log is a sequence of frames::
+
+    [u32 payload_length][u32 crc32(payload)][payload bytes]
+
+The frame reader used by the recovery scan stops cleanly at a torn or
+truncated frame — the tail of the log beyond the last complete flush is
+garbage by definition, so hitting it is normal, not an error (ARIES-style
+end-of-log detection).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, Optional
+
+_HEADER = struct.Struct("<II")
+
+
+class CorruptRecordError(Exception):
+    """A frame whose checksum does not match its contents."""
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a length + checksum frame."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def unframe(data: bytes, offset: int = 0) -> tuple[Optional[bytes], int]:
+    """Parse one frame at ``offset``.
+
+    Returns ``(payload, next_offset)``; ``(None, offset)`` when the data
+    ends before a complete, checksum-valid frame (the normal end-of-log
+    condition).
+    """
+    if offset + _HEADER.size > len(data):
+        return None, offset
+    length, crc = _HEADER.unpack_from(data, offset)
+    start = offset + _HEADER.size
+    end = start + length
+    if end > len(data):
+        return None, offset
+    payload = data[start:end]
+    if zlib.crc32(payload) != crc:
+        return None, offset
+    return payload, end
+
+
+def framed_size(payload_length: int) -> int:
+    """Total on-log size of a frame holding ``payload_length`` bytes."""
+    return _HEADER.size + payload_length
+
+
+class FrameReader:
+    """Iterates complete frames over a byte string (the recovery scan)."""
+
+    def __init__(self, data: bytes, start: int = 0):
+        self._data = data
+        self.offset = start
+
+    def __iter__(self) -> Iterator[tuple[int, bytes]]:
+        return self
+
+    def __next__(self) -> tuple[int, bytes]:
+        payload, next_offset = unframe(self._data, self.offset)
+        if payload is None:
+            raise StopIteration
+        record_offset = self.offset
+        self.offset = next_offset
+        return record_offset, payload

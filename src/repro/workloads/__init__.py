@@ -1,0 +1,18 @@
+"""Workloads: the paper's experimental configuration (§5.1, Fig. 13).
+
+:class:`~repro.workloads.paper.PaperWorkload` builds the full topology —
+one end-client machine, MSP1 and MSP2 on separate server machines, the
+five §5.2 configurations — and drives it with the paper's service
+methods (ServiceMethod1/ServiceMethod2 with their shared-variable and
+session-state access patterns), optional forced crashes (§5.4), multiple
+concurrent clients and batch flushing (§5.5).
+"""
+
+from repro.workloads.paper import (
+    CONFIGURATIONS,
+    PaperRunResult,
+    PaperWorkload,
+    WorkloadParams,
+)
+
+__all__ = ["CONFIGURATIONS", "PaperRunResult", "PaperWorkload", "WorkloadParams"]

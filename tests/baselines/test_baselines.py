@@ -1,0 +1,142 @@
+"""Tests for the commercial baselines: Psession and StateServer."""
+
+import pytest
+
+from repro.baselines import PsessionServer, StateServerNode, StateServerServer
+from repro.baselines.psession import decode_variables, encode_variables
+from repro.core import ServiceDomainConfig
+from repro.core.client import EndClient
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def counter_method(ctx, argument):
+    yield from ctx.compute(0.2)
+    raw = yield from ctx.get_session_var("count")
+    count = int.from_bytes(raw or b"\x00", "big") + 1
+    yield from ctx.set_session_var("count", count.to_bytes(4, "big"))
+    return count.to_bytes(4, "big")
+
+
+def test_variables_codec_roundtrip():
+    variables = {"a": b"\x00" * 100, "z": b"xyz", "": b""}
+    assert decode_variables(encode_variables(variables)) == variables
+
+
+def build_psession(seed=0):
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    net = Network(sim, rng=rng)
+    msp = PsessionServer(sim, net, "server", ServiceDomainConfig(), rng=rng)
+    msp.register_service("counter", counter_method)
+    client = EndClient(sim, net, "client")
+    return sim, msp, client
+
+
+def run_calls(sim, msp, client, session, n):
+    results = []
+
+    def driver():
+        yield 1.0
+        for _ in range(n):
+            result = yield from session.call("counter", b"")
+            results.append(int.from_bytes(result.payload, "big"))
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=600_000)
+    return results
+
+
+def test_psession_basic_counting():
+    sim, msp, client = build_psession()
+    msp.start_process()
+    session = client.open_session("server")
+    results = run_calls(sim, msp, client, session, 5)
+    assert results == [1, 2, 3, 4, 5]
+    # Two DB transactions per request: one read, one write commit.
+    assert msp.db.stats_commits == 10
+    assert msp.db.stats_log_forces == 5
+
+
+def test_psession_recovers_session_state_from_db():
+    """The baseline's selling point: session state survives a crash
+    because it lives in the DBMS."""
+    sim, msp, client = build_psession()
+    msp.start_process()
+    session = client.open_session("server")
+    results = run_calls(sim, msp, client, session, 3)
+    assert results == [1, 2, 3]
+
+    msp.crash()
+    msp.restart_process()
+    results = run_calls(sim, msp, client, session, 2)
+    # The counter continues from the persisted state.
+    assert results == [4, 5]
+
+
+def test_psession_logs_nothing():
+    sim, msp, client = build_psession()
+    msp.start_process()
+    session = client.open_session("server")
+    run_calls(sim, msp, client, session, 3)
+    assert msp.store.end == 0  # no recovery log; only the DB WAL
+    assert msp.db.wal.durable_end > 0
+
+
+def build_stateserver(seed=0):
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    net = Network(sim, rng=rng)
+    state_server = StateServerNode(sim, net)
+    state_server.start()
+    msp = StateServerServer(sim, net, "server", ServiceDomainConfig(), rng=rng)
+    msp.register_service("counter", counter_method)
+    client = EndClient(sim, net, "client")
+    return sim, msp, state_server, client
+
+
+def test_stateserver_basic_counting():
+    sim, msp, state_server, client = build_stateserver()
+    msp.start_process()
+    session = client.open_session("server")
+    results = run_calls(sim, msp, client, session, 5)
+    assert results == [1, 2, 3, 4, 5]
+    assert session.id in state_server._states
+
+
+def test_stateserver_survives_msp_crash():
+    """Session state lives at the state server, so an MSP crash does
+    not lose it."""
+    sim, msp, state_server, client = build_stateserver()
+    msp.start_process()
+    session = client.open_session("server")
+    assert run_calls(sim, msp, client, session, 3) == [1, 2, 3]
+    msp.crash()
+    msp.restart_process()
+    assert run_calls(sim, msp, client, session, 2) == [4, 5]
+
+
+def test_stateserver_crash_loses_everything():
+    """The baseline's weakness the paper points out: the state server
+    itself is not persistent."""
+    sim, msp, state_server, client = build_stateserver()
+    msp.start_process()
+    session = client.open_session("server")
+    assert run_calls(sim, msp, client, session, 3) == [1, 2, 3]
+    state_server.crash()
+    state_server.start()
+    msp.crash()  # MSP must also lose its in-memory copy
+    msp.restart_process()
+    results = run_calls(sim, msp, client, session, 1)
+    # The counter restarted from scratch: state was lost.
+    assert results == [1]
+
+
+def test_stateserver_faster_than_psession():
+    sim_p, msp_p, client_p = build_psession()
+    msp_p.start_process()
+    run_calls(sim_p, msp_p, client_p, client_p.open_session("server"), 20)
+    sim_s, msp_s, _ss, client_s = build_stateserver()
+    msp_s.start_process()
+    run_calls(sim_s, msp_s, client_s, client_s.open_session("server"), 20)
+    assert client_s.stats.mean_response_ms < client_p.stats.mean_response_ms

@@ -1,0 +1,202 @@
+"""Tests for the access-order-logging ablation (paper §3.3's rejected
+alternative [16]).
+
+Access-order logging records only per-variable access sequence numbers;
+recovery reconstructs shared state by re-executing every session's
+accesses in the logged order.  Correctness must still hold — the paper
+rejects it for its *coupling*, not for being wrong.
+"""
+
+import pytest
+
+from repro.core import RecoveryConfig, ServiceDomainConfig
+from repro.core.client import EndClient
+from repro.core.errors import SessionProtocolError
+from repro.core.msp import MiddlewareServer
+from repro.core.records import SvOrderRecord
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def access_order_config():
+    return RecoveryConfig(
+        sv_logging="access-order",
+        session_ckpt_threshold_bytes=None,
+        sv_ckpt_write_threshold=10**9,
+    )
+
+
+def bump_method(ctx, argument):
+    yield from ctx.compute(0.1)
+    new = yield from ctx.update_shared(
+        "total", lambda raw: (int.from_bytes(raw, "big") + 1).to_bytes(8, "big")
+    )
+    return new
+
+
+def read_method(ctx, argument):
+    yield from ctx.compute(0.05)
+    value = yield from ctx.read_shared("total")
+    return value
+
+
+def build(config=None, seed=0):
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    net = Network(sim, rng=rng)
+    msp = MiddlewareServer(
+        sim, net, "server", ServiceDomainConfig(),
+        config=config or access_order_config(), rng=rng,
+    )
+    msp.register_service("bump", bump_method)
+    msp.register_service("read", read_method)
+    msp.register_shared("total", (0).to_bytes(8, "big"))
+    client = EndClient(sim, net, "client")
+    return sim, msp, client
+
+
+def test_guard_rejects_domains():
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(0))
+    domains = ServiceDomainConfig([["a", "b"]])
+    msp = MiddlewareServer(sim, net, "a", domains, config=access_order_config())
+    boot = msp.start_process()
+    sim.run_until_process(boot, limit=10_000)
+    with pytest.raises(SessionProtocolError, match="service domain"):
+        boot.result
+
+
+def test_guard_rejects_checkpointing():
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(0))
+    config = RecoveryConfig(sv_logging="access-order")  # ckpts still on
+    msp = MiddlewareServer(sim, net, "a", ServiceDomainConfig(), config=config)
+    boot = msp.start_process()
+    sim.run_until_process(boot, limit=10_000)
+    with pytest.raises(SessionProtocolError, match="checkpointing"):
+        boot.result
+
+
+def test_normal_execution_logs_order_records():
+    sim, msp, client = build()
+    msp.start_process()
+    session = client.open_session("server")
+
+    def driver():
+        yield 1.0
+        for _ in range(3):
+            yield from session.call("bump", b"")
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=60_000)
+    orders = []
+    offset = 0
+    while offset < msp.store.end:
+        record, offset = msp.log.record_at(offset)
+        if isinstance(record, SvOrderRecord):
+            orders.append(record)
+    assert [o.version for o in orders] == [1, 2, 3]
+    assert all(o.is_write for o in orders)
+    assert msp.shared["total"].write_seq == 3
+
+
+def test_exactly_once_across_crash():
+    sim, msp, client = build()
+    msp.start_process()
+    session = client.open_session("server")
+    results = []
+
+    def driver():
+        yield 1.0
+        for i in range(10):
+            result = yield from session.call("bump", b"")
+            results.append(int.from_bytes(result.payload, "big"))
+            if i == 4:
+                msp.crash()
+                msp.restart_process()
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=600_000)
+    assert results == list(range(1, 11))
+    assert int.from_bytes(msp.shared["total"].value, "big") == 10
+
+
+def test_interleaved_sessions_reconstruct_total_order():
+    """Two sessions interleave increments; after a crash the variable is
+    reconstructed by re-executing both in the logged order."""
+    sim, msp, client = build()
+    msp.start_process()
+    a = client.open_session("server")
+    b = client.open_session("server")
+
+    def driver(session, n):
+        yield 1.0
+        for _ in range(n):
+            yield from session.call("bump", b"")
+
+    pa = sim.spawn(driver(a, 6))
+    pb = sim.spawn(driver(b, 6))
+    sim.run_until_process(pa, limit=600_000)
+    sim.run_until_process(pb, limit=600_000)
+    assert int.from_bytes(msp.shared["total"].value, "big") == 12
+
+    msp.crash()
+    boot = msp.restart_process()
+    sim.run_until_process(boot, limit=600_000)
+
+    def reader():
+        yield 2_000.0  # give the coupled replays time to finish
+        result = yield from a.call("read", b"")
+        return int.from_bytes(result.payload, "big")
+
+    p = sim.spawn(reader())
+    sim.run_until_process(p, limit=600_000)
+    assert p.result == 12
+
+
+def test_live_access_blocks_until_reconstructed():
+    """A new request touching the variable during recovery waits for the
+    re-execution to finish — the §3.3 blocking the paper warns about."""
+    sim, msp, client = build()
+    msp.start_process()
+    session = client.open_session("server")
+
+    def driver():
+        yield 1.0
+        for _ in range(8):
+            yield from session.call("bump", b"")
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=600_000)
+    msp.crash()
+    msp.restart_process()
+
+    fresh = client.open_session("server")
+
+    def prober():
+        yield 60.0  # server is up again but still replaying
+        result = yield from fresh.call("read", b"")
+        return int.from_bytes(result.payload, "big"), sim.now
+
+    probe = sim.spawn(prober())
+    sim.run_until_process(probe, limit=600_000)
+    value, _when = probe.result
+    # The read never observed a half-reconstructed counter.
+    assert value == 8
+
+
+def test_value_mode_unaffected():
+    """The default value-logging path is untouched by the ablation."""
+    sim, msp, client = build(config=RecoveryConfig())
+    msp.start_process()
+    session = client.open_session("server")
+
+    def driver():
+        yield 1.0
+        for _ in range(4):
+            yield from session.call("bump", b"")
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=600_000)
+    assert int.from_bytes(msp.shared["total"].value, "big") == 4
+    assert msp.shared["total"].write_seq == 0  # counter unused

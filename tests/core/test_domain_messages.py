@@ -1,0 +1,75 @@
+"""Unit tests for service domains and message payloads."""
+
+import pytest
+
+from repro.core.domain import ServiceDomainConfig
+from repro.core.dv import DependencyVector, StateId
+from repro.core.messages import (
+    FlushReply,
+    FlushRequest,
+    RecoveryAnnouncement,
+    Reply,
+    Request,
+)
+
+
+def test_same_domain_membership():
+    domains = ServiceDomainConfig([["a", "b"], ["c"]])
+    assert domains.same_domain("a", "b")
+    assert domains.same_domain("b", "a")
+    assert not domains.same_domain("a", "c")
+    assert not domains.same_domain("a", "client")
+    assert not domains.same_domain("client", "a")
+
+
+def test_domain_of_and_peers():
+    domains = ServiceDomainConfig([["a", "b", "c"]])
+    assert domains.domain_of("a") == frozenset({"a", "b", "c"})
+    assert domains.peers_of("a") == frozenset({"b", "c"})
+    assert domains.domain_of("zzz") is None
+    assert domains.peers_of("zzz") == frozenset()
+
+
+def test_domains_must_be_disjoint():
+    with pytest.raises(ValueError):
+        ServiceDomainConfig([["a", "b"], ["b", "c"]])
+
+
+def test_empty_domain_rejected():
+    with pytest.raises(ValueError):
+        ServiceDomainConfig([[]])
+
+
+def test_all_separate():
+    domains = ServiceDomainConfig.all_separate()
+    assert not domains.same_domain("a", "b")
+    assert domains.domain_of("a") is None
+
+
+def test_request_wire_size_includes_dv():
+    dv = DependencyVector()
+    dv.observe("p", StateId(0, 1))
+    base = Request("s", 0, "m", b"x" * 100, reply_to="c", reply_port="r")
+    with_dv = Request("s", 0, "m", b"x" * 100, reply_to="c", reply_port="r", sender_dv=dv)
+    assert with_dv.wire_size() > base.wire_size()
+    assert base.wire_size() >= 100
+
+
+def test_reply_wire_size():
+    small = Reply("s", 0, b"")
+    big = Reply("s", 0, b"x" * 1000)
+    assert big.wire_size() - small.wire_size() == 1000
+
+
+def test_flush_request_ids_unique():
+    a, b = FlushRequest(), FlushRequest()
+    assert a.req_id != b.req_id
+    assert FlushReply(req_id=a.req_id, ok=True).wire_size() > 0
+
+
+def test_announcement_size_scales_with_table():
+    small = RecoveryAnnouncement("m", 0, 10, table_snapshot={})
+    big = RecoveryAnnouncement(
+        "m", 0, 10, table_snapshot={"a": {0: 1, 1: 2}, "b": {0: 3}}
+    )
+    assert big.wire_size() > small.wire_size()

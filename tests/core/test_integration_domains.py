@@ -1,0 +1,295 @@
+"""Two-MSP integration: locally optimistic logging and orphan recovery.
+
+Reproduces the paper's Fig. 13 topology: an end client calls
+ServiceMethod1 on MSP1, which reads/writes SV0, calls ServiceMethod2 on
+MSP2 (which reads/writes SV2 and SV3), then reads/writes SV1 and its
+session state.
+"""
+
+import pytest
+
+from repro.core import LoggingMode, RecoveryConfig, ServiceDomainConfig
+from repro.core.client import EndClient
+from repro.core.msp import MiddlewareServer
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def encode(n: int) -> bytes:
+    return n.to_bytes(8, "big")
+
+
+def decode(raw: bytes) -> int:
+    return int.from_bytes(raw, "big")
+
+
+def service_method1(ctx, argument):
+    yield from ctx.compute(0.2)
+    sv0 = decode((yield from ctx.read_shared("SV0")))
+    yield from ctx.write_shared("SV0", encode(sv0 + 1))
+    reply = yield from ctx.call("msp2", "service_method2", argument)
+    sv1 = decode((yield from ctx.read_shared("SV1")))
+    yield from ctx.write_shared("SV1", encode(sv1 + 1))
+    raw = yield from ctx.get_session_var("count")
+    count = decode(raw or encode(0)) + 1
+    yield from ctx.set_session_var("count", encode(count))
+    return encode(count)
+
+
+def service_method2(ctx, argument):
+    yield from ctx.compute(0.2)
+    sv2 = decode((yield from ctx.read_shared("SV2")))
+    yield from ctx.write_shared("SV2", encode(sv2 + 1))
+    sv3 = decode((yield from ctx.read_shared("SV3")))
+    yield from ctx.write_shared("SV3", encode(sv3 + 1))
+    raw = yield from ctx.get_session_var("count")
+    count = decode(raw or encode(0)) + 1
+    yield from ctx.set_session_var("count", encode(count))
+    return encode(count)
+
+
+def build_world(same_domain=True, seed=0, config1=None, config2=None):
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    net = Network(sim, rng=rng)
+    if same_domain:
+        domains = ServiceDomainConfig([["msp1", "msp2"]])
+    else:
+        domains = ServiceDomainConfig([["msp1"], ["msp2"]])
+    msp1 = MiddlewareServer(sim, net, "msp1", domains, config=config1 or RecoveryConfig(), rng=rng)
+    msp2 = MiddlewareServer(sim, net, "msp2", domains, config=config2 or RecoveryConfig(), rng=rng)
+    msp1.register_service("service_method1", service_method1)
+    msp1.register_shared("SV0", encode(0))
+    msp1.register_shared("SV1", encode(0))
+    msp2.register_service("service_method2", service_method2)
+    msp2.register_shared("SV2", encode(0))
+    msp2.register_shared("SV3", encode(0))
+    client = EndClient(sim, net, "client1")
+    return sim, net, msp1, msp2, client
+
+
+def run_calls(sim, msp1, msp2, client, n, before_each=None):
+    msp1.start_process()
+    msp2.start_process()
+    session = client.open_session("msp1")
+    results = []
+
+    def driver():
+        yield 1.0
+        for i in range(n):
+            if before_each:
+                before_each(i)
+            result = yield from session.call("service_method1", b"x" * 100)
+            results.append(decode(result.payload))
+
+    process = sim.spawn(driver())
+    sim.run_until_process(process, limit=1_200_000)
+    return results
+
+
+def final_state(msp1, msp2):
+    return {
+        "SV0": decode(msp1.shared["SV0"].value),
+        "SV1": decode(msp1.shared["SV1"].value),
+        "SV2": decode(msp2.shared["SV2"].value),
+        "SV3": decode(msp2.shared["SV3"].value),
+    }
+
+
+def test_two_msps_basic_flow():
+    sim, _net, msp1, msp2, client = build_world()
+    results = run_calls(sim, msp1, msp2, client, 10)
+    assert results == list(range(1, 11))
+    assert final_state(msp1, msp2) == {"SV0": 10, "SV1": 10, "SV2": 10, "SV3": 10}
+
+
+def test_optimistic_fewer_flushes_than_pessimistic():
+    """Paper §5.2: pessimistic needs 3 sequential flushes per request,
+    locally optimistic 1 distributed flush (2 in parallel)."""
+    sim_o, _n, o1, o2, client_o = build_world(same_domain=True)
+    run_calls(sim_o, o1, o2, client_o, 20)
+    optimistic_flushes = o1.log.stats.physical_flushes + o2.log.stats.physical_flushes
+
+    sim_p, _n, p1, p2, client_p = build_world(same_domain=False)
+    run_calls(sim_p, p1, p2, client_p, 20)
+    pessimistic_flushes = p1.log.stats.physical_flushes + p2.log.stats.physical_flushes
+
+    assert optimistic_flushes < pessimistic_flushes
+    # ~2 flushes/request optimistic vs ~3 pessimistic.
+    assert optimistic_flushes <= 2 * 20 + 4
+    assert pessimistic_flushes >= 3 * 20
+
+
+def test_optimistic_faster_response():
+    """Locally optimistic logging reduces response time (paper Fig. 14)."""
+    sim_o, _n, o1, o2, client_o = build_world(same_domain=True)
+    run_calls(sim_o, o1, o2, client_o, 30)
+    sim_p, _n, p1, p2, client_p = build_world(same_domain=False)
+    run_calls(sim_p, p1, p2, client_p, 30)
+    assert client_o.stats.mean_response_ms < client_p.stats.mean_response_ms
+
+
+def test_intra_domain_messages_carry_dv():
+    sim, _net, msp1, msp2, client = build_world(same_domain=True)
+    run_calls(sim, msp1, msp2, client, 3)
+    # MSP2 logged request records with attached DVs.
+    from repro.core.records import RequestRecord
+
+    found_dv = False
+    offset = 0
+    while offset < msp2.store.end:
+        record, offset = msp2.log.record_at(offset)
+        if isinstance(record, RequestRecord) and record.sender_dv is not None:
+            found_dv = True
+    assert found_dv
+
+
+def test_cross_domain_messages_carry_no_dv():
+    sim, _net, msp1, msp2, client = build_world(same_domain=False)
+    run_calls(sim, msp1, msp2, client, 3)
+    from repro.core.records import ReplyRecord, RequestRecord
+
+    offset = 0
+    while offset < msp2.store.end:
+        record, offset = msp2.log.record_at(offset)
+        if isinstance(record, (RequestRecord, ReplyRecord)):
+            assert record.sender_dv is None
+
+
+def test_msp2_crash_creates_orphan_and_recovers():
+    """The paper's §5.4 forced-crash scenario: MSP2 dies right after its
+    reply reaches MSP1, losing unflushed log records; SE1 at MSP1
+    becomes an orphan and must roll back; exactly-once still holds."""
+    sim, _net, msp1, msp2, client = build_world(same_domain=True)
+    msp1.start_process()
+    msp2.start_process()
+    session = client.open_session("msp1")
+    results = []
+
+    def driver():
+        yield 1.0
+        for i in range(12):
+            result = yield from session.call("service_method1", b"")
+            results.append(decode(result.payload))
+            if i == 5:
+                # Kill MSP2 before the distributed flush of the *next*
+                # request completes: its buffered records are lost.
+                msp2.crash()
+                msp2.restart_process()
+
+    process = sim.spawn(driver())
+    sim.run_until_process(process, limit=1_200_000)
+    assert results == list(range(1, 13))
+    state = final_state(msp1, msp2)
+    assert state == {"SV0": 12, "SV1": 12, "SV2": 12, "SV3": 12}
+
+
+def test_orphan_detected_when_msp2_killed_mid_exchange():
+    """Kill MSP2 at the worst moment: after MSP1 merged MSP2's reply DV
+    but before anything was flushed — MSP1's session must perform
+    orphan recovery (not merely MSP2 crash recovery)."""
+    sim, _net, msp1, msp2, client = build_world(same_domain=True)
+    msp1.start_process()
+    msp2.start_process()
+    session = client.open_session("msp1")
+    results = []
+
+    def driver():
+        yield 1.0
+        for _ in range(8):
+            result = yield from session.call("service_method1", b"")
+            results.append(decode(result.payload))
+
+    def crasher():
+        # Mid-flight of an exchange (~request 2), after reply2 likely
+        # arrived at MSP1 but before the end-of-request flush.
+        yield 32.0
+        msp2.crash()
+        msp2.restart_process()
+
+    process = sim.spawn(driver())
+    sim.spawn(crasher())
+    sim.run_until_process(process, limit=1_200_000)
+    assert results == list(range(1, 9))
+    state = final_state(msp1, msp2)
+    assert state == {"SV0": 8, "SV1": 8, "SV2": 8, "SV3": 8}
+
+
+@pytest.mark.parametrize("crash_time", [28.0, 30.0, 33.0, 36.0, 40.0, 44.0])
+def test_exactly_once_over_crash_timing_sweep(crash_time):
+    """Sweep the MSP2 kill instant across a request's lifetime; the
+    end-to-end exactly-once guarantee must hold at every point."""
+    sim, _net, msp1, msp2, client = build_world(same_domain=True)
+    msp1.start_process()
+    msp2.start_process()
+    session = client.open_session("msp1")
+    results = []
+
+    def driver():
+        yield 1.0
+        for _ in range(8):
+            result = yield from session.call("service_method1", b"")
+            results.append(decode(result.payload))
+
+    def crasher():
+        yield crash_time
+        msp2.crash()
+        msp2.restart_process()
+
+    process = sim.spawn(driver())
+    sim.spawn(crasher())
+    sim.run_until_process(process, limit=1_200_000)
+    assert results == list(range(1, 9)), f"crash at {crash_time}"
+    assert final_state(msp1, msp2) == {"SV0": 8, "SV1": 8, "SV2": 8, "SV3": 8}
+
+
+def test_both_msps_crash_concurrently():
+    sim, _net, msp1, msp2, client = build_world(same_domain=True)
+    msp1.start_process()
+    msp2.start_process()
+    session = client.open_session("msp1")
+    results = []
+
+    def driver():
+        yield 1.0
+        for _ in range(10):
+            result = yield from session.call("service_method1", b"")
+            results.append(decode(result.payload))
+
+    def crasher():
+        yield 45.0
+        msp2.crash()
+        msp1.crash()
+        msp1.restart_process()
+        msp2.restart_process()
+
+    process = sim.spawn(driver())
+    sim.spawn(crasher())
+    sim.run_until_process(process, limit=1_200_000)
+    assert results == list(range(1, 11))
+    assert final_state(msp1, msp2) == {"SV0": 10, "SV1": 10, "SV2": 10, "SV3": 10}
+
+
+def test_pessimistic_domains_no_orphans_on_crash():
+    """Across domains only the crashed MSP recovers; MSP1 sessions never
+    become orphans (recovery independence between domains)."""
+    sim, _net, msp1, msp2, client = build_world(same_domain=False)
+    msp1.start_process()
+    msp2.start_process()
+    session = client.open_session("msp1")
+    results = []
+
+    def driver():
+        yield 1.0
+        for i in range(10):
+            result = yield from session.call("service_method1", b"")
+            results.append(decode(result.payload))
+            if i == 4:
+                msp2.crash()
+                msp2.restart_process()
+
+    process = sim.spawn(driver())
+    sim.run_until_process(process, limit=1_200_000)
+    assert results == list(range(1, 11))
+    assert msp1.stats.orphan_recoveries == 0
+    assert final_state(msp1, msp2) == {"SV0": 10, "SV1": 10, "SV2": 10, "SV3": 10}

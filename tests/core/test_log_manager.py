@@ -1,0 +1,283 @@
+"""Tests for the shared physical log: appends, flushes, batching, anchor."""
+
+import random
+
+import pytest
+
+from repro.core.log_manager import LogManager, LogWindowReader
+from repro.core.records import AnnouncementRecord, EosRecord
+from repro.sim import ProcessGroup, Simulator
+from repro.storage import Disk, StableStore
+
+
+def make_log(batch_ms=0.0, seed=0):
+    sim = Simulator()
+    store = StableStore()
+    disk = Disk(sim, rng=random.Random(seed))
+    log = LogManager(sim, store, disk, batch_flush_timeout_ms=batch_ms)
+    group = ProcessGroup("msp")
+    log.start(group=group)
+    return sim, log, group
+
+
+def rec(i):
+    return AnnouncementRecord(f"msp{i}", epoch=0, recovered_lsn=i)
+
+
+def test_append_assigns_increasing_lsns():
+    _sim, log, _ = make_log()
+    lsn1, size1 = log.append(rec(1))
+    lsn2, _ = log.append(rec(2))
+    assert lsn1 == 0
+    assert lsn2 == size1
+    assert log.stats.appended_records == 2
+
+
+def test_flush_makes_records_durable():
+    sim, log, _ = make_log()
+    lsn, _ = log.append(rec(1))
+
+    def flusher():
+        assert not log.is_durable(lsn)
+        yield from log.flush(lsn)
+        assert log.is_durable(lsn)
+
+    sim.run_process(flusher())
+
+
+def test_flush_already_durable_is_free():
+    sim, log, _ = make_log()
+    lsn, _ = log.append(rec(1))
+
+    def run():
+        yield from log.flush(lsn)
+        before = log.disk.stats.writes
+        yield from log.flush(lsn)
+        assert log.disk.stats.writes == before
+
+    sim.run_process(run())
+
+
+def test_unbatched_flushes_write_individually():
+    """Without batching every flush request issues its own physical
+    write unless an earlier write already covered its target — the
+    contention that batch flushing relieves (paper §5.5)."""
+    sim, log, _ = make_log()
+    lsn1, _ = log.append(rec(1))
+    lsn2, _ = log.append(rec(2))
+
+    def f1():
+        yield from log.flush(lsn1)
+
+    def f2():
+        yield from log.flush(lsn2)
+
+    sim.spawn(f1())
+    sim.spawn(f2())
+    sim.run()
+    assert log.stats.physical_flushes == 2
+    assert log.is_durable(lsn2)
+
+
+def test_unbatched_flush_skipped_when_covered():
+    """A queued flush whose target an earlier write already covered
+    does not write again (the standard flushed-LSN check)."""
+    sim, log, _ = make_log()
+    lsn1, _ = log.append(rec(1))
+    lsn2, _ = log.append(rec(2))
+
+    def f_all():
+        yield from log.flush(lsn2)  # covers lsn1 too
+
+    def f_first():
+        yield from log.flush(lsn1)
+
+    sim.spawn(f_all())
+    sim.spawn(f_first())
+    sim.run()
+    assert log.stats.physical_flushes == 1
+    assert log.is_durable(lsn2)
+
+
+def test_sequential_flushes_write_separately():
+    sim, log, _ = make_log()
+
+    def run():
+        lsn1, _ = log.append(rec(1))
+        yield from log.flush(lsn1)
+        lsn2, _ = log.append(rec(2))
+        yield from log.flush(lsn2)
+
+    sim.run_process(run())
+    assert log.stats.physical_flushes == 2
+
+
+def test_batch_flushing_single_write_for_window():
+    """With an 8 ms window, flush requests arriving close together are
+    served by one physical write (paper §5.5)."""
+    sim, log, _ = make_log(batch_ms=8.0)
+    done_times = []
+
+    def client(i, delay):
+        yield delay
+        lsn, _ = log.append(rec(i))
+        yield from log.flush(lsn)
+        done_times.append(sim.now)
+
+    for i, delay in enumerate([0.0, 2.0, 5.0]):
+        sim.spawn(client(i, delay))
+    sim.run()
+    assert log.stats.physical_flushes == 1
+    assert len(done_times) == 3
+    # Nobody finished before the batching window closed.
+    assert min(done_times) >= 8.0
+
+
+def test_batch_flushing_vs_not_fewer_writes():
+    def run(batch_ms):
+        sim, log, _ = make_log(batch_ms=batch_ms, seed=3)
+
+        def client(i):
+            yield i * 1.0
+            lsn, _ = log.append(rec(i))
+            yield from log.flush(lsn)
+
+        for i in range(6):
+            sim.spawn(client(i))
+        sim.run()
+        return log.stats.physical_flushes
+
+    assert run(8.0) < run(0.0)
+
+
+def test_sector_accounting_and_waste():
+    sim, log, _ = make_log()
+
+    def run():
+        lsn, size = log.append(rec(1))
+        yield from log.flush(lsn)
+        return size
+
+    size = sim.run_process(run())
+    assert log.stats.flushed_sectors == 1
+    assert log.stats.flushed_bytes == size
+    assert log.stats.wasted_bytes == 512 - size
+
+
+def test_each_flush_starts_fresh_sector():
+    """Two flushes of small records write one sector each (the paper's
+    half-sector-wasted-per-flush behaviour)."""
+    sim, log, _ = make_log()
+
+    def run():
+        lsn1, _ = log.append(rec(1))
+        yield from log.flush(lsn1)
+        lsn2, _ = log.append(rec(2))
+        yield from log.flush(lsn2)
+
+    sim.run_process(run())
+    assert log.stats.flushed_sectors == 2
+    assert log.stats.wasted_bytes > 0
+
+
+def test_anchor_roundtrip():
+    sim, log, _ = make_log()
+
+    def run():
+        assert log.read_anchor() is None
+        yield from log.write_anchor(12345)
+        assert log.read_anchor() == 12345
+
+    sim.run_process(run())
+
+
+def test_record_at_parses_back():
+    _sim, log, _ = make_log()
+    lsn1, _ = log.append(rec(1))
+    lsn2, _ = log.append(rec(2))
+    record, next_lsn = log.record_at(lsn1)
+    assert record == rec(1)
+    assert next_lsn == lsn2
+
+
+def test_scan_durable_returns_only_flushed():
+    sim, log, _ = make_log()
+
+    def run():
+        log.append(rec(1))
+        lsn2, _ = log.append(rec(2))
+        yield from log.flush(lsn2)
+        log.append(rec(3))  # not flushed: invisible to the scan
+        records = yield from log.scan_durable(0)
+        return records
+
+    records = sim.run_process(run())
+    assert [r for _, r in records] == [rec(1), rec(2)]
+
+
+def test_scan_durable_charges_chunked_reads():
+    sim, log, _ = make_log()
+
+    def run():
+        for i in range(3000):  # ~ tens of KB
+            log.append(EosRecord(f"s{i}", orphan_lsn=i))
+        yield from log.flush()
+        start = sim.now
+        yield from log.scan_durable(0)
+        return sim.now - start
+
+    elapsed = sim.run_process(run())
+    assert elapsed > 0
+    assert log.stats.read_chunks >= 1
+
+
+def test_window_reader_fetches_with_chunked_io():
+    sim, log, _ = make_log()
+
+    def run():
+        lsns = []
+        for i in range(100):
+            lsn, _ = log.append(rec(i))
+            lsns.append(lsn)
+        yield from log.flush()
+        reader = LogWindowReader(log)
+        reads_before = log.disk.stats.reads
+        first = yield from reader.fetch(lsns[0])
+        mid = yield from reader.fetch(lsns[50])
+        return first, mid, log.disk.stats.reads - reads_before
+
+    first, mid, reads = sim.run_process(run())
+    assert first == rec(0)
+    assert mid == rec(50)
+    # All 100 tiny records fit one 64 KB window: a single chunk read.
+    assert reads == 1
+
+
+def test_window_reader_rejects_beyond_durable():
+    sim, log, _ = make_log()
+    lsn, _ = log.append(rec(1))
+    reader = LogWindowReader(log)
+
+    def run():
+        with pytest.raises(ValueError):
+            yield from reader.fetch(lsn)
+
+    sim.run_process(run())
+
+
+def test_crash_loses_unflushed_records():
+    sim, log, group = make_log()
+
+    def run():
+        lsn1, _ = log.append(rec(1))
+        yield from log.flush(lsn1)
+        log.append(rec(2))
+
+    sim.run_process(run())
+    log.store.crash()
+    records_after = []
+    offset = 0
+    while offset < log.store.end:
+        record, offset = log.record_at(offset)
+        records_after.append(record)
+    assert records_after == [rec(1)]

@@ -1,0 +1,235 @@
+"""Scenario tests for orphan detection and recovery (paper §4.1, §4.2).
+
+These exercise the distinctive mechanisms: EOS records and the Fig. 11
+multi-crash pair combinations, value logging's recovery independence
+(a recovering reader never forces the writer to roll back), and lazy
+shared-variable rollback on read.
+"""
+
+import pytest
+
+from repro.core import RecoveryConfig, ServiceDomainConfig
+from repro.core.client import EndClient
+from repro.core.msp import MiddlewareServer
+from repro.core.records import EosRecord, SvUpdateRecord, decode_record
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def encode(n):
+    return n.to_bytes(8, "big")
+
+
+def decode(raw):
+    return int.from_bytes(raw, "big")
+
+
+class CrashPlan:
+    """Kill the backend right after its reply reaches the front MSP —
+    the paper's §5.4 forced-crash point, which loses the backend's
+    buffered log records and orphans the front session."""
+
+    def __init__(self):
+        self.backend = None
+        self.crash_on_requests: set[int] = set()
+        self.seen = 0
+
+    def trigger(self):
+        self.seen += 1
+        if self.seen in self.crash_on_requests and self.backend.running:
+            self.backend.crash()
+            self.backend.restart_process()
+
+
+def make_remote_method(plan: CrashPlan):
+    def remote_method(ctx, argument):
+        yield from ctx.compute(0.2)
+        yield from ctx.call("backend", "bump", argument)
+        if not ctx.is_replay:
+            plan.trigger()
+        raw = yield from ctx.get_session_var("n")
+        n = decode(raw or encode(0)) + 1
+        yield from ctx.set_session_var("n", encode(n))
+        return encode(n)
+
+    return remote_method
+
+
+def bump_method(ctx, argument):
+    yield from ctx.compute(0.2)
+    new = yield from ctx.update_shared("count", lambda raw: encode(decode(raw) + 1))
+    return new
+
+
+def reader_method(ctx, argument):
+    """Reads the shared variable without writing it."""
+    yield from ctx.compute(0.1)
+    value = yield from ctx.read_shared("count")
+    return value
+
+
+def build(crash_on_requests=()):
+    sim = Simulator()
+    rng = RngRegistry(5)
+    net = Network(sim, rng=rng)
+    domains = ServiceDomainConfig([["front", "backend"]])
+    front = MiddlewareServer(sim, net, "front", domains, config=RecoveryConfig(), rng=rng)
+    backend = MiddlewareServer(sim, net, "backend", domains, config=RecoveryConfig(), rng=rng)
+    plan = CrashPlan()
+    plan.backend = backend
+    plan.crash_on_requests = set(crash_on_requests)
+    front.register_service("remote", make_remote_method(plan))
+    backend.register_service("bump", bump_method)
+    backend.register_service("read", reader_method)
+    backend.register_shared("count", encode(0))
+    front.start_process()
+    backend.start_process()
+    client = EndClient(sim, net, "client")
+    return sim, front, backend, client
+
+
+def log_records(msp):
+    records = []
+    offset = 0
+    while offset < msp.store.end:
+        record, offset = msp.log.record_at(offset)
+        records.append(record)
+    return records
+
+
+def test_orphan_recovery_writes_eos_record():
+    """An orphaned front session writes an EOS pointing at the orphan
+    log record and skips it on any later recovery."""
+    sim, front, backend, client = build(crash_on_requests={3})
+    session = client.open_session("front")
+    results = []
+
+    def driver():
+        yield 1.0
+        for i in range(6):
+            result = yield from session.call("remote", b"")
+            results.append(decode(result.payload))
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=600_000)
+    assert results == [1, 2, 3, 4, 5, 6]
+    assert front.stats.orphan_recoveries >= 1
+    eos = [r for r in log_records(front) if isinstance(r, EosRecord)]
+    assert len(eos) >= 1
+    # The EOS points back at a real record of this session.
+    assert all(e.orphan_lsn < front.store.end for e in eos)
+
+
+def test_multiple_crashes_disjoint_eos_pairs():
+    """Fig. 11: two backend crashes produce two (orphan, EOS) pairs and
+    the session still recovers exactly-once."""
+    sim, front, backend, client = build(crash_on_requests={3, 7})
+    session = client.open_session("front")
+    results = []
+
+    def driver():
+        yield 1.0
+        for i in range(10):
+            result = yield from session.call("remote", b"")
+            results.append(decode(result.payload))
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=1_200_000)
+    assert results == list(range(1, 11))
+    count = decode(backend.shared["count"].value)
+    assert count == 10
+    eos = [r for r in log_records(front) if isinstance(r, EosRecord)]
+    assert len(eos) >= 2
+
+
+def test_value_logging_recovery_independence():
+    """§3.3: a reader session recovers from the log without the writer
+    session rolling back.  The reader replays its reads from its own
+    log records; the writer keeps executing normally."""
+    sim, front, backend, client = build()
+    writer = client.open_session("backend")
+    reader = client.open_session("backend")
+    observed = []
+
+    def writer_driver():
+        yield 1.0
+        for _ in range(8):
+            yield from writer.call("bump", b"")
+
+    def reader_driver():
+        yield 2.0
+        for _ in range(8):
+            result = yield from reader.call("read", b"")
+            observed.append(decode(result.payload))
+
+    wp = sim.spawn(writer_driver())
+    rp = sim.spawn(reader_driver())
+    sim.run_until_process(wp, limit=600_000)
+    sim.run_until_process(rp, limit=600_000)
+
+    # Crash the backend: both sessions replay in parallel from the log.
+    backend.crash()
+    backend.restart_process()
+
+    def after():
+        yield 500.0
+        result = yield from reader.call("read", b"")
+        return decode(result.payload)
+
+    p = sim.spawn(after())
+    sim.run_until_process(p, limit=600_000)
+    assert p.result == 8
+    # Reader replayed its requests purely from value-logged records.
+    assert backend.stats.replayed_requests >= 8
+
+
+def test_lazy_sv_rollback_on_read():
+    """§4.2: after a crash the scan rolls variables forward to the most
+    recent logged value, possibly an orphan; the rollback happens lazily
+    when a session reads the variable."""
+    sim, front, backend, client = build()
+    session = client.open_session("front")
+
+    def driver():
+        yield 1.0
+        for i in range(4):
+            yield from session.call("remote", b"")
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=600_000)
+    count_before = decode(backend.shared["count"].value)
+    assert count_before == 4
+
+    reader = client.open_session("backend")
+
+    def read_after_crash():
+        backend.crash()
+        backend.restart_process()
+        yield 500.0
+        result = yield from reader.call("read", b"")
+        return decode(result.payload)
+
+    p = sim.spawn(read_after_crash())
+    sim.run_until_process(p, limit=600_000)
+    # All four bumps were flushed (each reply to the client forced the
+    # log), so the value must survive the crash.
+    assert p.result == 4
+
+
+def test_update_records_on_log():
+    sim, front, backend, client = build()
+    session = client.open_session("front")
+
+    def driver():
+        yield 1.0
+        yield from session.call("remote", b"")
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=600_000)
+    updates = [r for r in log_records(backend) if isinstance(r, SvUpdateRecord)]
+    assert len(updates) == 1
+    assert updates[0].variable == "count"
+    assert decode(updates[0].old_value) == 0
+    assert decode(updates[0].new_value) == 1
+    # The combined record round-trips through the codec.
+    assert decode_record(updates[0].encode()) == updates[0]

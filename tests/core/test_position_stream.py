@@ -1,0 +1,96 @@
+"""Tests for per-session position streams."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.position_stream import PositionStream
+from repro.sim import Simulator
+from repro.storage import Disk
+
+
+def test_append_and_positions():
+    ps = PositionStream("s1")
+    for lsn in [10, 20, 30]:
+        ps.append(lsn)
+    assert ps.positions() == [10, 20, 30]
+    assert len(ps) == 3
+
+
+def test_append_signals_full_buffer():
+    ps = PositionStream("s1", buffer_capacity=2)
+    assert ps.append(1) is False
+    assert ps.append(2) is True
+
+
+def test_spill_moves_to_persistent():
+    sim = Simulator()
+    disk = Disk(sim, rng=random.Random(0))
+    ps = PositionStream("s1", buffer_capacity=2)
+    ps.append(1)
+    ps.append(2)
+
+    def run():
+        yield from ps.spill(disk)
+
+    sim.run_process(run())
+    assert disk.stats.writes == 1
+    ps.crash()  # buffer loss must not affect spilled positions
+    assert ps.positions() == [1, 2]
+
+
+def test_crash_loses_buffer_only():
+    ps = PositionStream("s1", buffer_capacity=2)
+    ps.append(1)
+    ps.append(2)
+    list(ps.spill(None))  # no disk: spill instantly
+    ps.append(3)
+    ps.crash()
+    assert ps.positions() == [1, 2]
+
+
+def test_truncate_resets():
+    ps = PositionStream("s1")
+    ps.append(1)
+    ps.truncate()
+    assert len(ps) == 0
+
+
+def test_remove_from_threshold():
+    ps = PositionStream("s1")
+    for lsn in [5, 10, 15, 20]:
+        ps.append(lsn)
+    removed = ps.remove_from(12)
+    assert removed == [15, 20]
+    assert ps.positions() == [5, 10]
+
+
+def test_remove_from_covers_embedded_ranges():
+    """Fig. 11 embedded case: removing from orphan2 also drops the
+    records between an earlier (orphan1, EOS1) pair."""
+    ps = PositionStream("s1")
+    for lsn in [10, 20, 30, 40, 50]:
+        ps.append(lsn)
+    ps.remove_from(40)  # first orphan recovery
+    ps.append(60)
+    ps.remove_from(20)  # second, embedding the first
+    assert ps.positions() == [10]
+
+
+def test_replace_installs_reconstruction():
+    ps = PositionStream("s1")
+    ps.append(99)
+    ps.replace([1, 2, 3])
+    assert ps.positions() == [1, 2, 3]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), unique=True), st.integers(0, 1000))
+def test_remove_from_property(lsns, threshold):
+    ps = PositionStream("s")
+    ordered = sorted(lsns)
+    for lsn in ordered:
+        ps.append(lsn)
+    removed = ps.remove_from(threshold)
+    assert removed == [p for p in ordered if p >= threshold]
+    assert ps.positions() == [p for p in ordered if p < threshold]

@@ -1,0 +1,206 @@
+"""Round-trip tests for every log record type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dv import DependencyVector, StateId
+from repro.core.records import (
+    NO_LSN,
+    AnnouncementRecord,
+    EosRecord,
+    MspCheckpointRecord,
+    ReplyRecord,
+    RequestRecord,
+    SessionCheckpointRecord,
+    SessionEndRecord,
+    SvCheckpointRecord,
+    SvReadRecord,
+    SvWriteRecord,
+    decode_record,
+    session_of,
+)
+
+
+def sample_dv():
+    dv = DependencyVector()
+    dv.observe("msp1", StateId(0, 123))
+    dv.observe("msp2", StateId(1, 456))
+    return dv
+
+
+def roundtrip(record):
+    return decode_record(record.encode())
+
+
+def test_request_record_roundtrip():
+    rec = RequestRecord("c1:0", 7, "method_a", b"arg-bytes", sender_dv=sample_dv())
+    back = roundtrip(rec)
+    assert back == rec
+
+
+def test_request_record_no_dv():
+    rec = RequestRecord("c1:0", 7, "m", b"x", sender_dv=None)
+    assert roundtrip(rec) == rec
+
+
+def test_reply_record_roundtrip():
+    rec = ReplyRecord("c1:0", "msp1:out:3", 2, b"reply", sender_dv=sample_dv())
+    assert roundtrip(rec) == rec
+
+
+def test_sv_read_record_roundtrip():
+    rec = SvReadRecord("c1:0", "SV0", b"\x01" * 128, variable_dv=sample_dv())
+    assert roundtrip(rec) == rec
+
+
+def test_sv_write_record_roundtrip():
+    rec = SvWriteRecord("c1:0", "SV0", b"v", writer_dv=sample_dv(), prev_write_lsn=42)
+    assert roundtrip(rec) == rec
+
+
+def test_sv_write_no_prev():
+    rec = SvWriteRecord("c1:0", "SV0", b"v", writer_dv=DependencyVector())
+    back = roundtrip(rec)
+    assert back.prev_write_lsn == NO_LSN
+
+
+def test_sv_checkpoint_roundtrip():
+    rec = SvCheckpointRecord("SV3", b"checkpointed-value")
+    assert roundtrip(rec) == rec
+
+
+def test_session_checkpoint_roundtrip():
+    rec = SessionCheckpointRecord(
+        session_id="c1:0",
+        variables={"a": b"1", "b": b"\x00" * 512},
+        buffered_reply=b"last-reply",
+        buffered_reply_seq=9,
+        next_expected_seq=10,
+        outgoing_next_seq={"msp1:out:1": 4},
+    )
+    assert roundtrip(rec) == rec
+
+
+def test_session_checkpoint_none_reply():
+    rec = SessionCheckpointRecord(
+        session_id="s",
+        variables={},
+        buffered_reply=None,
+        buffered_reply_seq=0,
+        next_expected_seq=0,
+        outgoing_next_seq={},
+    )
+    assert roundtrip(rec) == rec
+
+
+def test_msp_checkpoint_roundtrip():
+    rec = MspCheckpointRecord(
+        recovered_snapshot={"msp2": {0: 100, 1: 200}},
+        session_start_lsns={"c1:0": 50, "c2:0": 75},
+        sv_start_lsns={"SV0": 10},
+        epoch=2,
+    )
+    assert roundtrip(rec) == rec
+
+
+def test_msp_checkpoint_min_lsn():
+    rec = MspCheckpointRecord(
+        recovered_snapshot={},
+        session_start_lsns={"a": 50},
+        sv_start_lsns={"v": 10},
+        epoch=0,
+    )
+    assert rec.min_lsn(own_lsn=99) == 10
+    empty = MspCheckpointRecord({}, {}, {}, 0)
+    assert empty.min_lsn(own_lsn=99) == 99
+
+
+def test_eos_record_roundtrip():
+    rec = EosRecord("c1:0", orphan_lsn=1234)
+    assert roundtrip(rec) == rec
+
+
+def test_announcement_roundtrip():
+    rec = AnnouncementRecord("msp2", epoch=1, recovered_lsn=888)
+    assert roundtrip(rec) == rec
+
+
+def test_session_end_roundtrip():
+    rec = SessionEndRecord("c1:0")
+    assert roundtrip(rec) == rec
+
+
+def test_unknown_kind_rejected():
+    from repro.wire import Encoder
+
+    with pytest.raises(ValueError):
+        decode_record(Encoder().uint(99).finish())
+
+
+def test_session_of():
+    dv = DependencyVector()
+    assert session_of(RequestRecord("s", 1, "m", b"", None)) == "s"
+    assert session_of(ReplyRecord("s", "o", 1, b"", None)) == "s"
+    assert session_of(SvReadRecord("s", "v", b"", dv)) == "s"
+    assert session_of(SvWriteRecord("s", "v", b"", dv)) == "s"
+    assert session_of(SvCheckpointRecord("v", b"")) is None
+    assert session_of(AnnouncementRecord("m", 0, 0)) is None
+
+
+@given(
+    st.text(max_size=20),
+    st.integers(min_value=0, max_value=2**32),
+    st.text(max_size=20),
+    st.binary(max_size=300),
+)
+def test_request_roundtrip_property(sid, seq, method, arg):
+    rec = RequestRecord(sid, seq, method, arg, sender_dv=None)
+    assert roundtrip(rec) == rec
+
+
+@given(
+    st.dictionaries(st.text(max_size=10), st.binary(max_size=100), max_size=5),
+    st.one_of(st.none(), st.binary(max_size=50)),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_session_checkpoint_roundtrip_property(variables, reply, seq):
+    rec = SessionCheckpointRecord(
+        session_id="s",
+        variables=variables,
+        buffered_reply=reply,
+        buffered_reply_seq=seq,
+        next_expected_seq=seq + 1,
+        outgoing_next_seq={},
+    )
+    assert roundtrip(rec) == rec
+
+
+def test_sv_order_record_roundtrip():
+    from repro.core.records import SvOrderRecord
+
+    read = SvOrderRecord("s", "v", version=7, is_write=False)
+    write = SvOrderRecord("s", "v", version=8, is_write=True)
+    assert roundtrip(read) == read
+    assert roundtrip(write) == write
+    assert session_of(read) == "s"
+
+
+def test_sv_checkpoint_version_roundtrip():
+    rec = SvCheckpointRecord("v", b"value", version=42)
+    back = roundtrip(rec)
+    assert back.version == 42
+
+
+def test_session_checkpoint_error_flag_roundtrip():
+    rec = SessionCheckpointRecord(
+        session_id="s",
+        variables={},
+        buffered_reply=b"unknown method",
+        buffered_reply_seq=3,
+        next_expected_seq=4,
+        outgoing_next_seq={},
+        buffered_reply_error=True,
+    )
+    back = roundtrip(rec)
+    assert back.buffered_reply_error is True

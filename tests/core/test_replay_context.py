@@ -1,0 +1,135 @@
+"""Unit tests for replay: divergence detection, switch-to-normal.
+
+These drive ReplayContext directly against hand-built logs to pin down
+the §4.1 replay rules without a full two-MSP scenario.
+"""
+
+import pytest
+
+from repro.core import RecoveryConfig, ServiceDomainConfig
+from repro.core.context import NormalContext, ReplayContext, ReplayCursor
+from repro.core.errors import SessionProtocolError
+from repro.core.msp import MiddlewareServer
+from repro.core.records import SvReadRecord, SvWriteRecord
+from repro.core.dv import DependencyVector
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def build_msp():
+    sim = Simulator()
+    rng = RngRegistry(0)
+    net = Network(sim, rng=rng)
+    msp = MiddlewareServer(
+        sim, net, "server", ServiceDomainConfig(), config=RecoveryConfig(), rng=rng
+    )
+    msp.register_shared("v", b"init")
+    boot = msp.start_process()
+    sim.run_until_process(boot, limit=60_000)
+    return sim, msp
+
+
+def test_replay_read_returns_logged_value():
+    sim, msp = build_msp()
+    session = msp.session_for("s")
+    # Log a read record with a specific historical value.
+    record = SvReadRecord("s", "v", b"historical", DependencyVector())
+    lsn, size = msp.log.append(record)
+    session.account_record(lsn, size, msp.epoch)
+
+    cursor = ReplayCursor(msp, list(session.position_stream.positions()))
+    ctx = ReplayContext(msp, session, cursor)
+
+    def run():
+        value = yield from ctx.read_shared("v")
+        return value
+
+    p = sim.spawn(run())
+    sim.run_until_process(p, limit=10_000)
+    # The live variable holds b"init", but replay reads the log.
+    assert p.result == b"historical"
+    assert msp.shared["v"].value == b"init"
+
+
+def test_replay_write_is_skipped():
+    sim, msp = build_msp()
+    session = msp.session_for("s")
+    record = SvWriteRecord("s", "v", b"old-write", DependencyVector())
+    lsn, size = msp.log.append(record)
+    session.account_record(lsn, size, msp.epoch)
+
+    cursor = ReplayCursor(msp, list(session.position_stream.positions()))
+    ctx = ReplayContext(msp, session, cursor)
+
+    def run():
+        yield from ctx.write_shared("v", b"whatever")
+
+    p = sim.spawn(run())
+    sim.run_until_process(p, limit=10_000)
+    p.result  # raises if the replay failed
+    # The live variable is untouched: the variable recovers separately.
+    assert msp.shared["v"].value == b"init"
+
+
+def test_replay_divergence_raises():
+    """The log says 'read v' but the method writes: nondeterminism bug."""
+    sim, msp = build_msp()
+    session = msp.session_for("s")
+    record = SvReadRecord("s", "v", b"x", DependencyVector())
+    lsn, size = msp.log.append(record)
+    session.account_record(lsn, size, msp.epoch)
+
+    cursor = ReplayCursor(msp, list(session.position_stream.positions()))
+    ctx = ReplayContext(msp, session, cursor)
+
+    def run():
+        yield from ctx.write_shared("v", b"boom")
+
+    p = sim.spawn(run())
+    sim.run_until_process(p, limit=10_000)
+    with pytest.raises(SessionProtocolError, match="divergence"):
+        p.result
+
+
+def test_replay_switches_to_normal_when_stream_exhausted():
+    sim, msp = build_msp()
+    session = msp.session_for("s")
+    cursor = ReplayCursor(msp, [])
+    ctx = ReplayContext(msp, session, cursor)
+    assert ctx.is_replay
+
+    def run():
+        value = yield from ctx.read_shared("v")
+        return value
+
+    p = sim.spawn(run())
+    sim.run_until_process(p, limit=10_000)
+    # Stream empty: the read ran live against the real variable.
+    assert p.result == b"init"
+    assert ctx.switched
+    assert not ctx.is_replay
+
+
+def test_replay_session_vars_behave_normally():
+    sim, msp = build_msp()
+    session = msp.session_for("s")
+    cursor = ReplayCursor(msp, [])
+    ctx = ReplayContext(msp, session, cursor)
+
+    def run():
+        yield from ctx.set_session_var("k", b"1")
+        value = yield from ctx.get_session_var("k")
+        return value
+
+    p = sim.spawn(run())
+    sim.run_until_process(p, limit=10_000)
+    assert p.result == b"1"
+    assert session.variables["k"] == b"1"
+
+
+def test_normal_context_reports_not_replay():
+    sim, msp = build_msp()
+    session = msp.session_for("s")
+    ctx = NormalContext(msp, session)
+    assert ctx.is_replay is False
+    assert ctx.session_id == "s"

@@ -1,0 +1,164 @@
+"""Unit tests for shared variables: chains, rollback, bookkeeping."""
+
+import random
+
+import pytest
+
+from repro.core.dv import DependencyVector, RecoveryTable, StateId
+from repro.core.log_manager import LogManager
+from repro.core.records import NO_LSN, SvCheckpointRecord, SvWriteRecord
+from repro.core.shared_variable import SharedVariable
+from repro.sim import ProcessGroup, Simulator
+from repro.storage import Disk, StableStore
+
+
+def make_env():
+    sim = Simulator()
+    store = StableStore()
+    disk = Disk(sim, rng=random.Random(0))
+    log = LogManager(sim, store, disk)
+    log.start(group=ProcessGroup("t"))
+    return sim, log
+
+
+def dv_of(*entries):
+    dv = DependencyVector()
+    for msp, epoch, lsn in entries:
+        dv.observe(msp, StateId(epoch, lsn))
+    return dv
+
+
+def write(log, sv, value, writer_dv):
+    """Append a write record and apply it, like the context does."""
+    record = SvWriteRecord(
+        session_id="s",
+        variable=sv.name,
+        value=value,
+        writer_dv=writer_dv,
+        prev_write_lsn=sv.last_write_lsn,
+    )
+    lsn, _ = log.append(record)
+    sv.apply_write(lsn, value, writer_dv)
+    return lsn
+
+
+def test_initial_state():
+    sim, _log = make_env()
+    sv = SharedVariable(sim, "v", b"init")
+    assert sv.value == b"init"
+    assert sv.last_write_lsn == NO_LSN
+    assert sv.state_lsn is None
+    assert sv.scan_start_lsn() is None
+
+
+def test_apply_write_bookkeeping():
+    sim, log = make_env()
+    sv = SharedVariable(sim, "v", b"init")
+    dv = dv_of(("p", 0, 5))
+    lsn = write(log, sv, b"one", dv)
+    assert sv.value == b"one"
+    assert sv.state_lsn == lsn
+    assert sv.last_write_lsn == lsn
+    assert sv.first_write_lsn == lsn
+    assert sv.writes_since_ckpt == 1
+    assert sv.dv == dv
+    # The DV is replaced by a copy: mutating the source must not leak.
+    dv.observe("q", StateId(0, 1))
+    assert sv.dv != dv
+
+
+def test_apply_checkpoint_breaks_chain():
+    sim, log = make_env()
+    sv = SharedVariable(sim, "v", b"init")
+    write(log, sv, b"one", dv_of(("p", 0, 5)))
+    ckpt_lsn, _ = log.append(SvCheckpointRecord(variable="v", value=sv.value))
+    sv.apply_checkpoint(ckpt_lsn)
+    assert sv.writes_since_ckpt == 0
+    assert sv.last_ckpt_lsn == ckpt_lsn
+    assert sv.last_write_lsn == ckpt_lsn
+    assert not sv.dv
+    assert sv.scan_start_lsn() == ckpt_lsn
+
+
+def test_orphan_detection_uses_table():
+    sim, _log = make_env()
+    sv = SharedVariable(sim, "v", b"init")
+    sv.dv = dv_of(("p", 0, 100))
+    table = RecoveryTable()
+    assert not sv.is_orphan(table)
+    table.record("p", 0, 50)
+    assert sv.is_orphan(table)
+
+
+def test_rollback_to_most_recent_non_orphan_write():
+    sim, log = make_env()
+    sv = SharedVariable(sim, "v", b"init")
+    good_lsn = write(log, sv, b"good", dv_of(("p", 0, 10)))
+    write(log, sv, b"bad1", dv_of(("p", 0, 60)))
+    write(log, sv, b"bad2", dv_of(("p", 0, 80)))
+    table = RecoveryTable()
+    table.record("p", 0, 50)  # 60 and 80 lost; 10 survived
+
+    def run():
+        hops = yield from sv.roll_back(log, table)
+        return hops
+
+    hops = sim.run_process(run())
+    assert sv.value == b"good"
+    assert sv.last_write_lsn == good_lsn
+    assert hops == 2
+    assert not table.is_orphan(sv.dv)
+
+
+def test_rollback_stops_at_checkpoint():
+    sim, log = make_env()
+    sv = SharedVariable(sim, "v", b"init")
+    write(log, sv, b"old", dv_of(("p", 0, 10)))
+    ckpt_lsn, _ = log.append(SvCheckpointRecord(variable="v", value=b"checkpointed"))
+    sv.apply_checkpoint(ckpt_lsn)
+    sv.value = b"checkpointed"
+    write(log, sv, b"orphaned", dv_of(("p", 0, 99)))
+    table = RecoveryTable()
+    table.record("p", 0, 50)
+
+    sim.run_process(sv.roll_back(log, table))
+    assert sv.value == b"checkpointed"
+    assert sv.last_write_lsn == ckpt_lsn
+    assert not sv.dv
+
+
+def test_rollback_to_initial_value_when_chain_exhausted():
+    sim, log = make_env()
+    sv = SharedVariable(sim, "v", b"init")
+    write(log, sv, b"bad", dv_of(("p", 0, 99)))
+    table = RecoveryTable()
+    table.record("p", 0, 50)
+
+    sim.run_process(sv.roll_back(log, table))
+    assert sv.value == b"init"
+    assert sv.last_write_lsn == NO_LSN
+    assert sv.state_lsn is None
+
+
+def test_rollback_charges_log_reads():
+    sim, log = make_env()
+    sv = SharedVariable(sim, "v", b"init")
+    for i in range(5):
+        write(log, sv, f"v{i}".encode(), dv_of(("p", 0, 90 + i)))
+    table = RecoveryTable()
+    table.record("p", 0, 50)
+    reads_before = log.disk.stats.reads
+    sim.run_process(sv.roll_back(log, table))
+    assert log.disk.stats.reads > reads_before
+
+
+def test_rollback_keeps_new_epoch_writes():
+    """A dependency on epoch 1 is not an orphan of the epoch-0 crash."""
+    sim, log = make_env()
+    sv = SharedVariable(sim, "v", b"init")
+    write(log, sv, b"fresh", dv_of(("p", 1, 5)))
+    table = RecoveryTable()
+    table.record("p", 0, 50)
+
+    sim.run_process(sv.roll_back(log, table))
+    assert sv.value == b"fresh"

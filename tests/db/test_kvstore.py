@@ -1,0 +1,210 @@
+"""Tests for the mini WAL'd key-value store (Psession substrate)."""
+
+import random
+
+import pytest
+
+from repro.db import KVStore, TransactionError
+from repro.sim import Simulator
+from repro.storage import Disk
+
+
+def make_store(seed=0):
+    sim = Simulator()
+    disk = Disk(sim, rng=random.Random(seed))
+    return sim, KVStore(sim, disk)
+
+
+def test_write_read_commit():
+    sim, kv = make_store()
+
+    def run():
+        txn = kv.begin()
+        yield from txn.write("a", b"1")
+        yield from txn.commit()
+        txn2 = kv.begin()
+        value = yield from txn2.read("a")
+        yield from txn2.commit()
+        return value
+
+    assert sim.run_process(run()) == b"1"
+
+
+def test_read_own_writes():
+    sim, kv = make_store()
+
+    def run():
+        txn = kv.begin()
+        yield from txn.write("a", b"x")
+        value = yield from txn.read("a")
+        yield from txn.abort()
+        return value
+
+    assert sim.run_process(run()) == b"x"
+    assert kv.get_committed("a") is None
+
+
+def test_abort_discards_writes():
+    sim, kv = make_store()
+
+    def run():
+        txn = kv.begin()
+        yield from txn.write("a", b"1")
+        yield from txn.abort()
+
+    sim.run_process(run())
+    assert kv.get_committed("a") is None
+    assert kv.stats_aborts == 1
+
+
+def test_commit_forces_wal():
+    sim, kv = make_store()
+
+    def run():
+        txn = kv.begin()
+        yield from txn.write("a", b"1")
+        yield from txn.commit()
+
+    sim.run_process(run())
+    assert kv.stats_log_forces == 1
+    assert kv.disk.stats.writes == 1
+    assert kv.wal.durable_end > 0
+    assert kv.wal.unflushed_bytes == 0
+
+
+def test_read_only_commit_is_free():
+    sim, kv = make_store()
+
+    def run():
+        txn = kv.begin()
+        yield from txn.read("nope")
+        yield from txn.commit()
+
+    sim.run_process(run())
+    assert kv.stats_log_forces == 0
+    assert kv.disk.stats.writes == 0
+
+
+def test_use_after_commit_rejected():
+    sim, kv = make_store()
+
+    def run():
+        txn = kv.begin()
+        yield from txn.commit()
+        with pytest.raises(TransactionError):
+            yield from txn.read("a")
+
+    sim.run_process(run())
+
+
+def test_crash_recovery_replays_committed_only():
+    sim, kv = make_store()
+
+    def run():
+        t1 = kv.begin()
+        yield from t1.write("committed", b"yes")
+        yield from t1.commit()
+        t2 = kv.begin()
+        yield from t2.write("in-flight", b"no")
+        # t2 never commits; crash now.
+
+    sim.run_process(run())
+    kv.crash()
+
+    def recover():
+        yield from kv.recover()
+
+    sim.run_process(recover())
+    assert kv.get_committed("committed") == b"yes"
+    assert kv.get_committed("in-flight") is None
+
+
+def test_recovery_applies_transactions_in_order():
+    sim, kv = make_store()
+
+    def run():
+        for i in range(5):
+            txn = kv.begin()
+            yield from txn.write("k", str(i).encode())
+            yield from txn.commit()
+
+    sim.run_process(run())
+    kv.crash()
+    sim.run_process(kv.recover())
+    assert kv.get_committed("k") == b"4"
+
+
+def test_locks_serialize_writers():
+    sim, kv = make_store()
+    order = []
+
+    def writer(name, delay):
+        yield delay
+        txn = kv.begin()
+        yield from txn.write("k", name.encode())
+        order.append((name, "locked"))
+        yield 5.0  # hold the lock a while
+        yield from txn.commit()
+        order.append((name, "committed"))
+
+    sim.spawn(writer("a", 0.0))
+    sim.spawn(writer("b", 0.5))
+    sim.run()
+    assert order[0] == ("a", "locked")
+    assert ("a", "committed") in order
+    a_commit = order.index(("a", "committed"))
+    b_lock = order.index(("b", "locked"))
+    assert b_lock > a_commit
+    assert kv.get_committed("k") == b"b"
+
+
+def test_lock_released_on_abort():
+    sim, kv = make_store()
+
+    def run():
+        t1 = kv.begin()
+        yield from t1.write("k", b"1")
+        yield from t1.abort()
+        t2 = kv.begin()
+        yield from t2.write("k", b"2")
+        yield from t2.commit()
+
+    sim.run_process(run())
+    assert kv.get_committed("k") == b"2"
+
+
+def test_write_txn_costs_more_than_read_txn():
+    """The Psession asymmetry: write transactions pay a log force."""
+    sim, kv = make_store()
+    times = {}
+
+    def run():
+        start = sim.now
+        txn = kv.begin()
+        yield from txn.read("k")
+        yield from txn.commit()
+        times["read"] = sim.now - start
+        start = sim.now
+        txn = kv.begin()
+        yield from txn.write("k", b"v" * 512)
+        yield from txn.commit()
+        times["write"] = sim.now - start
+
+    sim.run_process(run())
+    assert times["write"] > times["read"] + 3.0  # the log force
+
+
+def test_many_sessions_roundtrip():
+    sim, kv = make_store()
+
+    def run():
+        for i in range(50):
+            txn = kv.begin()
+            yield from txn.write(f"s{i}", bytes([i]))
+            yield from txn.commit()
+
+    sim.run_process(run())
+    kv.crash()
+    sim.run_process(kv.recover())
+    for i in range(50):
+        assert kv.get_committed(f"s{i}") == bytes([i])

@@ -1,0 +1,77 @@
+"""Tests for the experiment harness: metrics, results, rendering."""
+
+import pytest
+
+from repro.harness import ExperimentResult, ResponseStats, render_result
+from repro.harness.experiments import fig14_response_table
+
+
+def test_response_stats_empty():
+    stats = ResponseStats.from_samples([])
+    assert stats.count == 0
+    assert stats.mean == 0.0
+
+
+def test_response_stats_basic():
+    stats = ResponseStats.from_samples([1.0, 2.0, 3.0, 4.0])
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.median == 2.0
+    assert stats.maximum == 4.0
+    assert stats.minimum == 1.0
+
+
+def test_response_stats_percentiles():
+    samples = list(range(1, 101))
+    stats = ResponseStats.from_samples([float(v) for v in samples])
+    assert stats.p95 == 95.0
+    assert stats.p99 == 99.0
+
+
+def test_experiment_result_claims():
+    result = ExperimentResult(experiment="x", description="d")
+    result.claim("good", True)
+    result.claim("bad", False)
+    assert not result.all_claims_hold
+    result2 = ExperimentResult(experiment="y", description="d")
+    result2.claim("good", True)
+    assert result2.all_claims_hold
+
+
+def test_experiment_result_row_by():
+    result = ExperimentResult(experiment="x", description="d")
+    result.rows.append({"k": "a", "v": 1})
+    result.rows.append({"k": "b", "v": 2})
+    assert result.row_by("k", "b")["v"] == 2
+    with pytest.raises(KeyError):
+        result.row_by("k", "zzz")
+
+
+def test_render_includes_rows_paper_and_claims():
+    result = ExperimentResult(
+        experiment="demo", description="demo table", paper={"ref": 42}
+    )
+    result.rows.append({"name": "row1", "value": 3.14159})
+    result.claim("something holds", True)
+    result.claim("something fails", False)
+    text = render_result(result)
+    assert "demo table" in text
+    assert "row1" in text
+    assert "3.142" in text
+    assert "ref: 42" in text
+    assert "[PASS] something holds" in text
+    assert "[FAIL] something fails" in text
+
+
+def test_fig14_tiny_scale_structure():
+    """The experiment functions produce well-formed results even at a
+    tiny scale (claims may be noisy there, structure must hold)."""
+    result = fig14_response_table(scale=0.003)
+    assert len(result.rows) == 5
+    assert {row["configuration"] for row in result.rows} == {
+        "LoOptimistic", "Pessimistic", "NoLog", "Psession", "StateServer"
+    }
+    for row in result.rows:
+        assert row["mean_response_ms"] > 0
+        assert row["paper_ms"] > 0
+    assert len(result.claims) == 2

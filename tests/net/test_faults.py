@@ -1,0 +1,42 @@
+"""Tests for the fault model."""
+
+import random
+
+from repro.net import FaultModel
+from repro.net.faults import RELIABLE
+
+
+def test_reliable_model():
+    assert RELIABLE.is_reliable()
+    rng = random.Random(0)
+    assert not RELIABLE.should_drop(rng)
+    assert not RELIABLE.should_duplicate(rng)
+    assert RELIABLE.extra_delay(rng) == 0.0
+
+
+def test_loss_probability_respected():
+    model = FaultModel(loss_prob=0.5)
+    rng = random.Random(1)
+    drops = sum(model.should_drop(rng) for _ in range(2000))
+    assert 850 < drops < 1150
+
+
+def test_duplicate_probability_respected():
+    model = FaultModel(duplicate_prob=0.25)
+    rng = random.Random(2)
+    dups = sum(model.should_duplicate(rng) for _ in range(2000))
+    assert 400 < dups < 600
+
+
+def test_reorder_delay_bounded():
+    model = FaultModel(reorder_prob=1.0, reorder_max_delay_ms=7.0)
+    rng = random.Random(3)
+    delays = [model.extra_delay(rng) for _ in range(500)]
+    assert all(0.0 <= d <= 7.0 for d in delays)
+    assert any(d > 0.0 for d in delays)
+
+
+def test_not_reliable_when_any_fault_set():
+    assert not FaultModel(loss_prob=0.1).is_reliable()
+    assert not FaultModel(duplicate_prob=0.1).is_reliable()
+    assert not FaultModel(reorder_prob=0.1).is_reliable()

@@ -1,0 +1,128 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.net import FaultModel, Network
+from repro.sim import RngRegistry, Simulator
+
+
+def make_net(seed=0):
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(seed))
+    return sim, net
+
+
+def test_delivery_latency_and_bandwidth():
+    sim, net = make_net()
+    net.node("a")
+    b = net.node("b")
+    inbox = b.bind("in")
+    net.set_link("a", "b", latency_ms=1.0, bandwidth_bytes_per_ms=1000.0)
+
+    def receiver():
+        env = yield from inbox.get()
+        return env.payload, sim.now
+
+    p = sim.spawn(receiver())
+    net.send("a", "b", "in", "hi", size_bytes=500)
+    sim.run()
+    # 1.0 ms latency + 500/1000 ms transfer.
+    assert p.result == ("hi", pytest.approx(1.5))
+
+
+def test_send_to_unbound_port_drops():
+    sim, net = make_net()
+    net.node("a")
+    net.node("b")
+    net.send("a", "b", "nowhere", "lost", size_bytes=10)
+    sim.run()
+    assert net.messages_dropped == 1
+    assert net.messages_delivered == 0
+
+
+def test_send_to_unknown_node_drops():
+    sim, net = make_net()
+    net.node("a")
+    net.send("a", "ghost", "in", "lost", size_bytes=10)
+    sim.run()
+    assert net.messages_dropped == 1
+
+
+def test_unbind_all_models_crash():
+    sim, net = make_net()
+    net.node("a")
+    b = net.node("b")
+    b.bind("in")
+    b.unbind_all()
+    net.send("a", "b", "in", "lost", size_bytes=10)
+    sim.run()
+    assert net.messages_dropped == 1
+
+
+def test_fault_loss_drops_messages():
+    sim, net = make_net(seed=3)
+    net.node("a")
+    b = net.node("b")
+    inbox = b.bind("in")
+    net.set_link("a", "b", faults=FaultModel(loss_prob=0.5))
+    for i in range(200):
+        net.send("a", "b", "in", i, size_bytes=10)
+    sim.run()
+    delivered = len(inbox)
+    assert 60 < delivered < 140
+    assert net.messages_dropped == 200 - delivered
+
+
+def test_fault_duplication():
+    sim, net = make_net(seed=4)
+    net.node("a")
+    b = net.node("b")
+    inbox = b.bind("in")
+    net.set_link("a", "b", faults=FaultModel(duplicate_prob=1.0))
+    net.send("a", "b", "in", "x", size_bytes=10)
+    sim.run()
+    assert len(inbox) == 2
+
+
+def test_fault_reorder_can_invert_arrival():
+    sim, net = make_net(seed=5)
+    net.node("a")
+    b = net.node("b")
+    inbox = b.bind("in")
+    net.set_link(
+        "a", "b", faults=FaultModel(reorder_prob=0.5, reorder_max_delay_ms=20.0)
+    )
+    for i in range(50):
+        net.send("a", "b", "in", i, size_bytes=10)
+    sim.run()
+    arrived = [env.payload for env in inbox.drain()]
+    assert sorted(arrived) == list(range(50))
+    assert arrived != list(range(50))
+
+
+def test_deterministic_across_runs():
+    def run_once():
+        sim, net = make_net(seed=9)
+        net.node("a")
+        b = net.node("b")
+        inbox = b.bind("in")
+        net.set_link("a", "b", faults=FaultModel(loss_prob=0.3, reorder_prob=0.3))
+        for i in range(100):
+            net.send("a", "b", "in", i, size_bytes=10)
+        sim.run()
+        return [env.payload for env in inbox.drain()]
+
+    assert run_once() == run_once()
+
+
+def test_round_trip_estimate():
+    sim, net = make_net()
+    net.set_link("a", "b", latency_ms=1.0, bandwidth_bytes_per_ms=1000.0)
+    assert net.round_trip_ms("a", "b", size_bytes=100) == pytest.approx(2.2)
+
+
+def test_intra_domain_round_trip_close_to_paper():
+    """With defaults + ~1.4 ms CPU/stack cost the paper's 3.596 ms holds."""
+    sim, net = make_net()
+    rtt = net.round_trip_ms("msp1", "msp2", size_bytes=300)
+    assert 0.5 < rtt < 3.6

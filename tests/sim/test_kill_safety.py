@@ -1,0 +1,222 @@
+"""Kill-safety: killed processes must not leak grants, locks or items.
+
+A process can be killed (crash injection) at *any* suspension point —
+including the narrow window after a resource grant / item delivery was
+triggered for it but before it resumed.  Leaking that grant deadlocks
+every future acquirer; this is exactly how a second crash during MSP
+recovery once wedged the disk forever.
+"""
+
+import pytest
+
+from repro.sim import Resource, RWLock, Simulator, Store
+
+
+def test_resource_grant_to_killed_waiter_is_handed_on():
+    sim = Simulator()
+    res = Resource(sim, capacity=1, name="disk")
+    served = []
+
+    def holder():
+        yield from res.acquire()
+        try:
+            yield 10.0
+        finally:
+            res.release()
+
+    def waiter(name):
+        yield from res.acquire()
+        try:
+            served.append(name)
+            yield 1.0
+        finally:
+            res.release()
+
+    sim.spawn(holder())
+    victim = sim.spawn(waiter("victim"))
+    sim.spawn(waiter("survivor"))
+
+    # Kill the victim exactly when the holder releases (t=10): the grant
+    # event fires at 10 and the victim dies at 10 before consuming it.
+    def killer():
+        yield 10.0
+        victim.kill()
+
+    sim.spawn(killer())
+    sim.run()
+    assert served == ["survivor"]
+    assert res.in_use == 0
+
+
+def test_resource_not_leaked_under_mass_kill():
+    """Kill a whole group at a moment of heavy contention; the resource
+    must end up free."""
+    from repro.sim import ProcessGroup
+
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    group = ProcessGroup("msp")
+
+    def worker():
+        while True:
+            yield from res.acquire()
+            try:
+                yield 3.0
+            finally:
+                res.release()
+            yield 1.0
+
+    for _ in range(8):
+        sim.spawn(worker(), group=group)
+
+    def crash():
+        yield 10.0
+        group.kill_all()
+
+    sim.spawn(crash())
+    sim.run(until=50.0)
+    assert res.in_use == 0
+
+    # A fresh acquirer succeeds immediately.
+    done = []
+
+    def probe():
+        yield from res.acquire()
+        try:
+            done.append(sim.now)
+        finally:
+            res.release()
+
+    sim.spawn(probe())
+    sim.run(until=60.0)
+    assert done
+
+
+def test_rwlock_write_grant_to_killed_waiter():
+    sim = Simulator()
+    lock = RWLock(sim)
+    served = []
+
+    def reader():
+        yield from lock.acquire_read()
+        try:
+            yield 10.0
+        finally:
+            lock.release_read()
+
+    def writer(name):
+        yield from lock.acquire_write()
+        try:
+            served.append(name)
+            yield 1.0
+        finally:
+            lock.release_write()
+
+    sim.spawn(reader())
+    victim = sim.spawn(writer("victim"))
+    sim.spawn(writer("survivor"))
+
+    def killer():
+        yield 10.0
+        victim.kill()
+
+    sim.spawn(killer())
+    sim.run()
+    assert served == ["survivor"]
+    # Lock fully free afterwards.
+    assert lock._readers == 0 and not lock._writer
+
+
+def test_rwlock_read_grant_to_killed_waiter():
+    sim = Simulator()
+    lock = RWLock(sim)
+    served = []
+
+    def writer():
+        yield from lock.acquire_write()
+        try:
+            yield 10.0
+        finally:
+            lock.release_write()
+
+    def reader(name):
+        yield from lock.acquire_read()
+        try:
+            served.append(name)
+            yield 1.0
+        finally:
+            lock.release_read()
+
+    sim.spawn(writer())
+    victim = sim.spawn(reader("victim"))
+
+    def killer():
+        yield 10.0
+        victim.kill()
+
+    sim.spawn(killer())
+    sim.run()
+    assert lock._readers == 0
+
+    ok = []
+
+    def late_writer():
+        yield from lock.acquire_write()
+        try:
+            ok.append(True)
+        finally:
+            lock.release_write()
+
+    sim.spawn(late_writer())
+    sim.run()
+    assert ok
+
+
+def test_store_item_delivered_to_killed_getter_requeued():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(name):
+        item = yield from store.get()
+        got.append((name, item))
+
+    victim = sim.spawn(getter("victim"))
+    survivor = sim.spawn(getter("survivor"))
+
+    def put_and_kill():
+        yield 5.0
+        store.put("precious")
+        victim.kill()  # delivery fired at t=5 but victim never resumes
+
+    sim.spawn(put_and_kill())
+    sim.run()
+    assert got == [("survivor", "precious")]
+    assert len(store) == 0
+
+
+def test_store_item_requeued_preserves_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(name):
+        item = yield from store.get()
+        got.append((name, item))
+
+    victim = sim.spawn(getter("victim"))
+
+    def driver():
+        yield 5.0
+        store.put("a")
+        victim.kill()
+        store.put("b")
+        yield 1.0
+        p1 = sim.spawn(getter("late1"))
+        p2 = sim.spawn(getter("late2"))
+        yield p1
+        yield p2
+
+    sim.run_process(driver())
+    # "a" was re-queued at the front, so order is preserved.
+    assert got == [("late1", "a"), ("late2", "b")]

@@ -1,0 +1,280 @@
+"""Unit tests for Resource, Store and RWLock."""
+
+import pytest
+
+from repro.sim import Resource, RWLock, Simulator, Store, StoreClosed
+
+
+def test_resource_serializes_access():
+    sim = Simulator()
+    disk = Resource(sim, capacity=1, name="disk")
+    done = []
+
+    def job(i):
+        yield from disk.acquire()
+        try:
+            yield 10.0
+        finally:
+            disk.release()
+        done.append((i, sim.now))
+
+    for i in range(3):
+        sim.spawn(job(i))
+    sim.run()
+    assert done == [(0, 10.0), (1, 20.0), (2, 30.0)]
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=2, name="cpu")
+    done = []
+
+    def job(i):
+        yield from cpu.acquire()
+        try:
+            yield 10.0
+        finally:
+            cpu.release()
+        done.append((i, sim.now))
+
+    for i in range(4):
+        sim.spawn(job(i))
+    sim.run()
+    assert done == [(0, 10.0), (1, 10.0), (2, 20.0), (3, 20.0)]
+
+
+def test_resource_fifo_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def job(i, start_delay):
+        yield start_delay
+        yield from res.acquire()
+        try:
+            order.append(i)
+            yield 5.0
+        finally:
+            res.release()
+
+    sim.spawn(job("a", 0.0))
+    sim.spawn(job("b", 1.0))
+    sim.spawn(job("c", 2.0))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_killed_waiter_skipped():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    served = []
+
+    def holder():
+        yield from res.acquire()
+        try:
+            yield 10.0
+        finally:
+            res.release()
+
+    def waiter(i):
+        yield from res.acquire()
+        try:
+            served.append(i)
+            yield 1.0
+        finally:
+            res.release()
+
+    sim.spawn(holder())
+    victim = sim.spawn(waiter("victim"))
+    sim.spawn(waiter("other"))
+
+    def killer():
+        yield 5.0
+        victim.kill()
+
+    sim.spawn(killer())
+    sim.run()
+    assert served == ["other"]
+
+
+def test_resource_utilization_tracking():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def job():
+        yield from res.acquire()
+        try:
+            yield 30.0
+        finally:
+            res.release()
+        yield 70.0
+
+    sim.run_process(job())
+    assert res.utilization() == pytest.approx(0.3)
+
+
+def test_resource_release_unheld_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(Exception):
+        res.release()
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+
+    def getter():
+        item = yield from store.get()
+        return item
+
+    assert sim.run_process(getter()) == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def getter():
+        item = yield from store.get()
+        return item, sim.now
+
+    def putter():
+        yield 7.0
+        store.put("late")
+
+    p = sim.spawn(getter())
+    sim.spawn(putter())
+    sim.run()
+    assert p.result == ("late", 7.0)
+
+
+def test_store_fifo_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def getter(i):
+        item = yield from store.get()
+        got.append((i, item))
+
+    sim.spawn(getter(0))
+    sim.spawn(getter(1))
+
+    def putter():
+        yield 1.0
+        store.put("a")
+        store.put("b")
+
+    sim.spawn(putter())
+    sim.run()
+    assert got == [(0, "a"), (1, "b")]
+
+
+def test_store_close_fails_getters():
+    sim = Simulator()
+    store = Store(sim)
+
+    def getter():
+        try:
+            yield from store.get()
+        except StoreClosed:
+            return "closed"
+
+    def closer():
+        yield 1.0
+        store.close()
+
+    p = sim.spawn(getter())
+    sim.spawn(closer())
+    sim.run()
+    assert p.result == "closed"
+
+
+def test_store_drain():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert store.drain() == [1, 2]
+    assert len(store) == 0
+
+
+def test_rwlock_readers_share():
+    sim = Simulator()
+    lock = RWLock(sim)
+    done = []
+
+    def reader(i):
+        yield from lock.acquire_read()
+        try:
+            yield 10.0
+        finally:
+            lock.release_read()
+        done.append((i, sim.now))
+
+    for i in range(3):
+        sim.spawn(reader(i))
+    sim.run()
+    assert done == [(0, 10.0), (1, 10.0), (2, 10.0)]
+
+
+def test_rwlock_writer_excludes_readers():
+    sim = Simulator()
+    lock = RWLock(sim)
+    trace = []
+
+    def writer():
+        yield from lock.acquire_write()
+        try:
+            trace.append(("w-start", sim.now))
+            yield 10.0
+            trace.append(("w-end", sim.now))
+        finally:
+            lock.release_write()
+
+    def reader():
+        yield 1.0
+        yield from lock.acquire_read()
+        try:
+            trace.append(("r-start", sim.now))
+            yield 5.0
+        finally:
+            lock.release_read()
+
+    sim.spawn(writer())
+    sim.spawn(reader())
+    sim.run()
+    assert trace == [("w-start", 0.0), ("w-end", 10.0), ("r-start", 10.0)]
+
+
+def test_rwlock_writer_not_starved():
+    """A writer queued behind readers runs before readers that arrive later."""
+    sim = Simulator()
+    lock = RWLock(sim)
+    order = []
+
+    def reader(name, delay, hold):
+        yield delay
+        yield from lock.acquire_read()
+        try:
+            order.append(name)
+            yield hold
+        finally:
+            lock.release_read()
+
+    def writer(name, delay):
+        yield delay
+        yield from lock.acquire_write()
+        try:
+            order.append(name)
+            yield 1.0
+        finally:
+            lock.release_write()
+
+    sim.spawn(reader("r1", 0.0, 10.0))
+    sim.spawn(writer("w", 1.0))
+    sim.spawn(reader("r2", 2.0, 1.0))
+    sim.run()
+    assert order == ["r1", "w", "r2"]

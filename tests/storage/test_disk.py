@@ -1,0 +1,114 @@
+"""Tests for the disk timing model against the paper's own numbers."""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import Disk, DiskModel
+
+
+def test_rotation_time_matches_7200rpm():
+    model = DiskModel()
+    assert model.rotation_ms == pytest.approx(60000 / 7200)
+    assert model.avg_rotational_latency_ms == pytest.approx(60000 / 7200 / 2)
+
+
+def test_paper_tf2_formula():
+    """Paper §5.2: TF2 without seek ~= 4.5 ms."""
+    model = DiskModel()
+    base = model.write_time_ms(2, with_random_seek=False)
+    expected = 60000 / 7200 / 2 + 2 / 63 * 60000 / 7200 + 2 / 63 * 1.2
+    assert base == pytest.approx(expected)
+    assert 4.3 < base < 4.7
+
+
+def test_paper_tf2_expected_estimate():
+    """Paper §5.2 crudely estimates TF2 = 8 ms (= 4.5 + 10.5/3)."""
+    model = DiskModel()
+    assert model.expected_write_time_ms(2) == pytest.approx(
+        model.write_time_ms(2, with_random_seek=False) + 10.5 / 3
+    )
+    assert 7.5 < model.expected_write_time_ms(2) < 8.5
+
+
+def test_paper_recovery_read_formula():
+    """Paper §5.4: 1 MB of 64 KB reads takes ~370 ms."""
+    model = DiskModel()
+    per_read = model.read_time_ms(128, sequential=True)
+    expected = 60000 / 7200 / 2 + 128 / 63 * 60000 / 7200 + 128 / 63 * 1
+    assert per_read == pytest.approx(expected)
+    total_1mb = per_read * (1024 * 1024 / (64 * 1024))
+    assert total_1mb == pytest.approx(370, abs=5)
+
+
+def test_disk_serializes_concurrent_writes():
+    sim = Simulator()
+    disk = Disk(sim, rng=random.Random(1))
+    finish_times = []
+
+    def writer():
+        yield from disk.write(2)
+        finish_times.append(sim.now)
+
+    sim.spawn(writer())
+    sim.spawn(writer())
+    sim.run()
+    assert len(finish_times) == 2
+    assert finish_times[1] > finish_times[0]
+    # Second write starts only after the first completes.
+    assert finish_times[1] >= 2 * DiskModel().write_time_ms(2, with_random_seek=False)
+
+
+def test_disk_write_mean_converges_to_expected():
+    sim = Simulator()
+    disk = Disk(sim, rng=random.Random(42))
+
+    def many_writes():
+        for _ in range(600):
+            yield from disk.write(2)
+
+    sim.run_process(many_writes())
+    mean = sim.now / 600
+    assert mean == pytest.approx(DiskModel().expected_write_time_ms(2), rel=0.1)
+
+
+def test_write_bytes_rounds_to_sectors():
+    sim = Simulator()
+    disk = Disk(sim, rng=random.Random(7))
+
+    def one():
+        yield from disk.write_bytes(513)
+
+    sim.run_process(one())
+    assert disk.stats.sectors_written == 2
+
+
+def test_read_does_not_interfere():
+    model = DiskModel()
+    assert model.read_time_ms(128, sequential=True) < model.read_time_ms(128, sequential=False)
+
+
+def test_invalid_sector_counts():
+    sim = Simulator()
+    disk = Disk(sim)
+    with pytest.raises(ValueError):
+        next(disk.write(0))
+    with pytest.raises(ValueError):
+        next(disk.read(-1))
+
+
+def test_stats_accumulate():
+    sim = Simulator()
+    disk = Disk(sim, rng=random.Random(5))
+
+    def ops():
+        yield from disk.write(3)
+        yield from disk.read(128)
+
+    sim.run_process(ops())
+    assert disk.stats.writes == 1
+    assert disk.stats.reads == 1
+    assert disk.stats.sectors_written == 3
+    assert disk.stats.sectors_read == 128
+    assert disk.stats.busy_ms > 0

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_single_experiment(capsys):
+    code = main(["run", "analysis-flush", "--scale", "0.05"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "flushes_per_request" in out
+    assert "[PASS]" in out
+
+
+def test_workload_command(capsys):
+    code = main(
+        ["workload", "NoLog", "--requests", "10"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "completed requests: 10" in out
+    assert "throughput" in out
+
+
+def test_workload_verifies_exactly_once(capsys):
+    code = main(
+        ["workload", "LoOptimistic", "--requests", "15", "--crash-every", "7"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "exactly-once:       verified" in out
+    assert "crashes:            2" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "not-an-experiment"])
+
+
+def test_unknown_configuration_rejected():
+    with pytest.raises(SystemExit):
+        main(["workload", "Bogus"])

@@ -1,0 +1,151 @@
+"""Codec round-trip tests, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wire import Decoder, Encoder
+from repro.wire.codec import CodecError
+
+
+def test_uint_roundtrip_basic():
+    data = Encoder().uint(0).uint(1).uint(127).uint(128).uint(300).finish()
+    dec = Decoder(data)
+    assert [dec.uint() for _ in range(5)] == [0, 1, 127, 128, 300]
+    dec.expect_end()
+
+
+def test_uint_rejects_negative():
+    with pytest.raises(ValueError):
+        Encoder().uint(-1)
+
+
+def test_sint_roundtrip_basic():
+    values = [0, -1, 1, -2, 2, -(2**40), 2**40]
+    data = Encoder()
+    for v in values:
+        data.sint(v)
+    dec = Decoder(data.finish())
+    assert [dec.sint() for _ in values] == values
+
+
+def test_text_and_raw_roundtrip():
+    data = Encoder().text("héllo").raw(b"\x00\xff").finish()
+    dec = Decoder(data)
+    assert dec.text() == "héllo"
+    assert dec.raw() == b"\x00\xff"
+    dec.expect_end()
+
+
+def test_boolean_roundtrip():
+    data = Encoder().boolean(True).boolean(False).finish()
+    dec = Decoder(data)
+    assert dec.boolean() is True
+    assert dec.boolean() is False
+
+
+def test_boolean_bad_value():
+    data = Encoder().uint(7).finish()
+    with pytest.raises(CodecError):
+        Decoder(data).boolean()
+
+
+def test_float64_roundtrip():
+    data = Encoder().float64(3.14159).float64(-0.0).finish()
+    dec = Decoder(data)
+    assert dec.float64() == 3.14159
+    assert dec.float64() == -0.0
+
+
+def test_seq_roundtrip():
+    items = [(1, "a"), (2, "b")]
+    data = (
+        Encoder()
+        .seq(items, lambda e, it: e.uint(it[0]).text(it[1]))
+        .finish()
+    )
+    result = Decoder(data).seq(lambda d: (d.uint(), d.text()))
+    assert result == items
+
+
+def test_truncated_varint():
+    with pytest.raises(CodecError):
+        Decoder(b"\x80").uint()
+
+
+def test_truncated_bytes():
+    data = Encoder().uint(10).finish() + b"abc"
+    with pytest.raises(CodecError):
+        Decoder(data).raw()
+
+
+def test_expect_end_catches_trailing():
+    data = Encoder().uint(1).uint(2).finish()
+    dec = Decoder(data)
+    dec.uint()
+    with pytest.raises(CodecError):
+        dec.expect_end()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**63)))
+def test_uint_roundtrip_property(values):
+    enc = Encoder()
+    for v in values:
+        enc.uint(v)
+    dec = Decoder(enc.finish())
+    assert [dec.uint() for _ in values] == values
+    dec.expect_end()
+
+
+@given(st.lists(st.integers(min_value=-(2**62), max_value=2**62)))
+def test_sint_roundtrip_property(values):
+    enc = Encoder()
+    for v in values:
+        enc.sint(v)
+    dec = Decoder(enc.finish())
+    assert [dec.sint() for _ in values] == values
+
+
+@given(st.lists(st.binary(max_size=200)))
+def test_raw_roundtrip_property(blobs):
+    enc = Encoder()
+    for b in blobs:
+        enc.raw(b)
+    dec = Decoder(enc.finish())
+    assert [dec.raw() for _ in blobs] == blobs
+
+
+@given(st.lists(st.text(max_size=50)))
+def test_text_roundtrip_property(texts):
+    enc = Encoder()
+    for t in texts:
+        enc.text(t)
+    dec = Decoder(enc.finish())
+    assert [dec.text() for _ in texts] == texts
+
+
+@given(st.floats(allow_nan=False))
+def test_float_roundtrip_property(value):
+    data = Encoder().float64(value).finish()
+    assert Decoder(data).float64() == value
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.integers(min_value=0, max_value=2**30).map(lambda v: ("uint", v)),
+            st.text(max_size=20).map(lambda v: ("text", v)),
+            st.binary(max_size=20).map(lambda v: ("raw", v)),
+            st.booleans().map(lambda v: ("bool", v)),
+        )
+    )
+)
+def test_mixed_field_roundtrip_property(fields):
+    enc = Encoder()
+    for kind, value in fields:
+        getattr(enc, {"uint": "uint", "text": "text", "raw": "raw", "bool": "boolean"}[kind])(value)
+    dec = Decoder(enc.finish())
+    for kind, value in fields:
+        read = {"uint": dec.uint, "text": dec.text, "raw": dec.raw, "bool": dec.boolean}[kind]()
+        assert read == value
+    dec.expect_end()

@@ -1,0 +1,128 @@
+"""Tests for the paper's experimental workload builder."""
+
+import pytest
+
+from repro.workloads import CONFIGURATIONS, PaperWorkload, WorkloadParams
+
+
+def test_unknown_configuration_rejected():
+    with pytest.raises(ValueError):
+        WorkloadParams(configuration="Nonsense")
+
+
+def test_all_configurations_run():
+    for configuration in CONFIGURATIONS:
+        workload = PaperWorkload(
+            WorkloadParams(configuration=configuration, requests_per_client=5)
+        )
+        result = workload.run()
+        assert result.completed_requests == 5
+        assert result.mean_response_ms > 0
+
+
+def test_exactly_once_verification_single_client():
+    workload = PaperWorkload(
+        WorkloadParams(configuration="LoOptimistic", requests_per_client=20)
+    )
+    workload.run()
+    workload.verify_exactly_once()
+    assert workload.shared_counters() == {"SV0": 20, "SV1": 20, "SV2": 20, "SV3": 20}
+
+
+def test_calls_to_sm2_multiplies_sv23():
+    workload = PaperWorkload(
+        WorkloadParams(
+            configuration="LoOptimistic", requests_per_client=10, calls_to_sm2=3
+        )
+    )
+    workload.run()
+    counters = workload.shared_counters()
+    assert counters["SV0"] == 10
+    assert counters["SV2"] == 30
+    assert counters["SV3"] == 30
+
+
+def test_deterministic_given_seed():
+    def run():
+        workload = PaperWorkload(
+            WorkloadParams(configuration="Pessimistic", requests_per_client=25, seed=7)
+        )
+        result = workload.run()
+        return (result.mean_response_ms, result.max_response_ms, result.msp1_flushes)
+
+    assert run() == run()
+
+
+def test_different_seeds_differ():
+    def run(seed):
+        workload = PaperWorkload(
+            WorkloadParams(configuration="Pessimistic", requests_per_client=25, seed=seed)
+        )
+        return workload.run().mean_response_ms
+
+    assert run(1) != run(2)
+
+
+def test_crash_rate_injects_crashes():
+    workload = PaperWorkload(
+        WorkloadParams(
+            configuration="LoOptimistic", requests_per_client=60, crash_every_n=20
+        )
+    )
+    result = workload.run()
+    workload.verify_exactly_once()
+    assert result.crashes == 3
+    assert result.replayed_requests > 0
+
+
+def test_crashes_hurt_throughput():
+    calm = PaperWorkload(
+        WorkloadParams(configuration="LoOptimistic", requests_per_client=120)
+    ).run()
+    crashy = PaperWorkload(
+        WorkloadParams(
+            configuration="LoOptimistic", requests_per_client=120, crash_every_n=30
+        )
+    ).run()
+    assert crashy.throughput_rps < calm.throughput_rps
+
+
+def test_multiclient_increases_throughput():
+    one = PaperWorkload(
+        WorkloadParams(configuration="LoOptimistic", requests_per_client=40)
+    ).run()
+    four = PaperWorkload(
+        WorkloadParams(
+            configuration="LoOptimistic", requests_per_client=40, num_clients=4
+        )
+    ).run()
+    assert four.completed_requests == 160
+    assert four.throughput_rps > 2 * one.throughput_rps
+
+
+def test_batch_flushing_recorded_in_fewer_flushes():
+    plain = PaperWorkload(
+        WorkloadParams(
+            configuration="Pessimistic", requests_per_client=30, num_clients=4
+        )
+    ).run()
+    batched = PaperWorkload(
+        WorkloadParams(
+            configuration="Pessimistic",
+            requests_per_client=30,
+            num_clients=4,
+            batch_flush_timeout_ms=8.0,
+        )
+    ).run()
+    assert batched.msp1_flushes < plain.msp1_flushes
+
+
+def test_result_properties():
+    workload = PaperWorkload(
+        WorkloadParams(configuration="NoLog", requests_per_client=10)
+    )
+    result = workload.run()
+    assert result.throughput_rps == pytest.approx(
+        result.completed_requests / result.elapsed_ms * 1000.0
+    )
+    assert result.max_response_ms >= result.mean_response_ms
