@@ -1,0 +1,10 @@
+"""Wall-clock microbenchmarks for the log pipeline (see repro.perf).
+
+Unlike the sibling ``benchmarks/test_fig*`` suites, which validate the
+paper's *simulated* measurements, these measure the reproduction's own
+hot-path speed in real seconds.  Run the full suite with::
+
+    PYTHONPATH=src python -m repro bench --out BENCH_PR1.json
+
+CI runs the smoke mode only (1 tiny iteration, completion asserted).
+"""

@@ -1,0 +1,45 @@
+"""Smoke tests for the perf harness: every benchmark completes and the
+report has the documented machine-readable shape (CI runs these; real
+numbers come from ``python -m repro bench``)."""
+
+import json
+
+from repro.perf import BENCHMARKS, run_benchmarks, write_report
+from repro.perf.bench import attach_baseline, format_report
+
+SMOKE_SCALE = 0.002
+
+
+def test_every_benchmark_completes_in_smoke_mode():
+    report = run_benchmarks(scale=SMOKE_SCALE, repeat=1)
+    assert set(report["benchmarks"]) == set(BENCHMARKS)
+    for name, run in report["benchmarks"].items():
+        assert run["seconds"] > 0, name
+
+
+def test_report_is_machine_readable(tmp_path):
+    report = run_benchmarks(scale=SMOKE_SCALE, repeat=1, only=["codec_encode"])
+    out = tmp_path / "bench.json"
+    write_report(report, str(out))
+    parsed = json.loads(out.read_text())
+    assert parsed["meta"]["scale"] == SMOKE_SCALE
+    assert parsed["benchmarks"]["codec_encode"]["records_per_s"] > 0
+
+
+def test_baseline_speedup_computation():
+    report = run_benchmarks(scale=SMOKE_SCALE, repeat=1, only=["codec_encode"])
+    base = {"benchmarks": {"codec_encode": {"records_per_s": 1.0}}}
+    attach_baseline(report, base)
+    assert report["speedup"]["codec_encode"] == report["benchmarks"]["codec_encode"][
+        "records_per_s"
+    ]
+    assert "codec_encode" in format_report(report)
+
+
+def test_cli_bench_smoke(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out = tmp_path / "BENCH_SMOKE.json"
+    assert main(["bench", "--smoke", "--out", str(out)]) == 0
+    assert json.loads(out.read_text())["benchmarks"]
+    assert "codec_encode" in capsys.readouterr().out

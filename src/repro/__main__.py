@@ -8,12 +8,16 @@ Commands:
 - ``all [--scale S]`` — regenerate everything;
 - ``workload <configuration> [--requests N] [--clients N] [--m N]
   [--crash-every N] [--batch MS]`` — run one paper workload and print
-  the measurements.
+  the measurements;
+- ``bench [--scale S] [--repeat N] [--smoke] [--out PATH]
+  [--baseline PATH]`` — run the wall-clock log-pipeline benchmarks and
+  emit a machine-readable ``BENCH_*.json`` report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.harness import (
@@ -74,7 +78,44 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--crash-every", type=int, default=None)
     workload.add_argument("--batch", type=float, default=0.0, help="batch flush ms")
     workload.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser("bench", help="run the log-pipeline perf benchmarks")
+    bench.add_argument("--scale", type=float, default=1.0, help="iteration-count multiplier")
+    bench.add_argument("--repeat", type=int, default=3, help="runs per benchmark (best kept)")
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny single iteration, completion check only (CI mode)",
+    )
+    bench.add_argument("--out", default="BENCH_PR1.json", help="JSON report path")
+    bench.add_argument(
+        "--baseline", default=None,
+        help="earlier BENCH json to embed and compute speedups against",
+    )
     return parser
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.perf import run_benchmarks, write_report
+    from repro.perf.bench import attach_baseline, format_report
+
+    baseline = None
+    if args.baseline:
+        # Validate up front so a bad path fails before the timed runs.
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+    scale = 0.002 if args.smoke else args.scale
+    repeat = 1 if args.smoke else args.repeat
+    report = run_benchmarks(scale=scale, repeat=repeat)
+    if baseline is not None:
+        attach_baseline(report, baseline)
+    write_report(report, args.out)
+    print(format_report(report))
+    print(f"wrote {args.out}")
+    return 0
 
 
 def _run_workload(args: argparse.Namespace) -> int:
@@ -125,6 +166,8 @@ def main(argv: list[str] | None = None) -> int:
         return min(failures, 1)
     if args.command == "workload":
         return _run_workload(args)
+    if args.command == "bench":
+        return _run_bench(args)
     return 2  # pragma: no cover
 
 

@@ -41,6 +41,17 @@ from repro.core.session import SessionStatus
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.msp import MiddlewareServer
 
+#: Record kinds that enter a session's position stream (hoisted out of
+#: the analysis-scan loop, which decodes every durable record).
+_POSITION_STREAM_KINDS = (
+    RequestRecord,
+    ReplyRecord,
+    SvReadRecord,
+    SvWriteRecord,
+    SvUpdateRecord,
+    SvOrderRecord,
+)
+
 
 def recover_msp(msp: "MiddlewareServer"):
     """Run full crash recovery (generator); called from ``start()``."""
@@ -71,11 +82,7 @@ def recover_msp(msp: "MiddlewareServer"):
     order_writes: dict[str, int] = {}
     order_reads: dict[str, dict[int, int]] = {}
     for lsn, record in records:
-        if isinstance(
-            record,
-            (RequestRecord, ReplyRecord, SvReadRecord, SvWriteRecord,
-             SvUpdateRecord, SvOrderRecord),
-        ):
+        if isinstance(record, _POSITION_STREAM_KINDS):
             positions.setdefault(record.session_id, []).append(lsn)
         if isinstance(record, SvWriteRecord):
             sv = msp.shared.get(record.variable)

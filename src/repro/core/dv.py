@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Iterator, Mapping, Optional
 
 from repro.wire import Decoder, Encoder
+from repro.wire.codec import Buffer, encode_uvarint, read_text_interned, read_uvarint
 
 
 @dataclass(frozen=True, order=True)
@@ -165,6 +166,24 @@ class DependencyVector:
             for epoch in sorted(epochs):
                 enc.uint(epoch).uint(epochs[epoch])
 
+    def encode_bytes(self) -> bytes:
+        """Byte-identical to :meth:`encode_into`, without Encoder chaining.
+
+        Used by the compiled record codecs on the logging hot path.
+        """
+        entries = self._entries
+        parts = [encode_uvarint(len(entries))]
+        for msp in sorted(entries):
+            name = msp.encode("utf-8")
+            parts.append(encode_uvarint(len(name)))
+            parts.append(name)
+            epochs = entries[msp]
+            parts.append(encode_uvarint(len(epochs)))
+            for epoch in sorted(epochs):
+                parts.append(encode_uvarint(epoch))
+                parts.append(encode_uvarint(epochs[epoch]))
+        return b"".join(parts)
+
     @staticmethod
     def decode_from(dec: Decoder) -> "DependencyVector":
         dv = DependencyVector()
@@ -174,6 +193,42 @@ class DependencyVector:
                 epoch = dec.uint()
                 dv.observe(msp, StateId(epoch, dec.uint()))
         return dv
+
+    @staticmethod
+    def decode_from_buffer(buf: Buffer, pos: int) -> tuple["DependencyVector", int]:
+        """Fast-path mirror of :meth:`decode_from` over a raw buffer.
+
+        Single-byte varints (entry counts, epochs, short LSNs) are read
+        inline; only multi-byte values fall back to ``read_uvarint``.
+        An out-of-bounds index surfaces as ``IndexError``, which the
+        ``decode_record`` dispatcher translates to :class:`CodecError`.
+        """
+        dv = DependencyVector()
+        entries = dv._entries
+        count = buf[pos]
+        pos += 1
+        if count > 0x7F:
+            count, pos = read_uvarint(buf, pos - 1)
+        for _ in range(count):
+            msp, pos = read_text_interned(buf, pos)
+            nepochs = buf[pos]
+            pos += 1
+            if nepochs > 0x7F:
+                nepochs, pos = read_uvarint(buf, pos - 1)
+            epochs = entries.setdefault(msp, {})
+            for _ in range(nepochs):
+                epoch = buf[pos]
+                pos += 1
+                if epoch > 0x7F:
+                    epoch, pos = read_uvarint(buf, pos - 1)
+                lsn = buf[pos]
+                pos += 1
+                if lsn > 0x7F:
+                    lsn, pos = read_uvarint(buf, pos - 1)
+                current = epochs.get(epoch)
+                if current is None or lsn > current:
+                    epochs[epoch] = lsn
+        return dv, pos
 
     def wire_size(self) -> int:
         """Bytes this DV adds to a message (used for network timing)."""

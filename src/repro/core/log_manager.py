@@ -22,10 +22,11 @@ sector per flush — fewer flushes therefore also waste less log space.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.records import FillerRecord, LogRecord, decode_record
+from repro.core.records import KIND_FILLER, FillerRecord, LogRecord, decode_record
 from repro.sim import ProcessGroup, Simulator, Store
 from repro.storage import Disk, StableStore
 from repro.storage.disk import SECTOR_BYTES
@@ -45,6 +46,7 @@ class LogStats:
     flushed_sectors: int = 0
     wasted_bytes: int = 0
     read_chunks: int = 0
+    decode_cache_hits: int = 0
 
     def snapshot(self) -> "LogStats":
         return LogStats(**vars(self))
@@ -65,6 +67,7 @@ class LogManager:
         cpu=None,
         flush_cpu_ms: float = 0.0,
         record_overhead_bytes: int = 0,
+        decode_cache_records: int = 4096,
     ):
         self.sim = sim
         self.store = store
@@ -85,6 +88,17 @@ class LogManager:
         self.stats = LogStats()
         self._flush_queue: Store = Store(sim, name=f"{name}.flush")
         self._flusher: Optional[object] = None
+        #: Bounded LRU of decoded records: ``lsn -> (record, next_lsn)``.
+        #: The log is append-only and immutable below the durable
+        #: boundary, so entries never go stale within a crash epoch; a
+        #: crash truncates the volatile tail (new bytes may reuse those
+        #: LSNs), so the cache is dropped whenever ``store.crash_count``
+        #: moves.  Populated by the analysis scan and ``record_at``, hit
+        #: by per-session replay fetches — recovery decodes each record
+        #: once instead of twice.
+        self.decode_cache_records = decode_cache_records
+        self._decode_cache: OrderedDict[int, tuple[LogRecord, int]] = OrderedDict()
+        self._cache_crash_count = store.crash_count
 
     def start(self, group: Optional[ProcessGroup] = None) -> None:
         """Spawn the flusher daemon (kill it via ``group`` on crash)."""
@@ -126,11 +140,50 @@ class LogManager:
         return self._frame_end(lsn) <= self.store.durable_end
 
     def _frame_end(self, lsn: int) -> int:
-        header = self.store.read(lsn, _HEADER.size)
-        (length, _crc) = _HEADER.unpack(header)
+        (length, _crc) = _HEADER.unpack_from(self.store.view(lsn, _HEADER.size))
         return lsn + _HEADER.size + length
 
+    # -- the decode cache ------------------------------------------------------
+
+    def _cache_sync(self) -> None:
+        if self._cache_crash_count != self.store.crash_count:
+            self._decode_cache.clear()
+            self._cache_crash_count = self.store.crash_count
+
+    def _cache_get(self, lsn: int) -> Optional[tuple[LogRecord, int]]:
+        self._cache_sync()
+        entry = self._decode_cache.get(lsn)
+        if entry is not None:
+            self._decode_cache.move_to_end(lsn)
+        return entry
+
+    def _cache_put(self, lsn: int, record: LogRecord, next_lsn: int) -> None:
+        self._cache_sync()
+        cache = self._decode_cache
+        cache[lsn] = (record, next_lsn)
+        cache.move_to_end(lsn)
+        while len(cache) > self.decode_cache_records:
+            cache.popitem(last=False)
+
     # -- flushing --------------------------------------------------------------
+
+    def _flush_target(self, upto_lsn: int) -> int:
+        """The durable boundary a flush of ``upto_lsn`` must reach.
+
+        With per-record overhead modeled, every non-filler record is
+        immediately followed by its filler frame; flushing through the
+        filler keeps ``append``'s reported size and the durable boundary
+        in agreement (sector accounting would otherwise undercount the
+        final record's footprint).
+        """
+        target = self._frame_end(upto_lsn)
+        if self.record_overhead_bytes > 0 and target + _HEADER.size <= self.store.end:
+            view = self.store.view(target, _HEADER.size + 1)
+            length, _crc = _HEADER.unpack_from(view)
+            filler_end = target + _HEADER.size + length
+            if length > 0 and view[_HEADER.size] == KIND_FILLER and filler_end <= self.store.end:
+                target = filler_end
+        return target
 
     def flush(self, upto_lsn: Optional[int] = None):
         """Make the log durable at least through ``upto_lsn`` (generator).
@@ -140,7 +193,7 @@ class LogManager:
         physical write (group commit), and with batch flushing enabled
         the flusher waits a timeout window first.
         """
-        target = self.store.end if upto_lsn is None else self._frame_end(upto_lsn)
+        target = self.store.end if upto_lsn is None else self._flush_target(upto_lsn)
         self.stats.flush_requests += 1
         if target <= self.store.durable_end:
             return
@@ -151,32 +204,29 @@ class LogManager:
     def _flusher_loop(self):
         while True:
             target, done = yield from self._flush_queue.get()
+            waiters = [(target, done)]
             if self.batch_flush_timeout_ms > 0:
                 # Batch flushing (paper §5.5): "a request to flush the
                 # log is not executed immediately, but rather after a
                 # specified timeout, providing a possibility to process
                 # several flush requests with a single write."
                 yield self.batch_flush_timeout_ms
-                waiters = [(target, done)]
-                while True:
-                    available, extra = self._flush_queue.try_get()
-                    if not available:
-                        break
-                    waiters.append(extra)
-                goal = max(t for t, _ in waiters)
+            # Coalescing fast path: drain everything queued *now* and
+            # serve the whole burst with one physical write (group
+            # commit).  Without batching this still helps whenever
+            # requests arrive while an earlier write holds the disk —
+            # the contention the paper's Fig. 17 measures — without
+            # delaying a lone request the way the timeout window does.
+            while True:
+                available, extra = self._flush_queue.try_get()
+                if not available:
+                    break
+                waiters.append(extra)
+            goal = max(t for t, _ in waiters)
+            if goal > self.store.durable_end:
                 yield from self._write_out(goal)
-                for _t, event in waiters:
-                    event.trigger(None)
-            else:
-                # Without batching each flush request issues its own
-                # physical write (skipped only when an earlier write
-                # already covered its target — the standard flushed-LSN
-                # check).  Concurrent requests therefore serialize at
-                # the disk, which is exactly the contention batch
-                # flushing relieves in the paper's Fig. 17.
-                if target > self.store.durable_end:
-                    yield from self._write_out(target)
-                done.trigger(None)
+            for _t, event in waiters:
+                event.trigger(None)
 
     def _write_out(self, goal: int):
         """Physically write [durable_end, goal) in <=128-sector blocks."""
@@ -220,12 +270,21 @@ class LogManager:
 
         Returns ``(record, next_lsn)``.  Timing is charged separately by
         the read helpers below, which model the 64 KB chunked I/O.
+        Decoded records come from the bounded LRU cache when the LSN was
+        already parsed this crash epoch (e.g. by the analysis scan).
         """
+        cached = self._cache_get(lsn)
+        if cached is not None:
+            self.stats.decode_cache_hits += 1
+            return cached
         end = self._frame_end(lsn)
-        payload, consumed = unframe(self.store.read(lsn, end - lsn), 0)
+        payload, consumed = unframe(self.store.view(lsn, end - lsn), 0)
         if payload is None:
             raise ValueError(f"{self.name}: no complete record at LSN {lsn}")
-        return decode_record(payload), lsn + consumed
+        record = decode_record(payload)
+        next_lsn = lsn + consumed
+        self._cache_put(lsn, record, next_lsn)
+        return record, next_lsn
 
     def scan_durable(self, start: int):
         """Timed sequential scan of the durable log (generator).
@@ -233,6 +292,13 @@ class LogManager:
         Reads [start, durable_end) in ``read_chunk_sectors`` chunks,
         charging disk time, then returns the parsed ``(lsn, record)``
         list.  This is the single-threaded analysis scan of §4.3.
+
+        Parsing is zero-copy: one view over the scanned region, frames
+        and payloads sliced out of it without intermediate ``bytes``
+        materialization (the old path re-copied the remaining region for
+        every record — quadratic in the scan length).  Decoded records
+        are entered into the decode cache so the per-session replay
+        fetches that follow the scan do not decode them again.
         """
         end = self.store.durable_end
         chunk_bytes = self.read_chunk_sectors * SECTOR_BYTES
@@ -243,13 +309,27 @@ class LogManager:
             self.stats.read_chunks += 1
             position += size
         records: list[tuple[int, LogRecord]] = []
-        offset = start
-        while offset < end:
-            payload, next_offset = unframe(self.store.read(offset, end - offset), 0)
+        if start >= end:
+            return records
+        # No simulation yields below this point: the view must not be
+        # held across an append (see StableStore.view).
+        view = self.store.view(start, end - start)
+        offset = 0
+        span = end - start
+        while offset < span:
+            payload, next_offset = unframe(view, offset)
             if payload is None:
                 break
-            records.append((offset, decode_record(payload)))
-            offset += next_offset
+            lsn = start + offset
+            cached = self._cache_get(lsn)
+            if cached is not None:
+                self.stats.decode_cache_hits += 1
+                record = cached[0]
+            else:
+                record = decode_record(payload)
+                self._cache_put(lsn, record, start + next_offset)
+            records.append((lsn, record))
+            offset = next_offset
         return records
 
 
@@ -273,7 +353,13 @@ class LogWindowReader:
         limit = self.log.store.durable_end if self.durable_only else self.log.store.end
         if lsn >= limit:
             raise ValueError(f"fetch at {lsn} beyond readable end {limit}")
-        if not self._window_start <= lsn < self._window_end:
+        frame_end = self.log._frame_end(lsn)
+        # The window is invalid if the record *starts* outside it, or if
+        # it starts inside but its frame straddles the window's end — a
+        # window capped at an earlier durable limit does not magically
+        # cover bytes appended since, so re-read at the current limit
+        # rather than parse from a short read.
+        if not (self._window_start <= lsn and frame_end <= self._window_end):
             chunk = self.log.read_chunk_sectors * SECTOR_BYTES
             size = min(chunk, limit - lsn)
             yield from self.log.disk.read_bytes(size, sequential=True)

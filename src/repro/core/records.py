@@ -14,11 +14,20 @@ from "before the crash".
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.dv import DependencyVector
 from repro.wire import Decoder, Encoder
+from repro.wire.codec import (
+    Buffer,
+    CodecError,
+    encode_uvarint,
+    read_bytes,
+    read_text_interned,
+    read_uvarint,
+)
 
 # Record kind tags (one byte each on the log).
 KIND_REQUEST = 1
@@ -38,6 +47,32 @@ KIND_SV_ORDER = 13
 #: Sentinel "no previous write" value for backward chains.
 NO_LSN = 0xFFFFFFFFFFFF
 
+# -- compiled-codec helpers ---------------------------------------------------
+#
+# The high-frequency record kinds (request, reply, SV read/write/update
+# and filler) bypass the chained Encoder/Decoder with precompiled
+# ``struct.Struct`` packers and the module-level varint fast paths of
+# :mod:`repro.wire.codec`.  The byte format is *identical* to the
+# general path — asserted by the golden-bytes tests — only the Python
+# overhead (one Encoder object plus a method call per field) is gone.
+
+_PACK_KIND_LEN = struct.Struct("<BB").pack
+_FALSE = b"\x00"
+_TRUE = b"\x01"
+
+
+def _kind_len(kind: int, length: int) -> bytes:
+    """Pack a record kind and the first field's length prefix at once."""
+    if length < 0x80:
+        return _PACK_KIND_LEN(kind, length)
+    return encode_uvarint(kind) + encode_uvarint(length)
+
+
+def _optional_dv_bytes(dv: Optional[DependencyVector]) -> bytes:
+    if dv is None:
+        return _FALSE
+    return _TRUE + dv.encode_bytes()
+
 
 @dataclass
 class RequestRecord:
@@ -55,10 +90,21 @@ class RequestRecord:
     kind: int = field(default=KIND_REQUEST, init=False)
 
     def encode(self) -> bytes:
-        enc = Encoder().uint(self.kind).text(self.session_id).uint(self.seq)
-        enc.text(self.method).raw(self.argument)
-        _encode_optional_dv(enc, self.sender_dv)
-        return enc.finish()
+        sid = self.session_id.encode("utf-8")
+        method = self.method.encode("utf-8")
+        argument = self.argument
+        return b"".join(
+            (
+                _kind_len(KIND_REQUEST, len(sid)),
+                sid,
+                encode_uvarint(self.seq),
+                encode_uvarint(len(method)),
+                method,
+                encode_uvarint(len(argument)),
+                argument,
+                _optional_dv_bytes(self.sender_dv),
+            )
+        )
 
 
 @dataclass
@@ -73,10 +119,21 @@ class ReplyRecord:
     kind: int = field(default=KIND_REPLY, init=False)
 
     def encode(self) -> bytes:
-        enc = Encoder().uint(self.kind).text(self.session_id)
-        enc.text(self.outgoing_session_id).uint(self.seq).raw(self.payload)
-        _encode_optional_dv(enc, self.sender_dv)
-        return enc.finish()
+        sid = self.session_id.encode("utf-8")
+        out = self.outgoing_session_id.encode("utf-8")
+        payload = self.payload
+        return b"".join(
+            (
+                _kind_len(KIND_REPLY, len(sid)),
+                sid,
+                encode_uvarint(len(out)),
+                out,
+                encode_uvarint(self.seq),
+                encode_uvarint(len(payload)),
+                payload,
+                _optional_dv_bytes(self.sender_dv),
+            )
+        )
 
 
 @dataclass
@@ -95,10 +152,20 @@ class SvReadRecord:
     kind: int = field(default=KIND_SV_READ, init=False)
 
     def encode(self) -> bytes:
-        enc = Encoder().uint(self.kind).text(self.session_id).text(self.variable)
-        enc.raw(self.value)
-        self.variable_dv.encode_into(enc)
-        return enc.finish()
+        sid = self.session_id.encode("utf-8")
+        var = self.variable.encode("utf-8")
+        value = self.value
+        return b"".join(
+            (
+                _kind_len(KIND_SV_READ, len(sid)),
+                sid,
+                encode_uvarint(len(var)),
+                var,
+                encode_uvarint(len(value)),
+                value,
+                self.variable_dv.encode_bytes(),
+            )
+        )
 
 
 @dataclass
@@ -118,11 +185,21 @@ class SvWriteRecord:
     kind: int = field(default=KIND_SV_WRITE, init=False)
 
     def encode(self) -> bytes:
-        enc = Encoder().uint(self.kind).text(self.session_id).text(self.variable)
-        enc.raw(self.value)
-        self.writer_dv.encode_into(enc)
-        enc.uint(self.prev_write_lsn)
-        return enc.finish()
+        sid = self.session_id.encode("utf-8")
+        var = self.variable.encode("utf-8")
+        value = self.value
+        return b"".join(
+            (
+                _kind_len(KIND_SV_WRITE, len(sid)),
+                sid,
+                encode_uvarint(len(var)),
+                var,
+                encode_uvarint(len(value)),
+                value,
+                self.writer_dv.encode_bytes(),
+                encode_uvarint(self.prev_write_lsn),
+            )
+        )
 
 
 @dataclass
@@ -148,12 +225,25 @@ class SvUpdateRecord:
     kind: int = field(default=KIND_SV_UPDATE, init=False)
 
     def encode(self) -> bytes:
-        enc = Encoder().uint(self.kind).text(self.session_id).text(self.variable)
-        enc.raw(self.old_value).raw(self.new_value)
-        self.variable_dv.encode_into(enc)
-        self.writer_dv.encode_into(enc)
-        enc.uint(self.prev_write_lsn)
-        return enc.finish()
+        sid = self.session_id.encode("utf-8")
+        var = self.variable.encode("utf-8")
+        old_value = self.old_value
+        new_value = self.new_value
+        return b"".join(
+            (
+                _kind_len(KIND_SV_UPDATE, len(sid)),
+                sid,
+                encode_uvarint(len(var)),
+                var,
+                encode_uvarint(len(old_value)),
+                old_value,
+                encode_uvarint(len(new_value)),
+                new_value,
+                self.variable_dv.encode_bytes(),
+                self.writer_dv.encode_bytes(),
+                encode_uvarint(self.prev_write_lsn),
+            )
+        )
 
 
 @dataclass
@@ -347,7 +437,7 @@ class FillerRecord:
     kind: int = field(default=KIND_FILLER, init=False)
 
     def encode(self) -> bytes:
-        return Encoder().uint(self.kind).raw(b"\x00" * self.size).finish()
+        return _kind_len(KIND_FILLER, self.size) + b"\x00" * self.size
 
 
 @dataclass
@@ -390,8 +480,109 @@ def _decode_optional_dv(dec: Decoder) -> Optional[DependencyVector]:
     return None
 
 
-def decode_record(payload: bytes) -> LogRecord:
-    """Parse one log record from its encoded payload."""
+# -- compiled decoders for the high-frequency kinds ---------------------------
+
+
+def _read_optional_dv(buf: Buffer, pos: int) -> tuple[Optional[DependencyVector], int]:
+    flag, pos = read_uvarint(buf, pos)
+    if flag == 0:
+        return None, pos
+    if flag != 1:
+        raise CodecError(f"bad boolean value {flag}")
+    return DependencyVector.decode_from_buffer(buf, pos)
+
+
+def _decode_request(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
+    session_id, pos = read_text_interned(buf, pos)
+    seq, pos = read_uvarint(buf, pos)
+    method, pos = read_text_interned(buf, pos)
+    argument, pos = read_bytes(buf, pos)
+    sender_dv, pos = _read_optional_dv(buf, pos)
+    return RequestRecord(session_id, seq, method, argument, sender_dv), pos
+
+
+def _decode_reply(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
+    session_id, pos = read_text_interned(buf, pos)
+    outgoing, pos = read_text_interned(buf, pos)
+    seq, pos = read_uvarint(buf, pos)
+    payload, pos = read_bytes(buf, pos)
+    sender_dv, pos = _read_optional_dv(buf, pos)
+    return ReplyRecord(session_id, outgoing, seq, payload, sender_dv), pos
+
+
+def _decode_sv_read(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
+    session_id, pos = read_text_interned(buf, pos)
+    variable, pos = read_text_interned(buf, pos)
+    value, pos = read_bytes(buf, pos)
+    dv, pos = DependencyVector.decode_from_buffer(buf, pos)
+    return SvReadRecord(session_id, variable, value, dv), pos
+
+
+def _decode_sv_write(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
+    session_id, pos = read_text_interned(buf, pos)
+    variable, pos = read_text_interned(buf, pos)
+    value, pos = read_bytes(buf, pos)
+    dv, pos = DependencyVector.decode_from_buffer(buf, pos)
+    prev_write_lsn, pos = read_uvarint(buf, pos)
+    return SvWriteRecord(session_id, variable, value, dv, prev_write_lsn), pos
+
+
+def _decode_sv_update(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
+    session_id, pos = read_text_interned(buf, pos)
+    variable, pos = read_text_interned(buf, pos)
+    old_value, pos = read_bytes(buf, pos)
+    new_value, pos = read_bytes(buf, pos)
+    variable_dv, pos = DependencyVector.decode_from_buffer(buf, pos)
+    writer_dv, pos = DependencyVector.decode_from_buffer(buf, pos)
+    prev_write_lsn, pos = read_uvarint(buf, pos)
+    return (
+        SvUpdateRecord(
+            session_id, variable, old_value, new_value, variable_dv, writer_dv,
+            prev_write_lsn,
+        ),
+        pos,
+    )
+
+
+def _decode_filler(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
+    # Skip the padding without materializing it — fillers dominate the
+    # log volume when record_overhead_bytes is calibrated to the paper.
+    size, pos = read_uvarint(buf, pos)
+    end = pos + size
+    if end > len(buf):
+        raise CodecError(f"truncated bytes field (need {size}, have {len(buf) - pos})")
+    return FillerRecord(size), end
+
+
+_FAST_DECODERS: dict[int, Callable[[Buffer, int], tuple[LogRecord, int]]] = {
+    KIND_REQUEST: _decode_request,
+    KIND_REPLY: _decode_reply,
+    KIND_SV_READ: _decode_sv_read,
+    KIND_SV_WRITE: _decode_sv_write,
+    KIND_SV_UPDATE: _decode_sv_update,
+    KIND_FILLER: _decode_filler,
+}
+
+
+def decode_record(payload: Buffer) -> LogRecord:
+    """Parse one log record from its encoded payload (bytes or view)."""
+    if len(payload) > 0 and payload[0] < 0x80:
+        fast = _FAST_DECODERS.get(payload[0])
+        if fast is not None:
+            try:
+                record, pos = fast(payload, 1)
+            except IndexError:
+                # Inlined varint reads index past the end on truncated
+                # input; report it like the chained Decoder would.
+                raise CodecError("truncated varint") from None
+            if pos != len(payload):
+                raise CodecError(f"{len(payload) - pos} trailing bytes after decode")
+            return record
+    return _decode_record_general(payload)
+
+
+def _decode_record_general(payload: Buffer) -> LogRecord:
+    """General chained-Decoder path (checkpoints and rare kinds)."""
     dec = Decoder(payload)
     kind = dec.uint()
     if kind == KIND_REQUEST:

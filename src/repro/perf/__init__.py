@@ -1,0 +1,12 @@
+"""Wall-clock performance benchmarks for the log pipeline.
+
+Unlike :mod:`repro.harness` (which measures *simulated* milliseconds),
+these benchmarks measure *real* seconds: how fast the reproduction
+itself encodes, frames, appends, flushes, scans and decodes log
+records.  They exist so hot-path changes ship with numbers — see
+``python -m repro bench`` and ``BENCH_*.json``.
+"""
+
+from repro.perf.bench import BENCHMARKS, run_benchmarks, write_report
+
+__all__ = ["BENCHMARKS", "run_benchmarks", "write_report"]

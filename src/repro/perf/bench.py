@@ -1,0 +1,279 @@
+"""Microbenchmarks for the logging hot path (wall-clock, not simulated).
+
+Four benchmarks cover the pipeline stages the experiments are
+bottlenecked on:
+
+- ``codec_encode`` / ``codec_decode`` — records/s through the record
+  codecs for the high-frequency kinds (request, reply, SV read/write);
+- ``append_flush`` — records/s and MB/s through ``LogManager.append``
+  plus grouped flushes under the simulator;
+- ``scan`` — MB/s and records/s of ``scan_durable`` over a prebuilt
+  durable log (the crash-recovery analysis scan);
+- ``fig14`` — end-to-end wall seconds for a scaled-down Fig. 14
+  workload run (the paper's headline experiment).
+
+``run_benchmarks`` returns a machine-readable dict; ``write_report``
+emits it as JSON (``BENCH_PR1.json`` at the repo root by convention).
+When a baseline report is supplied, per-metric speedups are computed so
+a PR can quote before/after numbers directly.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from typing import Callable, Optional
+
+from repro.core.dv import DependencyVector, StateId
+from repro.core.log_manager import LogManager
+from repro.core.records import (
+    ReplyRecord,
+    RequestRecord,
+    SvReadRecord,
+    SvWriteRecord,
+    decode_record,
+)
+from repro.sim import ProcessGroup, Simulator
+from repro.storage import Disk, StableStore
+
+
+def _sample_dv() -> DependencyVector:
+    dv = DependencyVector()
+    dv.observe("MSP1", StateId(0, 12345))
+    dv.observe("MSP2", StateId(1, 987654))
+    return dv
+
+
+def _sample_records() -> list:
+    """A representative mix of the high-frequency record kinds."""
+    dv = _sample_dv()
+    return [
+        RequestRecord(
+            session_id="client-7/session-41",
+            seq=17,
+            method="ServiceMethod1",
+            argument=b"x" * 64,
+            sender_dv=dv,
+        ),
+        ReplyRecord(
+            session_id="client-7/session-41",
+            outgoing_session_id="msp1/out-3",
+            seq=9,
+            payload=b"r" * 48,
+            sender_dv=dv,
+        ),
+        SvReadRecord(
+            session_id="client-7/session-41",
+            variable="inventory",
+            value=b"v" * 32,
+            variable_dv=dv,
+        ),
+        SvWriteRecord(
+            session_id="client-7/session-41",
+            variable="inventory",
+            value=b"w" * 32,
+            writer_dv=dv,
+            prev_write_lsn=4096,
+        ),
+    ]
+
+
+def bench_codec_encode(scale: float = 1.0) -> dict:
+    records = _sample_records()
+    n = max(1, int(50_000 * scale))
+    start = time.perf_counter()
+    total_bytes = 0
+    for i in range(n):
+        total_bytes += len(records[i & 3].encode())
+    elapsed = time.perf_counter() - start
+    return {
+        "records": n,
+        "seconds": elapsed,
+        "records_per_s": n / elapsed,
+        "mb_per_s": total_bytes / elapsed / 1e6,
+    }
+
+
+def bench_codec_decode(scale: float = 1.0) -> dict:
+    payloads = [r.encode() for r in _sample_records()]
+    n = max(1, int(50_000 * scale))
+    start = time.perf_counter()
+    for i in range(n):
+        decode_record(payloads[i & 3])
+    elapsed = time.perf_counter() - start
+    return {
+        "records": n,
+        "seconds": elapsed,
+        "records_per_s": n / elapsed,
+    }
+
+
+def _make_log(batch_ms: float = 0.0) -> tuple[Simulator, LogManager]:
+    sim = Simulator()
+    store = StableStore()
+    disk = Disk(sim, rng=random.Random(1234))
+    log = LogManager(sim, store, disk, batch_flush_timeout_ms=batch_ms)
+    log.start(group=ProcessGroup("bench"))
+    return sim, log
+
+
+def bench_append_flush(scale: float = 1.0) -> dict:
+    """Append records and flush every 32 appends (group commit shape)."""
+    sim, log = _make_log()
+    records = _sample_records()
+    n = max(1, int(20_000 * scale))
+
+    def producer():
+        for i in range(n):
+            lsn, _size = log.append(records[i & 3])
+            if i & 31 == 31:
+                yield from log.flush(lsn)
+        yield from log.flush()
+
+    start = time.perf_counter()
+    sim.run_process(producer())
+    elapsed = time.perf_counter() - start
+    return {
+        "records": n,
+        "seconds": elapsed,
+        "records_per_s": n / elapsed,
+        "mb_per_s": log.stats.appended_bytes / elapsed / 1e6,
+        "physical_flushes": log.stats.physical_flushes,
+    }
+
+
+def bench_scan(scale: float = 1.0) -> dict:
+    """Sequential analysis scan of a prebuilt durable log."""
+    sim, log = _make_log()
+    records = _sample_records()
+    n = max(1, int(20_000 * scale))
+
+    def builder():
+        for i in range(n):
+            log.append(records[i & 3])
+        yield from log.flush()
+
+    sim.run_process(builder())
+    nbytes = log.store.durable_end
+
+    def scanner():
+        return (yield from log.scan_durable(0))
+
+    start = time.perf_counter()
+    scanned = sim.run_process(scanner())
+    elapsed = time.perf_counter() - start
+    return {
+        "records": len(scanned),
+        "bytes": nbytes,
+        "seconds": elapsed,
+        "records_per_s": len(scanned) / elapsed,
+        "mb_per_s": nbytes / elapsed / 1e6,
+    }
+
+
+def bench_fig14(scale: float = 1.0) -> dict:
+    """End-to-end wall time for a scaled-down Fig. 14 workload run."""
+    from repro.workloads import PaperWorkload, WorkloadParams
+
+    requests = max(10, int(400 * scale))
+    params = WorkloadParams(
+        configuration="LoOptimistic",
+        requests_per_client=requests,
+        num_clients=1,
+        calls_to_sm2=1,
+        seed=0,
+    )
+    start = time.perf_counter()
+    result = PaperWorkload(params).run()
+    elapsed = time.perf_counter() - start
+    return {
+        "requests": result.completed_requests,
+        "seconds": elapsed,
+        "requests_per_wall_s": result.completed_requests / elapsed,
+        "sim_mean_response_ms": result.mean_response_ms,
+    }
+
+
+BENCHMARKS: dict[str, Callable[[float], dict]] = {
+    "codec_encode": bench_codec_encode,
+    "codec_decode": bench_codec_decode,
+    "append_flush": bench_append_flush,
+    "scan": bench_scan,
+    "fig14": bench_fig14,
+}
+
+#: The headline metric of each benchmark, used for speedup reporting.
+_HEADLINE = {
+    "codec_encode": "records_per_s",
+    "codec_decode": "records_per_s",
+    "append_flush": "records_per_s",
+    "scan": "mb_per_s",
+    "fig14": "requests_per_wall_s",
+}
+
+
+def run_benchmarks(
+    scale: float = 1.0,
+    repeat: int = 3,
+    only: Optional[list[str]] = None,
+) -> dict:
+    """Run the benchmark suite; the best of ``repeat`` runs is reported.
+
+    ``scale`` shrinks iteration counts (smoke mode uses a tiny scale and
+    ``repeat=1`` and only asserts completion).
+    """
+    names = only if only is not None else list(BENCHMARKS)
+    results: dict[str, dict] = {}
+    for name in names:
+        fn = BENCHMARKS[name]
+        fn(min(scale, 0.01))  # warmup: import, allocate, JIT-warm caches
+        best: Optional[dict] = None
+        for _ in range(max(1, repeat)):
+            run = fn(scale)
+            if best is None or run["seconds"] < best["seconds"]:
+                best = run
+        results[name] = best
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "scale": scale,
+            "repeat": repeat,
+        },
+        "benchmarks": results,
+    }
+
+
+def attach_baseline(report: dict, baseline: dict) -> None:
+    """Embed ``baseline`` and per-metric speedups into ``report``."""
+    report["baseline"] = baseline.get("benchmarks", baseline)
+    speedups: dict[str, float] = {}
+    for name, run in report["benchmarks"].items():
+        base = report["baseline"].get(name)
+        metric = _HEADLINE.get(name)
+        if not base or metric not in base or metric not in run:
+            continue
+        if base[metric] > 0:
+            speedups[name] = run[metric] / base[metric]
+    report["speedup"] = speedups
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_report(report: dict) -> str:
+    lines = []
+    for name, run in report["benchmarks"].items():
+        metric = _HEADLINE.get(name, "seconds")
+        value = run.get(metric, run["seconds"])
+        line = f"{name:14s} {metric:18s} {value:14,.1f}"
+        speedup = report.get("speedup", {}).get(name)
+        if speedup is not None:
+            line += f"   ({speedup:.2f}x vs baseline)"
+        lines.append(line)
+    return "\n".join(lines)

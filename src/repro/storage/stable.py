@@ -79,6 +79,23 @@ class StableStore:
             )
         return bytes(self._data[start : start + length])
 
+    def view(self, start: int, length: int) -> memoryview:
+        """Zero-copy read of ``[start, start + length)``.
+
+        The returned ``memoryview`` aliases the store's buffer: while it
+        (or any slice of it) is alive the underlying ``bytearray``
+        cannot grow, so callers must not hold a view across a point
+        where an ``append`` can run — in practice, never across a
+        simulation yield.  The log scan and record parsing use views
+        only inside synchronous sections.
+        """
+        if start < 0 or start + length > len(self._data):
+            raise StableStoreError(
+                f"{self.name}: view [{start}, {start + length}) out of range "
+                f"(end={len(self._data)})"
+            )
+        return memoryview(self._data)[start : start + length]
+
     def read_durable(self, start: int, length: int) -> bytes:
         """Read from the durable prefix only (what recovery may rely on)."""
         if start + length > self._durable_end:

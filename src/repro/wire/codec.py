@@ -4,16 +4,120 @@ A tiny, explicit format: unsigned varints (LEB128), zig-zag signed ints,
 length-prefixed bytes/strings, fixed 8-byte floats, and homogeneous
 sequences.  No reflection, no pickle — every record type spells out its
 own fields, which keeps the on-log format stable and debuggable.
+
+Two API layers share the same byte format:
+
+- :class:`Encoder` / :class:`Decoder` — the general chained interface
+  every record type supports;
+- the module-level ``encode_uvarint`` / ``read_uvarint`` /
+  ``read_bytes`` / ``read_text`` functions — the allocation-light fast
+  path used by the compiled codecs of the high-frequency record kinds
+  (see :mod:`repro.core.records`).  They operate on any buffer object
+  (``bytes`` or ``memoryview``), which is what makes the zero-copy log
+  scan possible.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Sequence, Union
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 
 class CodecError(Exception):
     """Raised on malformed input during decoding."""
+
+
+#: Precomputed single-byte varints — the overwhelmingly common case
+#: (kinds, flags, lengths and seqs below 128).
+_UVARINT_1BYTE = tuple(bytes((i,)) for i in range(0x80))
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode an unsigned LEB128 varint (fast path for values < 128)."""
+    if 0 <= value < 0x80:
+        return _UVARINT_1BYTE[value]
+    if value < 0:
+        raise ValueError(f"uint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_uvarint(buf: Buffer, pos: int) -> tuple[int, int]:
+    """Parse an unsigned varint at ``pos``; returns ``(value, next_pos)``."""
+    end = len(buf)
+    if pos >= end:
+        raise CodecError("truncated varint")
+    byte = buf[pos]
+    if byte < 0x80:
+        return byte, pos + 1
+    value = byte & 0x7F
+    shift = 7
+    pos += 1
+    while True:
+        if pos >= end:
+            raise CodecError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 70:
+            raise CodecError("varint too long")
+
+
+def read_bytes(buf: Buffer, pos: int) -> tuple[bytes, int]:
+    """Parse a length-prefixed bytes field; returns ``(data, next_pos)``."""
+    length, pos = read_uvarint(buf, pos)
+    end = pos + length
+    if end > len(buf):
+        raise CodecError(f"truncated bytes field (need {length}, have {len(buf) - pos})")
+    return bytes(buf[pos:end]), end
+
+
+def read_text(buf: Buffer, pos: int) -> tuple[str, int]:
+    """Parse a length-prefixed UTF-8 string; returns ``(text, next_pos)``."""
+    length, pos = read_uvarint(buf, pos)
+    end = pos + length
+    if end > len(buf):
+        raise CodecError(f"truncated text field (need {length}, have {len(buf) - pos})")
+    return str(buf[pos:end], "utf-8"), end
+
+
+#: Bounded intern table for identifier-like text fields (session ids,
+#: variable and MSP names repeat on nearly every record of a log).
+_TEXT_INTERN: dict[bytes, str] = {}
+_TEXT_INTERN_MAX = 8192
+
+
+def read_text_interned(buf: Buffer, pos: int) -> tuple[str, int]:
+    """Like :func:`read_text`, but memoizes the decoded string.
+
+    Meant for identifier fields with heavy repetition; do not use for
+    payload-like text.  The table is dropped wholesale when full —
+    identifiers in a log cluster tightly, so eviction precision is not
+    worth per-entry bookkeeping.
+    """
+    length, pos = read_uvarint(buf, pos)
+    end = pos + length
+    if end > len(buf):
+        raise CodecError(f"truncated text field (need {length}, have {len(buf) - pos})")
+    key = bytes(buf[pos:end])
+    cached = _TEXT_INTERN.get(key)
+    if cached is None:
+        if len(_TEXT_INTERN) >= _TEXT_INTERN_MAX:
+            _TEXT_INTERN.clear()
+        cached = _TEXT_INTERN[key] = key.decode("utf-8")
+    return cached, end
 
 
 class Encoder:
@@ -26,18 +130,7 @@ class Encoder:
 
     def uint(self, value: int) -> "Encoder":
         """Append an unsigned LEB128 varint."""
-        if value < 0:
-            raise ValueError(f"uint cannot encode negative value {value}")
-        out = bytearray()
-        while True:
-            byte = value & 0x7F
-            value >>= 7
-            if value:
-                out.append(byte | 0x80)
-            else:
-                out.append(byte)
-                break
-        self._parts.append(bytes(out))
+        self._parts.append(encode_uvarint(value))
         return self
 
     def sint(self, value: int) -> "Encoder":
@@ -73,11 +166,16 @@ class Encoder:
 
 
 class Decoder:
-    """Consumes a byte string field by field (mirror of :class:`Encoder`)."""
+    """Consumes a byte string field by field (mirror of :class:`Encoder`).
+
+    Accepts any buffer object (``bytes`` or ``memoryview``); when handed
+    a view of a larger log region it never copies more than the leaf
+    fields it returns.
+    """
 
     __slots__ = ("_data", "_pos")
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: Buffer):
         self._data = data
         self._pos = 0
 
@@ -90,19 +188,8 @@ class Decoder:
         return self._pos >= len(self._data)
 
     def uint(self) -> int:
-        shift = 0
-        value = 0
-        while True:
-            if self._pos >= len(self._data):
-                raise CodecError("truncated varint")
-            byte = self._data[self._pos]
-            self._pos += 1
-            value |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                return value
-            shift += 7
-            if shift > 70:
-                raise CodecError("varint too long")
+        value, self._pos = read_uvarint(self._data, self._pos)
+        return value
 
     def sint(self) -> int:
         zigzag = self.uint()

@@ -7,16 +7,25 @@ The physical log is a sequence of frames::
 The frame reader used by the recovery scan stops cleanly at a torn or
 truncated frame — the tail of the log beyond the last complete flush is
 garbage by definition, so hitting it is normal, not an error (ARIES-style
-end-of-log detection).
+end-of-log detection).  A *complete* frame whose checksum does not match
+is a different animal: the durable prefix is supposed to be crash-proof,
+so a bit flip there raises :class:`CorruptRecordError` instead of being
+silently treated as end-of-log.
+
+``unframe`` is zero-copy: handed a ``memoryview`` it returns a sub-view
+of the payload (``bytes`` in → ``bytes`` out), so a whole-log scan can
+parse every frame without materializing intermediate copies.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 _HEADER = struct.Struct("<II")
+
+_Data = Union[bytes, bytearray, memoryview]
 
 
 class CorruptRecordError(Exception):
@@ -28,12 +37,14 @@ def frame(payload: bytes) -> bytes:
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def unframe(data: bytes, offset: int = 0) -> tuple[Optional[bytes], int]:
+def unframe(data: _Data, offset: int = 0) -> tuple[Optional[_Data], int]:
     """Parse one frame at ``offset``.
 
     Returns ``(payload, next_offset)``; ``(None, offset)`` when the data
-    ends before a complete, checksum-valid frame (the normal end-of-log
-    condition).
+    ends before a complete frame (the normal end-of-log condition).
+    Raises :class:`CorruptRecordError` when a complete frame's checksum
+    does not match its contents.  The payload is a slice of ``data`` —
+    zero-copy when ``data`` is a ``memoryview``.
     """
     if offset + _HEADER.size > len(data):
         return None, offset
@@ -44,7 +55,9 @@ def unframe(data: bytes, offset: int = 0) -> tuple[Optional[bytes], int]:
         return None, offset
     payload = data[start:end]
     if zlib.crc32(payload) != crc:
-        return None, offset
+        raise CorruptRecordError(
+            f"frame at offset {offset}: checksum mismatch over {length} payload bytes"
+        )
     return payload, end
 
 

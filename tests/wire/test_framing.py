@@ -1,9 +1,10 @@
 """Frame encoding/scanning tests."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.wire import FrameReader, frame, unframe
+from repro.wire import CorruptRecordError, FrameReader, frame, unframe
 from repro.wire.framing import framed_size
 
 
@@ -30,11 +31,30 @@ def test_unframe_truncated_body():
     assert payload is None
 
 
-def test_unframe_corrupt_checksum():
+def test_unframe_corrupt_checksum_raises():
+    """A *complete* frame with a flipped payload bit is corruption, not
+    end-of-log: the durable prefix is supposed to be crash-proof."""
     data = bytearray(frame(b"payload"))
     data[-1] ^= 0xFF
-    payload, end = unframe(bytes(data))
-    assert payload is None
+    with pytest.raises(CorruptRecordError):
+        unframe(bytes(data))
+
+
+def test_unframe_corrupt_header_crc_raises():
+    data = bytearray(frame(b"payload"))
+    data[4] ^= 0x01  # flip a bit in the stored crc, payload intact
+    with pytest.raises(CorruptRecordError):
+        unframe(bytes(data))
+
+
+def test_unframe_zero_copy_view():
+    """Handed a memoryview, unframe returns a sub-view (no copy)."""
+    blob = frame(b"zero-copy payload")
+    view = memoryview(blob)
+    payload, end = unframe(view)
+    assert isinstance(payload, memoryview)
+    assert payload == b"zero-copy payload"
+    assert end == len(blob)
 
 
 def test_reader_iterates_all_frames():
