@@ -11,7 +11,13 @@ Commands:
   the measurements;
 - ``bench [--scale S] [--repeat N] [--smoke] [--out PATH]
   [--baseline PATH]`` — run the wall-clock log-pipeline benchmarks and
-  emit a machine-readable ``BENCH_*.json`` report.
+  emit a machine-readable ``BENCH_*.json`` report;
+- ``fuzz [--mode exhaustive|random] [--seeds N] [--replay SEED] ...`` —
+  the deterministic crash-schedule explorer (see :mod:`repro.fuzz.cli`):
+  systematically kill an MSP at every enumerated crash site (or at
+  seeded random multi-crash schedules with network faults), recover,
+  and check the exactly-once invariant battery; failures report a
+  replayable ``(seed, schedule)`` pair.
 """
 
 from __future__ import annotations
@@ -77,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--m", type=int, default=1, help="calls to ServiceMethod2")
     workload.add_argument("--crash-every", type=int, default=None)
     workload.add_argument("--batch", type=float, default=0.0, help="batch flush ms")
+    workload.add_argument(
+        "--atomic-sv", action="store_true",
+        help="increment shared counters with atomic update_shared RMWs "
+        "(the paper's separate read+write accesses lose updates under "
+        "concurrent clients, failing exactly-once verification)",
+    )
     workload.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser("bench", help="run the log-pipeline perf benchmarks")
@@ -91,6 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baseline", default=None,
         help="earlier BENCH json to embed and compute speedups against",
     )
+
+    fuzz = sub.add_parser("fuzz", help="run the crash-schedule explorer")
+    from repro.fuzz.cli import add_fuzz_arguments
+
+    add_fuzz_arguments(fuzz)
     return parser
 
 
@@ -126,6 +143,7 @@ def _run_workload(args: argparse.Namespace) -> int:
         calls_to_sm2=args.m,
         crash_every_n=args.crash_every,
         batch_flush_timeout_ms=args.batch,
+        atomic_sv_updates=args.atomic_sv,
         seed=args.seed,
     )
     workload = PaperWorkload(params)
@@ -168,6 +186,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_workload(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "fuzz":
+        from repro.fuzz.cli import run_fuzz
+
+        return run_fuzz(args)
     return 2  # pragma: no cover
 
 

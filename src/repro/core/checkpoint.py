@@ -52,9 +52,11 @@ def take_session_checkpoint(msp: "MiddlewareServer", session: Session):
     """
     session.status = SessionStatus.CHECKPOINTING
     try:
+        msp.sim.probe("ckpt.session.begin", owner=msp.name)
         # The distributed flush guarantees the checkpointed state can
         # never be an orphan.
         yield from msp.distributed_flush(session.dv, f"session {session.id} ckpt")
+        msp.sim.probe("ckpt.session.flushed", owner=msp.name)
         record = session.build_checkpoint()
         yield from msp.cpu(
             msp.config.costs.session_ckpt_cpu_ms + msp.config.costs.log_append_ms
@@ -62,6 +64,7 @@ def take_session_checkpoint(msp: "MiddlewareServer", session: Session):
         lsn, _size = msp.log.append(record)
         session.account_checkpoint(lsn)
         msp.stats.session_checkpoints += 1
+        msp.sim.probe("ckpt.session.logged", owner=msp.name)
     finally:
         if session.status is SessionStatus.CHECKPOINTING:
             session.status = SessionStatus.NORMAL
@@ -77,17 +80,20 @@ def sv_checkpoint(msp: "MiddlewareServer", sv: SharedVariable):
     """
     yield from sv.lock.acquire_write()
     try:
+        msp.sim.probe("ckpt.sv.begin", owner=msp.name)
         try:
             yield from msp.distributed_flush(sv.dv, f"shared variable {sv.name} ckpt")
         except FlushFailed:
             msp.stats.sv_rollbacks += 1
             yield from sv.roll_back(msp.log, msp.table)
             return
+        msp.sim.probe("ckpt.sv.flushed", owner=msp.name)
         record = SvCheckpointRecord(variable=sv.name, value=sv.value, version=sv.write_seq)
         yield from msp.cpu(msp.config.costs.log_append_ms)
         lsn, _size = msp.log.append(record)
         sv.apply_checkpoint(lsn)
         msp.stats.sv_checkpoints += 1
+        msp.sim.probe("ckpt.sv.logged", owner=msp.name)
     finally:
         sv.lock.release_write()
 
@@ -101,6 +107,7 @@ def msp_checkpoint_daemon(msp: "MiddlewareServer"):
 
 def perform_msp_checkpoint(msp: "MiddlewareServer"):
     """One fuzzy MSP checkpoint (§3.4), with forced checkpoints first."""
+    msp.sim.probe("ckpt.msp.begin", owner=msp.name)
     limit = msp.config.forced_ckpt_msp_count
     # Force checkpoints for sessions idle so long that they would hold
     # back the minimal LSN.
@@ -124,6 +131,7 @@ def perform_msp_checkpoint(msp: "MiddlewareServer"):
             msp.stats.forced_checkpoints += 1
             yield from sv_checkpoint(msp, sv)
 
+    msp.sim.probe("ckpt.msp.forced", owner=msp.name)
     record = MspCheckpointRecord(
         recovered_snapshot=msp.table.snapshot(),
         session_start_lsns={
@@ -140,8 +148,15 @@ def perform_msp_checkpoint(msp: "MiddlewareServer"):
     )
     yield from msp.cpu(msp.config.costs.log_append_ms)
     lsn, _size = msp.log.append(record)
+    # A crash at any boundary below must leave the durable anchor
+    # pointing at a *complete, durable* checkpoint record: the record is
+    # volatile at "logged", durable but unanchored at "flushed", and
+    # only at "anchored" does analysis start using it.
+    msp.sim.probe("ckpt.msp.logged", owner=msp.name)
     # The anchor must point at a durable checkpoint.
     yield from msp.cpu(msp.config.costs.flush_issue_ms)
     yield from msp.log.flush(lsn)
+    msp.sim.probe("ckpt.msp.flushed", owner=msp.name)
     yield from msp.log.write_anchor(lsn)
     msp.stats.msp_checkpoints += 1
+    msp.sim.probe("ckpt.msp.anchored", owner=msp.name)

@@ -57,6 +57,7 @@ def recover_msp(msp: "MiddlewareServer"):
     """Run full crash recovery (generator); called from ``start()``."""
     started_at = msp.sim.now
     log = msp.log
+    msp.sim.probe("recovery.begin", owner=msp.name)
 
     # 1. Re-initialize from the most recent MSP checkpoint.
     anchor = log.read_anchor()
@@ -71,9 +72,11 @@ def recover_msp(msp: "MiddlewareServer"):
         msp.table = RecoveryTable.from_snapshot(ckpt.recovered_snapshot)
         old_epoch = ckpt.epoch
         scan_start = ckpt.min_lsn(anchor)
+    msp.sim.probe("recovery.anchor-read", owner=msp.name)
 
     # 2. Single-threaded analysis scan.
     records = yield from log.scan_durable(scan_start)
+    msp.sim.probe("recovery.scanned", owner=msp.name)
     yield from msp.cpu(len(records) * msp.config.costs.scan_record_cpu_ms)
 
     positions: dict[str, list[int]] = {}
@@ -135,6 +138,8 @@ def recover_msp(msp: "MiddlewareServer"):
             sv.recovery_target_write = order_writes.get(name, sv.write_seq)
             sv.expected_reads = dict(order_reads.get(name, {}))
 
+    msp.sim.probe("recovery.analyzed", owner=msp.name)
+
     # The largest persistent LSN is what we recovered to.
     recovered_lsn = msp.store.durable_end
     msp.table.record(msp.name, old_epoch, recovered_lsn)
@@ -156,11 +161,13 @@ def recover_msp(msp: "MiddlewareServer"):
 
     # 3. Broadcast the recovery message within the service domain.
     msp.broadcast_recovery(old_epoch, recovered_lsn)
+    msp.sim.probe("recovery.announced", owner=msp.name)
 
     # 4. Make a fresh MSP checkpoint (so the next crash starts here).
     from repro.core.checkpoint import perform_msp_checkpoint
 
     yield from perform_msp_checkpoint(msp)
+    msp.sim.probe("recovery.checkpointed", owner=msp.name)
 
     # 5. Recover sessions in parallel; the caller opens for business
     # immediately, so new sessions are accepted while these replay.
@@ -182,3 +189,4 @@ def recover_msp(msp: "MiddlewareServer"):
             _sequential(), name=f"{msp.name}.sessionrec.seq", group=msp.group
         )
     msp.stats.recovery_scan_ms += msp.sim.now - started_at
+    msp.sim.probe("recovery.end", owner=msp.name)

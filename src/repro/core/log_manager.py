@@ -68,11 +68,15 @@ class LogManager:
         flush_cpu_ms: float = 0.0,
         record_overhead_bytes: int = 0,
         decode_cache_records: int = 4096,
+        owner: Optional[str] = None,
     ):
         self.sim = sim
         self.store = store
         self.disk = disk
         self.name = name
+        #: Crash-site probe attribution: the name of the MSP whose log
+        #: this is (``repro.fuzz`` kills that MSP at probe firings).
+        self.owner = owner
         self.batch_flush_timeout_ms = batch_flush_timeout_ms
         self.max_block_sectors = max_block_sectors
         self.read_chunk_sectors = read_chunk_sectors
@@ -114,6 +118,7 @@ class LogManager:
         Returns ``(lsn, framed_size)``; the record is volatile until a
         flush covers it.
         """
+        self.sim.probe("log.append", owner=self.owner)
         payload = record.encode()
         framed = frame(payload)
         lsn = self.store.append(framed)
@@ -233,6 +238,7 @@ class LogManager:
         start = self.store.durable_end
         if goal <= start:
             return
+        self.sim.probe("log.flush.begin", owner=self.owner)
         if self._cpu is not None and self.flush_cpu_ms > 0:
             yield from self._cpu(self.flush_cpu_ms)
         nbytes = goal - start
@@ -245,16 +251,22 @@ class LogManager:
         while remaining > 0:
             block = min(remaining, self.max_block_sectors)
             yield from self.disk.write(block)
+            self.sim.probe("log.flush.block", owner=self.owner)
             remaining -= block
         self.store.mark_durable(goal)
+        self.sim.probe("log.flush.end", owner=self.owner)
 
     # -- the log anchor ----------------------------------------------------------
 
     def write_anchor(self, msp_checkpoint_lsn: int):
         """Durably record the most recent MSP checkpoint LSN (generator)."""
         self.store.write_anchor(msp_checkpoint_lsn.to_bytes(8, "big"))
+        # Crash between staging and the disk write completing must leave
+        # the previous durable anchor in effect (never a torn anchor).
+        self.sim.probe("log.anchor.staged", owner=self.owner)
         yield from self.disk.write(1)
         self.store.flush_anchor()
+        self.sim.probe("log.anchor.end", owner=self.owner)
 
     def read_anchor(self) -> Optional[int]:
         """The durable MSP checkpoint LSN, or None if never written."""

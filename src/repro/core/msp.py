@@ -183,6 +183,7 @@ class MiddlewareServer:
             cpu=self.cpu,
             flush_cpu_ms=self.config.costs.flush_cpu_ms,
             record_overhead_bytes=self.config.log_record_overhead_bytes,
+            owner=self.name,
         )
         self.log.start(group=self.group)
         self.sessions = {}
@@ -236,6 +237,7 @@ class MiddlewareServer:
                 group=self.group,
             )
         self.running = True
+        self.sim.probe("msp.open", owner=self.name)
 
     def crash(self) -> None:
         """Fail-stop: kill every thread, lose all volatile state.
@@ -401,6 +403,7 @@ class MiddlewareServer:
 
     def _handle_request(self, request: Request):
         costs = self.config.costs
+        self.sim.probe("msp.request", owner=self.name)
         yield from self.cpu(costs.message_stack_ms + costs.request_dispatch_ms)
         session = self.session_for(request.session_id)
 
@@ -584,6 +587,7 @@ class MiddlewareServer:
         yield from self._send_reply(request, reply)
 
     def _send_reply(self, request: Request, reply: Reply):
+        self.sim.probe("msp.reply", owner=self.name)
         yield from self.cpu(self.config.costs.message_stack_ms)
         self.send(request.reply_to, request.reply_port, reply)
 
@@ -614,6 +618,7 @@ class MiddlewareServer:
                 self.learn_recovery_knowledge(payload.table_snapshot)
 
     def _handle_announcement(self, ann: RecoveryAnnouncement):
+        self.sim.probe("msp.announcement", owner=self.name)
         yield from self.cpu(self.config.costs.message_stack_ms)
         fresh = self.table.record(ann.msp, ann.epoch, ann.recovered_lsn)
         self.learn_recovery_knowledge(ann.table_snapshot)

@@ -1,0 +1,191 @@
+"""``python -m repro fuzz`` — the crash-schedule explorer front end.
+
+Modes:
+
+- ``--mode exhaustive`` (default): enumerate every crash site of the
+  default paper workload and execute one single-crash schedule per site
+  (``--stride``/``--max-schedules`` bound smoke passes);
+- ``--mode random``: ``--seeds N`` seeded multi-crash/fault cases from
+  ``--seed``; every failure prints its case seed;
+- ``--replay <case_seed>``: re-execute exactly one random case;
+- ``--replay-file <artifact> [--index N]``: re-execute a schedule
+  recorded in a failure artifact (covers exhaustive-mode failures).
+
+On failure the full ``(seed, schedule)`` list is written to ``--out``
+(JSON) so CI can upload it, each failure is optionally minimized with
+``--minimize``, and the exit status is 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.fuzz.explorer import (
+    CrashSchedule,
+    FuzzParams,
+    FuzzReport,
+    explore_exhaustive,
+    fuzz_random,
+    run_random_case,
+    run_schedule,
+    schedule_from_seed,
+)
+from repro.fuzz.minimize import minimize_schedule
+
+
+def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mode", choices=("exhaustive", "random"), default="exhaustive"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--seeds", type=int, default=50, help="random mode: number of cases"
+    )
+    parser.add_argument(
+        "--replay", type=int, default=None, metavar="CASE_SEED",
+        help="re-execute one random case byte-for-byte",
+    )
+    parser.add_argument(
+        "--replay-file", default=None, metavar="ARTIFACT",
+        help="re-execute a schedule from a failure artifact JSON",
+    )
+    parser.add_argument(
+        "--index", type=int, default=0, help="failure index inside --replay-file"
+    )
+    parser.add_argument(
+        "--target", choices=("msp1", "msp2", "both"), default="both",
+        help="exhaustive mode: which MSP to kill",
+    )
+    parser.add_argument("--stride", type=int, default=1, help="site stride")
+    parser.add_argument("--max-schedules", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument(
+        "--minimize", action="store_true", help="shrink failures before reporting"
+    )
+    parser.add_argument(
+        "--out", default="fuzz-artifact.json", help="failure artifact path"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="no per-schedule progress"
+    )
+
+
+def _params(args: argparse.Namespace) -> FuzzParams:
+    params = FuzzParams()
+    if args.requests is not None:
+        params.requests_per_client = args.requests
+    if args.clients is not None:
+        params.num_clients = args.clients
+    return params
+
+
+def _progress(quiet: bool):
+    if quiet:
+        return None
+
+    def report(done: int, total: int, result) -> None:
+        if result.failed:
+            print(f"  [{done}/{total}] FAIL {result.schedule.to_dict()}")
+        elif done % 50 == 0 or done == total:
+            print(f"  [{done}/{total}] ok")
+
+    return report
+
+
+def _minimize_failures(report: FuzzReport, params: FuzzParams, quiet: bool) -> None:
+    for failure in report.failures:
+        schedule = CrashSchedule.from_dict(failure.schedule)
+        minimized, attempts = minimize_schedule(
+            schedule, lambda s: run_schedule(s, params).failed
+        )
+        failure.schedule = minimized.to_dict()
+        if not quiet:
+            print(
+                f"  minimized {schedule.to_dict()} -> {minimized.to_dict()} "
+                f"({attempts} oracle runs)"
+            )
+
+
+def _finish(report: FuzzReport, args: argparse.Namespace, wall_s: float) -> int:
+    total_sites = sum(report.sites_discovered.values())
+    print(
+        f"fuzz {report.mode}: {report.schedules_run} schedules, "
+        f"{report.crashes_injected} crashes injected"
+        + (f", {total_sites} sites discovered" if report.sites_discovered else "")
+        + f", {len(report.failures)} failures, {wall_s:.1f}s"
+    )
+    if report.ok:
+        return 0
+    artifact = report.to_dict()
+    with open(args.out, "w") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+    print(f"wrote failure artifact {args.out}", file=sys.stderr)
+    for failure in report.failures:
+        print(f"  failure: {failure.to_dict()['replay']}", file=sys.stderr)
+    return 1
+
+
+def _run_replay(args: argparse.Namespace, params: FuzzParams) -> int:
+    if args.replay is not None:
+        schedule = schedule_from_seed(args.replay, params)
+        print(f"replaying case seed {args.replay}: {schedule.to_dict()}")
+        result = run_random_case(args.replay, params)
+    else:
+        with open(args.replay_file) as fh:
+            artifact = json.load(fh)
+        failures = artifact.get("failures", [])
+        if not failures:
+            print("artifact holds no failures", file=sys.stderr)
+            return 2
+        if not 0 <= args.index < len(failures):
+            print(
+                f"--index {args.index} out of range (artifact holds "
+                f"{len(failures)} failures)",
+                file=sys.stderr,
+            )
+            return 2
+        schedule = CrashSchedule.from_dict(failures[args.index]["schedule"])
+        print(f"replaying recorded schedule: {schedule.to_dict()}")
+        result = run_schedule(schedule, params)
+    if result.violations:
+        print("reproduced violations:")
+        for violation in result.violations:
+            print(f"  - {violation}")
+        return 1
+    print("schedule ran clean (no invariant violations)")
+    return 0
+
+
+def run_fuzz(args: argparse.Namespace) -> int:
+    params = _params(args)
+    if args.replay is not None or args.replay_file is not None:
+        return _run_replay(args, params)
+
+    started = time.monotonic()
+    targets: Optional[tuple[str, ...]] = None
+    if args.target != "both":
+        targets = (args.target,)
+    if args.mode == "exhaustive":
+        report = explore_exhaustive(
+            params,
+            seed=args.seed,
+            targets=targets,
+            stride=args.stride,
+            max_schedules=args.max_schedules,
+            progress=_progress(args.quiet),
+        )
+    else:
+        report = fuzz_random(
+            master_seed=args.seed,
+            runs=args.seeds,
+            params=params,
+            progress=_progress(args.quiet),
+        )
+    if report.failures and args.minimize:
+        _minimize_failures(report, params, args.quiet)
+    return _finish(report, args, time.monotonic() - started)

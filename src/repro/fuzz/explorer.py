@@ -1,0 +1,414 @@
+"""The deterministic crash-schedule explorer.
+
+Two modes over the paper workload (§5.1 topology: client, MSP1, MSP2 in
+one service domain):
+
+- **exhaustive** single-crash enumeration: one instrumented discovery
+  run records every crash site the workload reaches; then, for each
+  enumerated site, a fresh world is built and the target MSP is
+  fail-stopped exactly there, recovery runs, and the invariant battery
+  (:mod:`repro.fuzz.invariants`) is checked;
+- **random** multi-crash/fault fuzzing: each case is fully determined by
+  one integer ``case_seed`` — it seeds the world, the kill ordinals
+  (1–3 crashes, possibly landing *inside* recovery) and the link-fault
+  model (loss/duplication/reordering via :mod:`repro.net.faults`).
+  A failing case therefore replays byte-for-byte from its seed alone:
+  ``python -m repro fuzz --replay <seed>``.
+
+Schedules are expressed in per-owner probe ordinals ("the k-th crash
+site MSP2 reaches"), the coordinate system of :mod:`repro.fuzz.sites`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.session import SessionStatus
+from repro.fuzz.invariants import check_world
+from repro.fuzz.sites import CrashInjector, TraceRecorder
+from repro.net.faults import FaultModel
+from repro.workloads.paper import (
+    BANDWIDTH_BYTES_PER_MS,
+    CLIENT_LINK_LATENCY_MS,
+    MSP_LINK_LATENCY_MS,
+    PaperWorkload,
+    WorkloadParams,
+)
+
+#: Case-seed derivation for random mode: ``master_seed * _SEED_STRIDE + i``.
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Link faults a schedule composes into the run (both workload links)."""
+
+    loss_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_max_delay_ms: float = 5.0
+
+    def to_model(self) -> FaultModel:
+        return FaultModel(
+            loss_prob=self.loss_prob,
+            duplicate_prob=self.duplicate_prob,
+            reorder_prob=self.reorder_prob,
+            reorder_max_delay_ms=self.reorder_max_delay_ms,
+        )
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """One replayable crash/fault schedule.
+
+    ``kills`` are per-owner probe ordinals at which ``target`` is
+    fail-stopped (and restarted).  Ordinals beyond the run's trace never
+    fire — a no-op kill, which the minimizer prunes.
+    """
+
+    target: str
+    kills: tuple[int, ...]
+    seed: int
+    faults: Optional[FaultSpec] = None
+
+    def to_dict(self) -> dict:
+        data = {
+            "target": self.target,
+            "kills": list(self.kills),
+            "seed": self.seed,
+        }
+        if self.faults is not None:
+            data["faults"] = asdict(self.faults)
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "CrashSchedule":
+        faults = data.get("faults")
+        return CrashSchedule(
+            target=data["target"],
+            kills=tuple(int(k) for k in data["kills"]),
+            seed=int(data["seed"]),
+            faults=FaultSpec(**faults) if faults else None,
+        )
+
+
+@dataclass
+class FuzzParams:
+    """Shape of the fuzzed workload and execution bounds."""
+
+    num_clients: int = 2
+    requests_per_client: int = 6
+    calls_to_sm2: int = 1
+    #: Small thresholds/periods so checkpoint phases appear in traces.
+    session_ckpt_threshold: int = 4 * 1024
+    msp_ckpt_interval_ms: float = 40.0
+    #: Simulated-time budget; a schedule that exceeds it is a liveness
+    #: failure (clients stalled), not a hang of the explorer.
+    limit_ms: float = 60_000.0
+    #: Extra simulated time after the run for in-flight recoveries.
+    quiesce_ms: float = 2_000.0
+    #: Random mode samples kill ordinals from ``[0, kill_horizon)``.
+    kill_horizon: int = 600
+    targets: tuple[str, ...] = ("msp1", "msp2")
+
+    def workload_params(self, seed: int) -> WorkloadParams:
+        return WorkloadParams(
+            configuration="LoOptimistic",
+            num_clients=self.num_clients,
+            requests_per_client=self.requests_per_client,
+            calls_to_sm2=self.calls_to_sm2,
+            session_ckpt_threshold=self.session_ckpt_threshold,
+            msp_ckpt_interval_ms=self.msp_ckpt_interval_ms,
+            # Atomic RMW counters: with the paper's separate read + write
+            # accesses, two concurrent clients can interleave and lose an
+            # increment with no crash at all (the fuzzer's first find),
+            # which would make the counter oracle unsound.
+            atomic_sv_updates=True,
+            seed=seed,
+        )
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of executing one schedule."""
+
+    schedule: CrashSchedule
+    violations: list[str]
+    crashes_injected: int
+    sites_in_trace: int
+    completed_requests: int
+    elapsed_sim_ms: float
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+    def fingerprint(self) -> tuple:
+        """Deterministic digest two replays of one case must agree on."""
+        return (
+            tuple(self.violations),
+            self.crashes_injected,
+            self.sites_in_trace,
+            self.completed_requests,
+            round(self.elapsed_sim_ms, 6),
+        )
+
+
+@dataclass
+class FuzzFailure:
+    """A reported failure: everything needed to reproduce it."""
+
+    schedule: dict
+    violations: list[str]
+    case_seed: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "schedule": self.schedule,
+            "violations": self.violations,
+            "case_seed": self.case_seed,
+            "replay": (
+                f"python -m repro fuzz --replay {self.case_seed}"
+                if self.case_seed is not None
+                else "python -m repro fuzz --replay-file <artifact> --index <n>"
+            ),
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one explorer invocation (the CI artifact on failure)."""
+
+    mode: str
+    sites_discovered: dict[str, int] = field(default_factory=dict)
+    schedules_run: int = 0
+    crashes_injected: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "sites_discovered": dict(self.sites_discovered),
+            "total_sites": sum(self.sites_discovered.values()),
+            "schedules_run": self.schedules_run,
+            "crashes_injected": self.crashes_injected,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+# ---------------------------------------------------------------------------
+# world construction and schedule execution
+# ---------------------------------------------------------------------------
+
+
+def build_world(params: FuzzParams, seed: int, faults: Optional[FaultSpec]) -> PaperWorkload:
+    """A fresh paper-workload world, with schedule faults on both links."""
+    workload = PaperWorkload(params.workload_params(seed))
+    if faults is not None:
+        model = faults.to_model()
+        workload.network.set_link(
+            "client",
+            "msp1",
+            latency_ms=CLIENT_LINK_LATENCY_MS,
+            bandwidth_bytes_per_ms=BANDWIDTH_BYTES_PER_MS,
+            faults=model,
+        )
+        workload.network.set_link(
+            "msp1",
+            "msp2",
+            latency_ms=MSP_LINK_LATENCY_MS,
+            bandwidth_bytes_per_ms=BANDWIDTH_BYTES_PER_MS,
+            faults=model,
+        )
+    return workload
+
+
+def _quiesced(workload: PaperWorkload) -> bool:
+    """Both MSPs serving and no session replay still in flight.
+
+    Recovery opens for business *before* the parallel session replays
+    finish (paper §4.3), so ``running`` alone is not quiescence.
+    """
+    for msp in (workload.msp1, workload.msp2):
+        if not msp.running:
+            return False
+        for session in msp.sessions.values():
+            if session.recovery_pending or session.status is not SessionStatus.NORMAL:
+                return False
+    return True
+
+
+def _crash_and_restart(workload: PaperWorkload, target: str):
+    msp = {"msp1": workload.msp1, "msp2": workload.msp2}[target]
+
+    def crash() -> None:
+        msp.crash()
+        msp.restart_process()
+
+    return crash
+
+
+def discover_sites(params: FuzzParams, seed: int = 0) -> TraceRecorder:
+    """One uninjected run; returns the recorder holding the site trace."""
+    workload = build_world(params, seed, faults=None)
+    recorder = TraceRecorder(workload.sim).attach()
+    workload.run(limit_ms=params.limit_ms)
+    workload.sim.run(until=workload.sim.now + params.quiesce_ms)
+    recorder.detach()
+    return recorder
+
+
+def run_schedule(schedule: CrashSchedule, params: FuzzParams) -> ScheduleResult:
+    """Execute one schedule in a fresh world and check every invariant."""
+    workload = build_world(params, schedule.seed, schedule.faults)
+    recorder = TraceRecorder(workload.sim).attach()
+    injector = CrashInjector(
+        workload.sim,
+        schedule.target,
+        schedule.kills,
+        _crash_and_restart(workload, schedule.target),
+    ).attach()
+    result = workload.run(limit_ms=params.limit_ms)
+    workload.sim.run(until=workload.sim.now + params.quiesce_ms)
+    # A kill that lands at the very edge of the quiesce window leaves its
+    # recovery or session replays in flight; grant bounded extra time so
+    # the battery judges a recovered world, not a mid-recovery snapshot.
+    # (A recovery that cannot finish within this budget is a genuine
+    # liveness violation.)
+    settle_deadline = workload.sim.now + params.quiesce_ms
+    while workload.sim.now < settle_deadline and not _quiesced(workload):
+        if not workload.sim.step():
+            break
+    injector.detach()
+    recorder.detach()
+    violations = check_world(workload, [workload.msp1, workload.msp2])
+    return ScheduleResult(
+        schedule=schedule,
+        violations=violations,
+        crashes_injected=injector.crashes_injected,
+        sites_in_trace=len(recorder.events),
+        completed_requests=result.completed_requests,
+        elapsed_sim_ms=result.elapsed_ms,
+    )
+
+
+# ---------------------------------------------------------------------------
+# exhaustive single-crash enumeration
+# ---------------------------------------------------------------------------
+
+
+def enumerate_schedules(
+    params: FuzzParams,
+    seed: int = 0,
+    targets: Optional[Iterable[str]] = None,
+    stride: int = 1,
+    max_schedules: Optional[int] = None,
+) -> tuple[list[CrashSchedule], dict[str, int]]:
+    """All single-crash schedules from one discovery run.
+
+    ``stride`` and ``max_schedules`` bound CI smoke passes; the
+    truncation is evenly spaced so bounded runs still sample every phase
+    of the workload rather than only its warm-up.
+    """
+    recorder = discover_sites(params, seed)
+    counts = {t: recorder.count_for(t) for t in (targets or params.targets)}
+    schedules: list[CrashSchedule] = []
+    for target, count in sorted(counts.items()):
+        for ordinal in range(0, count, max(1, stride)):
+            schedules.append(CrashSchedule(target=target, kills=(ordinal,), seed=seed))
+    if max_schedules is not None and len(schedules) > max_schedules:
+        step = len(schedules) / max_schedules
+        schedules = [schedules[int(i * step)] for i in range(max_schedules)]
+    return schedules, counts
+
+
+def explore_exhaustive(
+    params: Optional[FuzzParams] = None,
+    seed: int = 0,
+    targets: Optional[Iterable[str]] = None,
+    stride: int = 1,
+    max_schedules: Optional[int] = None,
+    progress=None,
+) -> FuzzReport:
+    """Run every enumerated single-crash schedule and collect failures."""
+    params = params or FuzzParams()
+    schedules, counts = enumerate_schedules(
+        params, seed=seed, targets=targets, stride=stride, max_schedules=max_schedules
+    )
+    report = FuzzReport(mode="exhaustive", sites_discovered=counts)
+    for i, schedule in enumerate(schedules):
+        result = run_schedule(schedule, params)
+        report.schedules_run += 1
+        report.crashes_injected += result.crashes_injected
+        if result.failed:
+            report.failures.append(
+                FuzzFailure(schedule=schedule.to_dict(), violations=result.violations)
+            )
+        if progress is not None:
+            progress(i + 1, len(schedules), result)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# seeded random multi-crash / fault fuzzing
+# ---------------------------------------------------------------------------
+
+
+def case_seed_for(master_seed: int, index: int) -> int:
+    return master_seed * _SEED_STRIDE + index
+
+
+def schedule_from_seed(case_seed: int, params: FuzzParams) -> CrashSchedule:
+    """Derive the full schedule for one case, from its seed alone."""
+    rng = random.Random(case_seed)
+    target = rng.choice(sorted(params.targets))
+    n_kills = rng.randint(1, 3)
+    kills = tuple(sorted(rng.sample(range(params.kill_horizon), n_kills)))
+    faults: Optional[FaultSpec] = None
+    if rng.random() < 0.5:
+        faults = FaultSpec(
+            loss_prob=rng.choice([0.0, 0.02, 0.05]),
+            duplicate_prob=rng.choice([0.0, 0.02, 0.05]),
+            reorder_prob=rng.choice([0.0, 0.1, 0.25]),
+            reorder_max_delay_ms=rng.choice([2.0, 5.0]),
+        )
+    return CrashSchedule(target=target, kills=kills, seed=case_seed, faults=faults)
+
+
+def run_random_case(case_seed: int, params: Optional[FuzzParams] = None) -> ScheduleResult:
+    """Execute (or replay) the case identified by ``case_seed``."""
+    params = params or FuzzParams()
+    return run_schedule(schedule_from_seed(case_seed, params), params)
+
+
+def fuzz_random(
+    master_seed: int = 0,
+    runs: int = 50,
+    params: Optional[FuzzParams] = None,
+    progress=None,
+) -> FuzzReport:
+    """``runs`` independent seeded cases; failures report their case seed."""
+    params = params or FuzzParams()
+    report = FuzzReport(mode="random")
+    for i in range(runs):
+        case_seed = case_seed_for(master_seed, i)
+        result = run_random_case(case_seed, params)
+        report.schedules_run += 1
+        report.crashes_injected += result.crashes_injected
+        if result.failed:
+            report.failures.append(
+                FuzzFailure(
+                    schedule=result.schedule.to_dict(),
+                    violations=result.violations,
+                    case_seed=case_seed,
+                )
+            )
+        if progress is not None:
+            progress(i + 1, runs, result)
+    return report

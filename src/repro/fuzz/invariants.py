@@ -1,0 +1,240 @@
+"""The invariant battery a crash schedule must not break.
+
+Every schedule the explorer executes ends with these checks over the
+quiesced world.  Each checker returns a list of violation strings (empty
+= invariant holds) so one run can report every broken property at once:
+
+- **exactly-once** — every completed client call took effect exactly
+  once (shared counters equal completed-call counts) and every client
+  finished its script (a stall is a liveness violation);
+- **no surviving orphans** — after quiesce, no session and no shared
+  variable still depends on state lost in a crash;
+- **shared-variable undo chains** — each variable's backward write chain
+  walks through type-correct records with strictly decreasing LSNs down
+  to a checkpoint or the chain's start;
+- **durable-log well-formedness** — the crash-proof prefix parses as
+  complete, checksummed, decodable frames ending exactly at the durable
+  boundary, and the durable anchor points at a complete, durable MSP
+  checkpoint record;
+- **recovered and serving** — every MSP is back up (a crash during
+  recovery must itself be recoverable).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.records import (
+    NO_LSN,
+    MspCheckpointRecord,
+    SvCheckpointRecord,
+    SvUpdateRecord,
+    SvWriteRecord,
+    decode_record,
+)
+from repro.core.session import SessionStatus
+from repro.wire.framing import CorruptRecordError, unframe
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.msp import MiddlewareServer
+
+
+def check_exactly_once(workload) -> list[str]:
+    """Completed calls vs shared counters, and no stalled client."""
+    violations: list[str] = []
+    params = workload.params
+    expected_calls = params.num_clients * params.requests_per_client
+    completed = workload.client.stats.calls
+    if completed != expected_calls:
+        violations.append(
+            f"liveness: clients completed {completed}/{expected_calls} calls"
+        )
+    try:
+        counters = workload.shared_counters()
+    except Exception as exc:  # noqa: BLE001 - a torn world is a finding
+        violations.append(
+            f"exactly-once: shared counters unreadable after quiesce ({exc!r})"
+        )
+        return violations
+    expected = {
+        "SV0": completed,
+        "SV1": completed,
+        "SV2": completed * params.calls_to_sm2,
+        "SV3": completed * params.calls_to_sm2,
+    }
+    if counters != expected:
+        violations.append(
+            f"exactly-once: shared counters {counters}, expected {expected}"
+        )
+    return violations
+
+
+def check_no_orphans(msp: "MiddlewareServer") -> list[str]:
+    """No session or shared variable may remain an orphan after quiesce."""
+    violations: list[str] = []
+    if not msp.running:
+        # check_running reports this; orphan state is unreadable anyway.
+        return violations
+    for session in msp.sessions.values():
+        if session.is_orphan(msp.table):
+            violations.append(
+                f"orphan: {msp.name} session {session.id} still orphaned "
+                f"(dv={session.dv!r})"
+            )
+        if session.status is not SessionStatus.NORMAL:
+            violations.append(
+                f"orphan: {msp.name} session {session.id} stuck in "
+                f"{session.status.name} after quiesce"
+            )
+    for sv in msp.shared.values():
+        if sv.is_orphan(msp.table):
+            violations.append(
+                f"orphan: {msp.name} shared variable {sv.name} still orphaned "
+                f"(dv={sv.dv!r})"
+            )
+    return violations
+
+
+def check_sv_chains(msp: "MiddlewareServer", max_hops: int = 100_000) -> list[str]:
+    """Undo chains must be type-correct and strictly backward."""
+    violations: list[str] = []
+    if not msp.running or msp.log is None:
+        return violations
+    for sv in msp.shared.values():
+        cursor = sv.last_write_lsn
+        previous = None
+        hops = 0
+        while cursor != NO_LSN:
+            if previous is not None and cursor >= previous:
+                violations.append(
+                    f"sv-chain: {msp.name}.{sv.name} chain not strictly "
+                    f"decreasing ({previous} -> {cursor})"
+                )
+                break
+            if hops > max_hops:
+                violations.append(
+                    f"sv-chain: {msp.name}.{sv.name} chain exceeds {max_hops} hops"
+                )
+                break
+            try:
+                record, _next = msp.log.record_at(cursor)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                violations.append(
+                    f"sv-chain: {msp.name}.{sv.name} unreadable record at "
+                    f"LSN {cursor}: {exc}"
+                )
+                break
+            if isinstance(record, SvCheckpointRecord):
+                if record.variable != sv.name:
+                    violations.append(
+                        f"sv-chain: {msp.name}.{sv.name} chain ends at a "
+                        f"checkpoint of {record.variable!r}"
+                    )
+                break
+            if not isinstance(record, (SvWriteRecord, SvUpdateRecord)):
+                violations.append(
+                    f"sv-chain: {msp.name}.{sv.name} chain hit "
+                    f"{type(record).__name__} at LSN {cursor}"
+                )
+                break
+            if record.variable != sv.name:
+                violations.append(
+                    f"sv-chain: {msp.name}.{sv.name} chain hit a write of "
+                    f"{record.variable!r} at LSN {cursor}"
+                )
+                break
+            previous = cursor
+            cursor = record.prev_write_lsn
+            hops += 1
+    return violations
+
+
+def check_durable_log(msp: "MiddlewareServer") -> list[str]:
+    """The durable prefix must be a clean sequence of decodable frames."""
+    violations: list[str] = []
+    store = msp.store
+    durable = store.durable_end
+    offset = 0
+    count = 0
+    view = store.view(0, durable)
+    try:
+        while offset < durable:
+            payload, next_offset = unframe(view, offset)
+            if payload is None:
+                violations.append(
+                    f"durable-log: {msp.name} torn frame at offset {offset} "
+                    f"inside the durable prefix (durable_end={durable})"
+                )
+                break
+            try:
+                decode_record(payload)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                violations.append(
+                    f"durable-log: {msp.name} undecodable record at "
+                    f"LSN {offset}: {exc}"
+                )
+                break
+            offset = next_offset
+            count += 1
+        else:
+            if offset != durable:
+                violations.append(
+                    f"durable-log: {msp.name} frame at {offset} straddles the "
+                    f"durable boundary {durable}"
+                )
+    except CorruptRecordError as exc:
+        violations.append(f"durable-log: {msp.name} {exc}")
+    finally:
+        del view  # release the memoryview before any append can run
+
+    anchor_raw = store.read_anchor()
+    if anchor_raw is not None:
+        anchor = int.from_bytes(anchor_raw, "big")
+        if anchor >= durable:
+            violations.append(
+                f"durable-log: {msp.name} anchor {anchor} points past the "
+                f"durable boundary {durable}"
+            )
+        elif msp.log is not None:
+            try:
+                record, _next = msp.log.record_at(anchor)
+            except Exception as exc:  # noqa: BLE001
+                violations.append(
+                    f"durable-log: {msp.name} anchor {anchor} unreadable: {exc}"
+                )
+            else:
+                if not isinstance(record, MspCheckpointRecord):
+                    violations.append(
+                        f"durable-log: {msp.name} anchor {anchor} points at "
+                        f"{type(record).__name__}, not an MSP checkpoint"
+                    )
+                elif not msp.log.is_durable(anchor):
+                    violations.append(
+                        f"durable-log: {msp.name} anchor {anchor} points at a "
+                        "non-durable checkpoint record"
+                    )
+    return violations
+
+
+def check_running(msp: "MiddlewareServer") -> list[str]:
+    """Every crash — including one during recovery — must be recovered."""
+    if msp.running:
+        return []
+    return [f"recovery: {msp.name} is not serving after quiesce"]
+
+
+def check_msp(msp: "MiddlewareServer") -> list[str]:
+    """The full per-MSP battery."""
+    violations = check_running(msp)
+    violations += check_no_orphans(msp)
+    violations += check_sv_chains(msp)
+    violations += check_durable_log(msp)
+    return violations
+
+
+def check_world(workload, msps: Iterable["MiddlewareServer"]) -> list[str]:
+    """The full battery over a quiesced workload run."""
+    violations = check_exactly_once(workload)
+    for msp in msps:
+        violations += check_msp(msp)
+    return violations

@@ -1,4 +1,14 @@
-"""Message fault injection: loss, duplication and reorder delay."""
+"""Message fault injection: loss, duplication and reorder delay.
+
+Determinism contract (crash-schedule replay depends on it): every random
+draw a :class:`FaultModel` makes must come from a stream handed out by
+the simulation's :class:`~repro.sim.rng.RngRegistry` — never from the
+module-level ``random`` state, which other code (or a second run in the
+same interpreter) would perturb.  The draws for one envelope are made in
+a single, fixed order by :meth:`FaultModel.delivery_plan`, so a replay
+with the same registry seed consumes the stream identically and every
+delivery order is reproduced byte-for-byte.
+"""
 
 from __future__ import annotations
 
@@ -33,6 +43,21 @@ class FaultModel:
         if self.reorder_prob > 0.0 and rng.random() < self.reorder_prob:
             return rng.uniform(0.0, self.reorder_max_delay_ms)
         return 0.0
+
+    def delivery_plan(self, rng: random.Random) -> tuple[float, ...]:
+        """All fault decisions for one envelope, in one fixed draw order.
+
+        Returns a tuple of extra delays, one per delivered copy: ``()``
+        when the envelope is dropped, one entry normally, two when it is
+        duplicated.  Centralizing the draws here (drop, then duplicate,
+        then per-copy delay) pins the stream-consumption order so that
+        seeded replays cannot drift even if call sites evolve.  ``rng``
+        must be a :class:`~repro.sim.rng.RngRegistry` stream.
+        """
+        if self.should_drop(rng):
+            return ()
+        copies = 2 if self.should_duplicate(rng) else 1
+        return tuple(self.extra_delay(rng) for _ in range(copies))
 
 
 RELIABLE = FaultModel()

@@ -131,22 +131,23 @@ class Network:
     def send(self, source: str, destination: str, port: str, payload: Any, size_bytes: int) -> None:
         """Queue ``payload`` for delivery; applies link faults and timing."""
         link = self.link(source, destination)
+        # Fault draws come from the sim's named RNG streams (one per
+        # directed link), in the single order delivery_plan defines —
+        # this is what makes fuzz replays reproduce delivery orders
+        # exactly (see repro.net.faults module docstring).
         rng = self._rng.stream(f"net:{source}->{destination}")
         self.messages_sent += 1
         self.bytes_sent += size_bytes
 
-        copies = 1
-        if link.faults.should_drop(rng):
+        extra_delays = link.faults.delivery_plan(rng)
+        if not extra_delays:
             self.messages_dropped += 1
-            copies = 0
-        elif link.faults.should_duplicate(rng):
-            copies = 2
 
-        for _ in range(copies):
+        for extra in extra_delays:
             delay = (
                 link.latency_ms
                 + size_bytes / link.bandwidth_bytes_per_ms
-                + link.faults.extra_delay(rng)
+                + extra
             )
             envelope = Envelope(
                 source=source,
@@ -159,6 +160,9 @@ class Network:
             self.sim.call_later(delay, lambda env=envelope: self._deliver(env))
 
     def _deliver(self, envelope: Envelope) -> None:
+        # A crash site: the destination process can die exactly as a
+        # message reaches it (before any handler runs).
+        self.sim.probe("net.deliver", owner=envelope.destination)
         node = self._nodes.get(envelope.destination)
         if node is None:
             self.messages_dropped += 1

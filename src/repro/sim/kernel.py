@@ -318,11 +318,44 @@ class Simulator:
         self._heap: list[_Handle] = []
         self._seq = itertools.count()
         self._process_count = itertools.count()
+        self._probe_listeners: list[Callable[[str, Optional[str]], None]] = []
 
     @property
     def now(self) -> float:
         """Current simulated time in milliseconds."""
         return self._now
+
+    # -- crash-site probes ----------------------------------------------
+
+    def probe(self, site: str, owner: Optional[str] = None) -> None:
+        """Announce that execution reached crash site ``site``.
+
+        Probes are the instrumentation the crash-schedule explorer
+        (:mod:`repro.fuzz`) enumerates and kills at: every log append,
+        flush boundary, checkpoint phase, message delivery and recovery
+        step calls ``sim.probe(...)`` with the owning MSP's name.  With
+        no listener registered this is a near-free no-op, so production
+        paths stay uninstrumented-cost.
+        """
+        if not self._probe_listeners:
+            return
+        for listener in tuple(self._probe_listeners):
+            listener(site, owner)
+
+    def add_probe_listener(
+        self, listener: Callable[[str, Optional[str]], None]
+    ) -> None:
+        """Register ``listener(site, owner)`` for every probe firing."""
+        self._probe_listeners.append(listener)
+
+    def remove_probe_listener(
+        self, listener: Callable[[str, Optional[str]], None]
+    ) -> None:
+        """Unregister a probe listener (idempotent)."""
+        try:
+            self._probe_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # -- scheduling -----------------------------------------------------
 
@@ -363,6 +396,10 @@ class Simulator:
         process = Process(self, gen, name)
         if group is not None:
             group.add(process)
+            # A crash site: an MSP that just spawned a thread can die
+            # before that thread ever runs.  Ungrouped (harness-level)
+            # processes are not crash units and stay unprobed.
+            self.probe("kernel.spawn", owner=group.name)
         self._call_soon(lambda: process._resume(None))
         return process
 

@@ -61,9 +61,22 @@ class WorkloadParams:
     session_ckpt_threshold: Optional[int] = 1024 * 1024
     #: Batch flushing timeout (0 = disabled; the paper uses 8 ms).
     batch_flush_timeout_ms: float = 0.0
+    #: Fuzzy MSP checkpoint period override (None = RecoveryConfig
+    #: default).  The crash-schedule fuzzer shortens it so checkpoint
+    #: phase boundaries appear among the enumerated crash sites.
+    msp_ckpt_interval_ms: Optional[float] = None
     #: Forced crash rate: one MSP2 kill per this many completed
     #: ServiceMethod1 executions (None = no crashes).
     crash_every_n: Optional[int] = None
+    #: Increment the shared counters with atomic ``update_shared``
+    #: read-modify-writes instead of the paper's separate read + write
+    #: accesses.  The paper's per-access locks admit lost updates when
+    #: concurrent sessions interleave between the read and the write —
+    #: an application-level race, orthogonal to recovery.  The
+    #: crash-schedule fuzzer turns this on so "counters == completed
+    #: calls" is a sound exactly-once oracle under multi-client runs;
+    #: the §5 performance experiments keep the paper's access pattern.
+    atomic_sv_updates: bool = False
     request_arg_bytes: int = 100
     reply_bytes: int = 100
     sv_bytes: int = 128
@@ -187,6 +200,8 @@ class PaperWorkload:
             config.mode = LoggingMode.NOLOG
         config.session_ckpt_threshold_bytes = params.session_ckpt_threshold
         config.batch_flush_timeout_ms = params.batch_flush_timeout_ms
+        if params.msp_ckpt_interval_ms is not None:
+            config.msp_ckpt_interval_ms = params.msp_ckpt_interval_ms
         return config
 
     def _build_servers(self) -> None:
@@ -225,6 +240,20 @@ class PaperWorkload:
         self.msp2.register_shared("SV2", _counter_bytes(0, params.sv_bytes))
         self.msp2.register_shared("SV3", _counter_bytes(0, params.sv_bytes))
 
+    def _increment(self, ctx, name: str):
+        """Bump one shared counter via the configured access pattern."""
+        params = self.params
+        if params.atomic_sv_updates:
+            yield from ctx.update_shared(
+                name,
+                lambda raw: _counter_bytes(_counter_value(raw) + 1, params.sv_bytes),
+            )
+        else:
+            raw = yield from ctx.read_shared(name)
+            yield from ctx.write_shared(
+                name, _counter_bytes(_counter_value(raw) + 1, params.sv_bytes)
+            )
+
     def _make_service_method1(self):
         params = self.params
         controller = self.crash_controller
@@ -232,18 +261,12 @@ class PaperWorkload:
 
         def service_method1(ctx, argument):
             yield from ctx.compute(self.msp1.config.costs.method_execution_ms)
-            sv0 = yield from ctx.read_shared("SV0")
-            yield from ctx.write_shared(
-                "SV0", _counter_bytes(_counter_value(sv0) + 1, params.sv_bytes)
-            )
+            yield from self._increment(ctx, "SV0")
             for _ in range(params.calls_to_sm2):
                 yield from ctx.call("msp2", "service_method2", argument)
             if not ctx.is_replay:
                 controller.after_reply2_received()
-            sv1 = yield from ctx.read_shared("SV1")
-            yield from ctx.write_shared(
-                "SV1", _counter_bytes(_counter_value(sv1) + 1, params.sv_bytes)
-            )
+            yield from self._increment(ctx, "SV1")
             bulk = yield from ctx.get_session_var("bulk")
             if bulk is None:
                 yield from ctx.set_session_var("bulk", b"\x00" * bulk_bytes)
@@ -262,10 +285,7 @@ class PaperWorkload:
         def service_method2(ctx, argument):
             yield from ctx.compute(self.msp2.config.costs.method_execution_ms)
             for name in ("SV2", "SV3"):
-                value = yield from ctx.read_shared(name)
-                yield from ctx.write_shared(
-                    name, _counter_bytes(_counter_value(value) + 1, params.sv_bytes)
-                )
+                yield from self._increment(ctx, name)
             bulk = yield from ctx.get_session_var("bulk")
             if bulk is None:
                 yield from ctx.set_session_var(

@@ -1,0 +1,129 @@
+"""Randomized algebraic properties of dependency vectors (paper §3.1).
+
+The recovery protocol is sound only if DV merge is a lattice join:
+commutative, associative, idempotent and monotone.  These tests check
+those laws — plus orphan-verdict preservation under pruning — over a
+thousand seeded random vector sequences, far beyond what the
+hand-written scenarios in ``test_dv.py`` reach.
+"""
+
+import random
+
+from repro.core.dv import DependencyVector, RecoveryTable, StateId
+
+MSPS = ("msp1", "msp2", "msp3", "msp4")
+
+
+def _random_dv(rng: random.Random) -> DependencyVector:
+    dv = DependencyVector()
+    for _ in range(rng.randint(0, 6)):
+        dv.observe(
+            rng.choice(MSPS), StateId(rng.randint(0, 3), rng.randint(0, 100))
+        )
+    return dv
+
+
+def _random_table(rng: random.Random) -> RecoveryTable:
+    table = RecoveryTable()
+    for _ in range(rng.randint(0, 5)):
+        table.record(rng.choice(MSPS), rng.randint(0, 3), rng.randint(0, 100))
+    return table
+
+
+def _entries(dv: DependencyVector) -> dict:
+    return {(msp, state.epoch): state.lsn for msp, state in dv}
+
+
+def test_merge_is_commutative_associative_idempotent():
+    rng = random.Random(0)
+    for _ in range(1000):
+        a, b, c = _random_dv(rng), _random_dv(rng), _random_dv(rng)
+
+        ab = a.copy()
+        ab.merge(b)
+        ba = b.copy()
+        ba.merge(a)
+        assert ab == ba
+
+        left = ab.copy()
+        left.merge(c)
+        bc = b.copy()
+        bc.merge(c)
+        right = a.copy()
+        right.merge(bc)
+        assert left == right
+
+        aa = a.copy()
+        aa.merge(a)
+        assert aa == a
+
+
+def test_merge_is_monotone_itemwise_max():
+    rng = random.Random(1)
+    for _ in range(1000):
+        a, b = _random_dv(rng), _random_dv(rng)
+        merged = a.copy()
+        merged.merge(b)
+        ea, eb, em = _entries(a), _entries(b), _entries(merged)
+        assert set(em) == set(ea) | set(eb)
+        for key, lsn in em.items():
+            assert lsn == max(ea.get(key, -1), eb.get(key, -1))
+            assert lsn >= ea.get(key, 0) and lsn >= eb.get(key, 0)
+
+
+def test_observe_never_lowers_an_entry():
+    rng = random.Random(2)
+    for _ in range(1000):
+        dv = _random_dv(rng)
+        before = _entries(dv)
+        msp = rng.choice(MSPS)
+        state = StateId(rng.randint(0, 3), rng.randint(0, 100))
+        dv.observe(msp, state)
+        after = _entries(dv)
+        for key, lsn in before.items():
+            assert after[key] >= lsn
+        assert after[(msp, state.epoch)] >= state.lsn
+
+
+def test_get_returns_highest_epoch_entry():
+    rng = random.Random(3)
+    for _ in range(1000):
+        dv = _random_dv(rng)
+        entries = _entries(dv)
+        for msp in MSPS:
+            epochs = {e: lsn for (m, e), lsn in entries.items() if m == msp}
+            got = dv.get(msp)
+            if not epochs:
+                assert got is None
+            else:
+                top = max(epochs)
+                assert got == StateId(top, epochs[top])
+
+
+def test_prune_resolved_preserves_orphan_verdict():
+    rng = random.Random(4)
+    for _ in range(1000):
+        dv = _random_dv(rng)
+        table = _random_table(rng)
+        before_entries = _entries(dv)
+        verdict_before = table.is_orphan(dv.copy())
+        pruned = dv.copy()
+        pruned.prune_resolved(table)
+        # Pruning may only drop entries, and never flips the verdict:
+        # an entry is dropped only when recovery knowledge proves it
+        # durable, so it could never have been the orphan witness.
+        after_entries = _entries(pruned)
+        assert set(after_entries) <= set(before_entries)
+        for key, lsn in after_entries.items():
+            assert lsn == before_entries[key]
+        assert table.is_orphan(pruned) == verdict_before
+
+
+def test_copy_is_independent_snapshot():
+    rng = random.Random(5)
+    for _ in range(200):
+        dv = _random_dv(rng)
+        snap = dv.copy()
+        frozen = _entries(snap)
+        dv.observe("msp1", StateId(9, 10**6))
+        assert _entries(snap) == frozen

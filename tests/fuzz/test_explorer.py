@@ -1,0 +1,93 @@
+"""Exhaustive and random explorer modes, seeded replay determinism."""
+
+from repro.fuzz import (
+    CrashSchedule,
+    FaultSpec,
+    FuzzParams,
+    case_seed_for,
+    enumerate_schedules,
+    explore_exhaustive,
+    fuzz_random,
+    run_random_case,
+    schedule_from_seed,
+)
+
+
+def test_exhaustive_smoke_is_clean():
+    report = explore_exhaustive(FuzzParams(), seed=0, max_schedules=30)
+    assert report.ok, [f.to_dict() for f in report.failures]
+    assert report.schedules_run == 30
+    assert report.crashes_injected > 0
+    assert sum(report.sites_discovered.values()) >= 400
+
+
+def test_enumerate_schedules_covers_both_targets():
+    schedules, counts = enumerate_schedules(FuzzParams(), seed=0, stride=50)
+    targets = {s.target for s in schedules}
+    assert targets == {"msp1", "msp2"}
+    assert counts["msp1"] >= 200 and counts["msp2"] >= 200
+    # Stride 50 keeps the smoke pass small but spread over the run.
+    assert len(schedules) == sum(-(-c // 50) for c in counts.values())
+
+
+def test_enumerate_truncation_is_evenly_spaced():
+    full, _ = enumerate_schedules(FuzzParams(), seed=0)
+    capped, _ = enumerate_schedules(FuzzParams(), seed=0, max_schedules=10)
+    assert len(capped) == 10
+    # Both the head and the tail of the schedule list are sampled.
+    assert capped[0] == full[0]
+    assert capped[-1].kills[0] > full[len(full) // 2].kills[0] or (
+        capped[-1].target != full[0].target
+    )
+
+
+def test_random_mode_is_clean():
+    report = fuzz_random(master_seed=0, runs=10)
+    assert report.ok, [f.to_dict() for f in report.failures]
+    assert report.schedules_run == 10
+    assert report.crashes_injected > 0
+
+
+def test_replay_reproduces_fingerprint():
+    params = FuzzParams()
+    for case_seed in (case_seed_for(0, 3), case_seed_for(1, 7)):
+        first = run_random_case(case_seed, params)
+        second = run_random_case(case_seed, params)
+        assert first.fingerprint() == second.fingerprint()
+
+
+def test_schedule_from_seed_is_deterministic():
+    params = FuzzParams()
+    a = schedule_from_seed(12345, params)
+    b = schedule_from_seed(12345, params)
+    assert a == b
+    assert 1 <= len(a.kills) <= 3
+    assert a.target in params.targets
+
+
+def test_schedule_from_seed_varies_across_seeds():
+    params = FuzzParams()
+    schedules = {schedule_from_seed(case_seed_for(0, i), params) for i in range(20)}
+    assert len(schedules) > 10
+    assert any(s.faults is not None for s in schedules)
+    assert any(s.faults is None for s in schedules)
+
+
+def test_schedule_dict_roundtrip():
+    plain = CrashSchedule(target="msp1", kills=(4, 9), seed=17)
+    faulty = CrashSchedule(
+        target="msp2",
+        kills=(2,),
+        seed=23,
+        faults=FaultSpec(loss_prob=0.05, duplicate_prob=0.02, reorder_prob=0.1),
+    )
+    for schedule in (plain, faulty):
+        assert CrashSchedule.from_dict(schedule.to_dict()) == schedule
+
+
+def test_failure_report_shape():
+    report = fuzz_random(master_seed=0, runs=2)
+    data = report.to_dict()
+    assert data["mode"] == "random"
+    assert data["schedules_run"] == 2
+    assert isinstance(data["failures"], list)

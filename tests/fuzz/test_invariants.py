@@ -1,0 +1,89 @@
+"""The invariant battery: passes a clean world, catches corruption."""
+
+import pytest
+
+from repro.core.session import SessionStatus
+from repro.fuzz import FuzzParams, check_world
+from repro.fuzz.explorer import build_world
+from repro.fuzz.invariants import (
+    check_durable_log,
+    check_exactly_once,
+    check_no_orphans,
+    check_running,
+    check_sv_chains,
+)
+
+
+@pytest.fixture
+def world():
+    params = FuzzParams(num_clients=1, requests_per_client=3)
+    workload = build_world(params, seed=0, faults=None)
+    workload.run(limit_ms=params.limit_ms)
+    return workload
+
+
+def test_clean_world_passes_battery(world):
+    assert check_world(world, [world.msp1, world.msp2]) == []
+
+
+def test_detects_lost_counter_update(world):
+    sv = world.msp1.shared["SV0"]
+    sv.value = (0).to_bytes(8, "big") + sv.value[8:]
+    violations = check_exactly_once(world)
+    assert violations and violations[0].startswith("exactly-once:")
+
+
+def test_detects_stalled_client(world):
+    world.params.requests_per_client += 1
+    violations = check_exactly_once(world)
+    assert any(v.startswith("liveness:") for v in violations)
+
+
+def test_detects_stuck_recovering_session(world):
+    session = next(iter(world.msp1.sessions.values()))
+    session.status = SessionStatus.RECOVERING
+    violations = check_no_orphans(world.msp1)
+    assert any("stuck in RECOVERING" in v for v in violations)
+
+
+def test_detects_unserved_msp(world):
+    world.msp2.crash()
+    assert check_running(world.msp2) == [
+        "recovery: msp2 is not serving after quiesce"
+    ]
+
+
+def test_detects_broken_sv_chain(world):
+    sv = world.msp1.shared["SV0"]
+    sv.last_write_lsn = world.msp1.store.end + 10_000
+    violations = check_sv_chains(world.msp1)
+    assert violations and "unreadable record" in violations[0]
+
+
+def test_detects_corrupt_durable_prefix(world):
+    store = world.msp1.store
+    assert store.durable_end > 0
+    offset = store.durable_end // 2
+    store._data[offset] ^= 0xFF
+    violations = check_durable_log(world.msp1)
+    assert violations and violations[0].startswith("durable-log:")
+
+
+def test_detects_anchor_past_durable_boundary(world):
+    store = world.msp1.store
+    store.write_anchor((store.durable_end + 4096).to_bytes(8, "big"))
+    store.flush_anchor()
+    violations = check_durable_log(world.msp1)
+    assert any("points past the durable boundary" in v for v in violations)
+
+
+def test_detects_anchor_at_wrong_record(world):
+    # Re-point the anchor at a shared-variable write record: analysis
+    # must never treat that as a checkpoint.
+    store = world.msp1.store
+    wrong_lsn = world.msp1.shared["SV0"].last_write_lsn
+    assert wrong_lsn >= 0
+    store.write_anchor(wrong_lsn.to_bytes(8, "big"))
+    store.flush_anchor()
+    violations = check_durable_log(world.msp1)
+    assert violations and "anchor" in violations[0]

@@ -1,0 +1,70 @@
+"""Greedy schedule minimization against synthetic oracles."""
+
+from repro.fuzz import CrashSchedule, FaultSpec, minimize_schedule
+
+
+def test_minimizer_shrinks_synthetic_failure():
+    # The "bug" only needs kill ordinal 42; everything else is baggage.
+    schedule = CrashSchedule(
+        target="msp2",
+        kills=(5, 42, 99),
+        seed=0,
+        faults=FaultSpec(loss_prob=0.05, duplicate_prob=0.02, reorder_prob=0.1),
+    )
+
+    def still_fails(candidate: CrashSchedule) -> bool:
+        return 42 in candidate.kills
+
+    minimized, attempts = minimize_schedule(schedule, still_fails)
+    assert minimized.kills == (42,)
+    assert minimized.faults is None
+    assert attempts > 0
+
+
+def test_minimizer_keeps_jointly_required_kills():
+    schedule = CrashSchedule(target="msp1", kills=(3, 8, 20), seed=0)
+
+    def still_fails(candidate: CrashSchedule) -> bool:
+        return 3 in candidate.kills and 20 in candidate.kills
+
+    minimized, _ = minimize_schedule(schedule, still_fails)
+    assert minimized.kills == (3, 20)
+
+
+def test_minimizer_softens_fault_fields():
+    # Only packet loss matters; duplication and reordering are noise.
+    schedule = CrashSchedule(
+        target="msp2",
+        kills=(7,),
+        seed=0,
+        faults=FaultSpec(loss_prob=0.05, duplicate_prob=0.05, reorder_prob=0.25),
+    )
+
+    def still_fails(candidate: CrashSchedule) -> bool:
+        return candidate.faults is not None and candidate.faults.loss_prob > 0
+
+    minimized, _ = minimize_schedule(schedule, still_fails)
+    assert minimized.faults is not None
+    assert minimized.faults.loss_prob > 0
+    assert minimized.faults.duplicate_prob == 0.0
+    assert minimized.faults.reorder_prob == 0.0
+
+
+def test_minimizer_returns_input_when_nothing_smaller_fails():
+    schedule = CrashSchedule(target="msp1", kills=(11,), seed=0)
+    minimized, _ = minimize_schedule(schedule, lambda s: s.kills == (11,))
+    assert minimized == schedule
+
+
+def test_minimizer_respects_attempt_budget():
+    schedule = CrashSchedule(target="msp1", kills=tuple(range(50)), seed=0)
+    calls = 0
+
+    def still_fails(candidate: CrashSchedule) -> bool:
+        nonlocal calls
+        calls += 1
+        return 49 in candidate.kills
+
+    minimize_schedule(schedule, still_fails, max_attempts=10)
+    # The budget bounds the passes; a few in-flight checks may finish.
+    assert calls <= 10 + len(schedule.kills)
