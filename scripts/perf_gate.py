@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over the fan-out report (``BENCH_PR3.json``).
+
+Compares a freshly generated report against the committed baseline:
+
+- **determinism is gated exactly**: the fresh run's ``all_identical``
+  must be true (parallel verdicts equal sequential ones on the runner),
+  and each section's deterministic verdict — fuzz report dicts,
+  experiment rows/claims, the benchmark cell list — must equal the
+  committed baseline's verdict, since both come from seeded simulations
+  that do not depend on the machine;
+- **wall time is gated with a tolerance band**: per section, the fresh
+  sequential time may not exceed ``band`` times the committed one
+  (runners are slower than dev boxes, but a 4x blow-up is a regression,
+  not noise), and the parallel time may not exceed ``band`` times the
+  sequential time plus a small absolute grace (pool start-up is a fixed
+  cost that dominates sub-second sections; beyond the grace it is a
+  pool overhead regression even on one core).
+
+Usage: ``python scripts/perf_gate.py FRESH BASELINE [--band 4.0]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+#: Absolute allowance for fixed pool start-up (spawned interpreters
+#: importing the tree), charged once per section regardless of its size.
+STARTUP_GRACE_S = 3.0
+
+
+def compare(fresh: dict, baseline: dict, band: float) -> list[str]:
+    problems: list[str] = []
+    if not fresh.get("all_identical"):
+        problems.append(
+            "fresh run is not deterministic: parallel verdicts diverged "
+            "from sequential ones (all_identical is false)"
+        )
+    fresh_sections = fresh.get("sections", {})
+    base_sections = baseline.get("sections", {})
+    missing = sorted(set(base_sections) - set(fresh_sections))
+    if missing:
+        problems.append(f"fresh report lacks sections: {', '.join(missing)}")
+    for name, base in sorted(base_sections.items()):
+        section = fresh_sections.get(name)
+        if section is None:
+            continue
+        if section["verdict"] != base["verdict"]:
+            problems.append(
+                f"{name}: verdict differs from committed baseline — the "
+                "seeded simulation changed behaviour (regenerate "
+                "BENCH_PR3.json if intentional)"
+            )
+        if section["sequential_s"] > band * base["sequential_s"]:
+            problems.append(
+                f"{name}: sequential {section['sequential_s']:.2f}s exceeds "
+                f"{band:g}x committed {base['sequential_s']:.2f}s"
+            )
+        if section["parallel_s"] > band * section["sequential_s"] + STARTUP_GRACE_S:
+            problems.append(
+                f"{name}: parallel {section['parallel_s']:.2f}s exceeds "
+                f"{band:g}x its own sequential {section['sequential_s']:.2f}s "
+                "(pool overhead regression)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="fan-out report generated on this runner")
+    parser.add_argument("baseline", help="committed BENCH_PR3.json")
+    parser.add_argument(
+        "--band", type=float, default=4.0,
+        help="wall-time tolerance factor (default 4.0)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    problems = compare(fresh, baseline, args.band)
+    fresh_meta = fresh.get("meta", {})
+    print(
+        f"perf gate: fresh run on {fresh_meta.get('cpu_count')} cores, "
+        f"jobs={fresh_meta.get('jobs')}, band {args.band:g}x"
+    )
+    for name, section in sorted(fresh.get("sections", {}).items()):
+        print(
+            f"  {name:18s} seq {section['sequential_s']:7.2f}s  "
+            f"par {section['parallel_s']:7.2f}s  {section['speedup']:.2f}x"
+        )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,15 +3,17 @@
 Commands:
 
 - ``list`` — list the available experiments;
-- ``run <experiment> [--scale S] [--seed N]`` — regenerate one of the
-  paper's tables/figures (or an ablation) and print it;
-- ``all [--scale S]`` — regenerate everything;
+- ``run <experiment> [--scale S] [--seed N] [--jobs N]`` — regenerate
+  one of the paper's tables/figures (or an ablation) and print it;
+- ``all [--scale S] [--jobs N]`` — regenerate everything;
 - ``workload <configuration> [--requests N] [--clients N] [--m N]
   [--crash-every N] [--batch MS]`` — run one paper workload and print
   the measurements;
-- ``bench [--scale S] [--repeat N] [--smoke] [--out PATH]
+- ``bench [--scale S] [--repeat N] [--smoke] [--jobs N] [--out PATH]
   [--baseline PATH]`` — run the wall-clock log-pipeline benchmarks and
-  emit a machine-readable ``BENCH_*.json`` report;
+  emit a machine-readable ``BENCH_*.json`` report; ``--fanout`` instead
+  measures the parallel runner itself (sequential vs ``--jobs N`` wall
+  time plus verdict-identity checks, the ``BENCH_PR3.json`` artifact);
 - ``fuzz [--mode exhaustive|random] [--seeds N] [--replay SEED] ...`` —
   the deterministic crash-schedule explorer (see :mod:`repro.fuzz.cli`):
   systematically kill an MSP at every enumerated crash site (or at
@@ -67,14 +69,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    def add_jobs_argument(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker processes (default: REPRO_JOBS or all cores; "
+            "1 = in-process)",
+        )
+
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--scale", type=float, default=0.1)
     run.add_argument("--seed", type=int, default=0)
+    add_jobs_argument(run)
 
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--scale", type=float, default=0.05)
     everything.add_argument("--seed", type=int, default=0)
+    add_jobs_argument(everything)
 
     workload = sub.add_parser("workload", help="run one paper workload")
     workload.add_argument("configuration", choices=CONFIGURATIONS)
@@ -98,7 +109,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="tiny single iteration, completion check only (CI mode)",
     )
-    bench.add_argument("--out", default="BENCH_PR1.json", help="JSON report path")
+    add_jobs_argument(bench)
+    bench.add_argument(
+        "--fanout", action="store_true",
+        help="measure the parallel runner: sequential vs --jobs wall time "
+        "with verdict-identity checks (writes BENCH_PR3.json by default)",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="JSON report path (default BENCH_PR1.json, "
+        "or BENCH_PR3.json with --fanout)",
+    )
     bench.add_argument(
         "--baseline", default=None,
         help="earlier BENCH json to embed and compute speedups against",
@@ -111,10 +132,40 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _progress(label: str):
+    from repro.parallel import ProgressReporter
+
+    reporter = ProgressReporter(f"  {label}").start()
+    # The key is deliberately unreported: rate-limited count/ETA lines
+    # only, details stay on the fuzz front end where they mark failures.
+    return lambda done, total, key: reporter.update(done, total)
+
+
+def _run_fanout(args: argparse.Namespace, out: str) -> int:
+    from repro.perf import write_report
+    from repro.perf.fanout import format_fanout_report, run_fanout_report
+
+    if args.smoke:
+        report = run_fanout_report(
+            jobs=args.jobs, fuzz_stride=64, pair_schedules=8, random_cases=4,
+            bench_scale=0.002, sweep_scale=0.01,
+            progress=_progress("fanout (smoke)"),
+        )
+    else:
+        report = run_fanout_report(jobs=args.jobs, progress=_progress("fanout"))
+    write_report(report, out)
+    print(format_fanout_report(report))
+    print(f"wrote {out}")
+    return 0 if report["all_identical"] else 1
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.perf import run_benchmarks, write_report
     from repro.perf.bench import attach_baseline, format_report
 
+    out = args.out or ("BENCH_PR3.json" if args.fanout else "BENCH_PR1.json")
+    if args.fanout:
+        return _run_fanout(args, out)
     baseline = None
     if args.baseline:
         # Validate up front so a bad path fails before the timed runs.
@@ -126,12 +177,14 @@ def _run_bench(args: argparse.Namespace) -> int:
             return 2
     scale = 0.002 if args.smoke else args.scale
     repeat = 1 if args.smoke else args.repeat
-    report = run_benchmarks(scale=scale, repeat=repeat)
+    report = run_benchmarks(
+        scale=scale, repeat=repeat, jobs=args.jobs, progress=_progress("bench")
+    )
     if baseline is not None:
         attach_baseline(report, baseline)
-    write_report(report, args.out)
+    write_report(report, out)
     print(format_report(report))
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     return 0
 
 
@@ -171,13 +224,19 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.command == "run":
-        result = EXPERIMENTS[args.experiment](scale=args.scale, seed=args.seed)
+        result = EXPERIMENTS[args.experiment](
+            scale=args.scale, seed=args.seed, jobs=args.jobs,
+            progress=_progress(args.experiment),
+        )
         print(render_result(result))
         return 0 if result.all_claims_hold else 1
     if args.command == "all":
         failures = 0
         for name in sorted(EXPERIMENTS):
-            result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+            result = EXPERIMENTS[name](
+                scale=args.scale, seed=args.seed, jobs=args.jobs,
+                progress=_progress(name),
+            )
             print(render_result(result))
             print()
             failures += 0 if result.all_claims_hold else 1

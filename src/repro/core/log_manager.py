@@ -47,9 +47,15 @@ class LogStats:
     wasted_bytes: int = 0
     read_chunks: int = 0
     decode_cache_hits: int = 0
+    decode_cache_misses: int = 0
 
     def snapshot(self) -> "LogStats":
         return LogStats(**vars(self))
+
+    @property
+    def coalesced_flushes(self) -> int:
+        """Flush requests served by another request's physical write."""
+        return max(0, self.flush_requests - self.physical_flushes)
 
 
 class LogManager:
@@ -289,6 +295,7 @@ class LogManager:
         if cached is not None:
             self.stats.decode_cache_hits += 1
             return cached
+        self.stats.decode_cache_misses += 1
         end = self._frame_end(lsn)
         payload, consumed = unframe(self.store.view(lsn, end - lsn), 0)
         if payload is None:
@@ -338,6 +345,7 @@ class LogManager:
                 self.stats.decode_cache_hits += 1
                 record = cached[0]
             else:
+                self.stats.decode_cache_misses += 1
                 record = decode_record(payload)
                 self._cache_put(lsn, record, start + next_offset)
             records.append((lsn, record))

@@ -34,12 +34,28 @@ from repro.fuzz.explorer import (
     run_schedule,
     schedule_from_seed,
 )
-from repro.fuzz.minimize import minimize_schedule
+from repro.fuzz.minimize import minimize_recorded_failure
+from repro.parallel import ProgressReporter, resolve_jobs, run_tasks
+from repro.parallel.tasks import FuzzTaskSpec, minimize_fuzz_failure
+
+#: Pairs mode samples this many two-crash schedules when no explicit
+#: ``--max-schedules`` bounds the (quadratic) pair product.
+DEFAULT_PAIR_SCHEDULES = 2000
 
 
 def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--mode", choices=("exhaustive", "random"), default="exhaustive"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or all cores; "
+        "1 = in-process)",
+    )
+    parser.add_argument(
+        "--pairs", action="store_true",
+        help="exhaustive mode: bounded two-crash pair product instead of "
+        "single crashes",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
@@ -84,29 +100,55 @@ def _params(args: argparse.Namespace) -> FuzzParams:
     return params
 
 
-def _progress(quiet: bool):
+def _progress(quiet: bool, label: str):
     if quiet:
         return None
+    reporter = ProgressReporter(f"  {label}").start()
 
     def report(done: int, total: int, result) -> None:
-        if result.failed:
-            print(f"  [{done}/{total}] FAIL {result.schedule.to_dict()}")
-        elif done % 50 == 0 or done == total:
-            print(f"  [{done}/{total}] ok")
+        detail = None
+        if result is not None and result.failed:
+            detail = f"FAIL {result.schedule.to_dict()}"
+        reporter.update(done, total, detail)
 
     return report
 
 
-def _minimize_failures(report: FuzzReport, params: FuzzParams, quiet: bool) -> None:
-    for failure in report.failures:
-        schedule = CrashSchedule.from_dict(failure.schedule)
-        minimized, attempts = minimize_schedule(
-            schedule, lambda s: run_schedule(s, params).failed
-        )
-        failure.schedule = minimized.to_dict()
+def _minimize_failures(
+    report: FuzzReport, params: FuzzParams, quiet: bool, jobs: Optional[int]
+) -> None:
+    """Shrink every failure; independent failures shrink in parallel.
+
+    Worker-failure reports (a died/hung worker, not an invariant
+    violation) carry no reproducible violation to shrink against and are
+    left untouched.
+    """
+    shrinkable = [
+        f for f in report.failures
+        if not any(v.startswith("worker-failure:") for v in f.violations)
+    ]
+    if not shrinkable:
+        return
+    if resolve_jobs(jobs) > 1 and len(shrinkable) > 1:
+        specs = [
+            FuzzTaskSpec(schedule=f.schedule, params=params) for f in shrinkable
+        ]
+        outcomes = run_tasks(minimize_fuzz_failure, specs, jobs=jobs)
+        minimized_list = [
+            (o.result["schedule"], o.result["attempts"]) if o.ok
+            else (o.spec.schedule, 0)  # keep the unshrunk, replayable spec
+            for o in outcomes
+        ]
+    else:
+        minimized_list = [
+            minimize_recorded_failure(f.schedule, params) for f in shrinkable
+        ]
+    for failure, (minimized, attempts) in zip(shrinkable, minimized_list):
+        original = failure.schedule
+        failure.schedule = minimized
         if not quiet:
             print(
-                f"  minimized {schedule.to_dict()} -> {minimized.to_dict()} "
+                f"  minimized {original} -> {minimized} "
                 f"({attempts} oracle runs)"
             )
 
@@ -170,22 +212,30 @@ def run_fuzz(args: argparse.Namespace) -> int:
     targets: Optional[tuple[str, ...]] = None
     if args.target != "both":
         targets = (args.target,)
+    jobs = resolve_jobs(args.jobs)
     if args.mode == "exhaustive":
+        max_schedules = args.max_schedules
+        if args.pairs and max_schedules is None:
+            max_schedules = DEFAULT_PAIR_SCHEDULES
+        label = "fuzz pairs" if args.pairs else "fuzz exhaustive"
         report = explore_exhaustive(
             params,
             seed=args.seed,
             targets=targets,
             stride=args.stride,
-            max_schedules=args.max_schedules,
-            progress=_progress(args.quiet),
+            max_schedules=max_schedules,
+            progress=_progress(args.quiet, f"{label} (jobs={jobs})"),
+            jobs=jobs,
+            pairs=args.pairs,
         )
     else:
         report = fuzz_random(
             master_seed=args.seed,
             runs=args.seeds,
             params=params,
-            progress=_progress(args.quiet),
+            progress=_progress(args.quiet, f"fuzz random (jobs={jobs})"),
+            jobs=jobs,
         )
     if report.failures and args.minimize:
-        _minimize_failures(report, params, args.quiet)
+        _minimize_failures(report, params, args.quiet, jobs)
     return _finish(report, args, time.monotonic() - started)

@@ -17,6 +17,15 @@ one service domain):
 
 Schedules are expressed in per-owner probe ordinals ("the k-th crash
 site MSP2 reaches"), the coordinate system of :mod:`repro.fuzz.sites`.
+
+Every schedule is an independent seeded simulation, so both modes fan
+out across cores (``jobs``/``REPRO_JOBS``, :mod:`repro.parallel`):
+workers rebuild their world from the serialized schedule alone and the
+parent merges verdicts in schedule order, so a ``--jobs 8`` run
+produces the byte-identical report of a ``--jobs 1`` run.  Exhaustive
+mode additionally offers a bounded two-crash *pair* product
+(``enumerate_pair_schedules``) whose quadratic schedule count is only
+practical multi-core.
 """
 
 from __future__ import annotations
@@ -328,6 +337,125 @@ def enumerate_schedules(
     return schedules, counts
 
 
+def enumerate_pair_schedules(
+    params: FuzzParams,
+    seed: int = 0,
+    targets: Optional[Iterable[str]] = None,
+    stride: int = 1,
+    max_schedules: Optional[int] = None,
+) -> tuple[list[CrashSchedule], dict[str, int]]:
+    """The bounded two-crash product over one discovery run's sites.
+
+    For each target, every ordered pair ``a < b`` of (strided) ordinals
+    becomes a two-kill schedule — the second kill often lands *inside*
+    the recovery the first one triggered, the interleaving single-crash
+    enumeration cannot reach.  The pair space is quadratic (~850k for
+    the default workload's 1306 sites), so bounded runs sample it
+    evenly via ``max_schedules``; pairs are constructed lazily so a
+    bounded run never materializes the full product.
+    """
+    recorder = discover_sites(params, seed)
+    counts = {t: recorder.count_for(t) for t in (targets or params.targets)}
+    index: list[tuple[str, int, int]] = []
+    for target, count in sorted(counts.items()):
+        ordinals = list(range(0, count, max(1, stride)))
+        for i, a in enumerate(ordinals):
+            for b in ordinals[i + 1 :]:
+                index.append((target, a, b))
+    if max_schedules is not None and len(index) > max_schedules:
+        step = len(index) / max_schedules
+        index = [index[int(i * step)] for i in range(max_schedules)]
+    schedules = [
+        CrashSchedule(target=target, kills=(a, b), seed=seed)
+        for target, a, b in index
+    ]
+    return schedules, counts
+
+
+def _trim_error(error: str) -> str:
+    """The last non-blank line of a worker traceback, for reports."""
+    lines = [line.strip() for line in error.strip().splitlines() if line.strip()]
+    return lines[-1] if lines else "unknown worker error"
+
+
+def _execute_all(
+    schedules: list[CrashSchedule],
+    params: FuzzParams,
+    jobs: Optional[int],
+    progress,
+    case_seeds: Optional[list[int]] = None,
+) -> list[tuple[Optional[ScheduleResult], Optional[str]]]:
+    """Run every schedule, sequentially or fanned across cores.
+
+    Returns ``(result, error)`` pairs **in schedule order** — the merge
+    discipline that keeps parallel reports byte-identical to sequential
+    ones.  ``error`` is set only when a worker died or hung; such tasks
+    surface as failures carrying their replayable spec downstream.
+    """
+    from repro.parallel import resolve_jobs, run_tasks
+    from repro.parallel.tasks import FuzzTaskSpec, run_fuzz_schedule
+
+    total = len(schedules)
+    if resolve_jobs(jobs) == 1:
+        executed: list[tuple[Optional[ScheduleResult], Optional[str]]] = []
+        for i, schedule in enumerate(schedules):
+            result = run_schedule(schedule, params)
+            executed.append((result, None))
+            if progress is not None:
+                progress(i + 1, total, result)
+        return executed
+    specs = [
+        FuzzTaskSpec(
+            schedule=schedule.to_dict(),
+            params=params,
+            case_seed=case_seeds[i] if case_seeds is not None else None,
+        )
+        for i, schedule in enumerate(schedules)
+    ]
+    outcomes = run_tasks(
+        run_fuzz_schedule,
+        specs,
+        jobs=jobs,
+        progress=(
+            None
+            if progress is None
+            else lambda done, n, outcome: progress(done, n, outcome.result)
+        ),
+    )
+    return [(outcome.result, outcome.error) for outcome in outcomes]
+
+
+def _merge_outcomes(
+    report: FuzzReport,
+    schedules: list[CrashSchedule],
+    executed: list[tuple[Optional[ScheduleResult], Optional[str]]],
+    case_seeds: Optional[list[int]] = None,
+) -> FuzzReport:
+    """Fold ordered per-schedule outcomes into the report."""
+    for i, (schedule, (result, error)) in enumerate(zip(schedules, executed)):
+        case_seed = case_seeds[i] if case_seeds is not None else None
+        report.schedules_run += 1
+        if error is not None:
+            report.failures.append(
+                FuzzFailure(
+                    schedule=schedule.to_dict(),
+                    violations=[f"worker-failure: {_trim_error(error)}"],
+                    case_seed=case_seed,
+                )
+            )
+            continue
+        report.crashes_injected += result.crashes_injected
+        if result.failed:
+            report.failures.append(
+                FuzzFailure(
+                    schedule=schedule.to_dict(),
+                    violations=result.violations,
+                    case_seed=case_seed,
+                )
+            )
+    return report
+
+
 def explore_exhaustive(
     params: Optional[FuzzParams] = None,
     seed: int = 0,
@@ -335,24 +463,20 @@ def explore_exhaustive(
     stride: int = 1,
     max_schedules: Optional[int] = None,
     progress=None,
+    jobs: Optional[int] = None,
+    pairs: bool = False,
 ) -> FuzzReport:
-    """Run every enumerated single-crash schedule and collect failures."""
+    """Run every enumerated single-crash (or two-crash) schedule."""
     params = params or FuzzParams()
-    schedules, counts = enumerate_schedules(
+    enumerate_fn = enumerate_pair_schedules if pairs else enumerate_schedules
+    schedules, counts = enumerate_fn(
         params, seed=seed, targets=targets, stride=stride, max_schedules=max_schedules
     )
-    report = FuzzReport(mode="exhaustive", sites_discovered=counts)
-    for i, schedule in enumerate(schedules):
-        result = run_schedule(schedule, params)
-        report.schedules_run += 1
-        report.crashes_injected += result.crashes_injected
-        if result.failed:
-            report.failures.append(
-                FuzzFailure(schedule=schedule.to_dict(), violations=result.violations)
-            )
-        if progress is not None:
-            progress(i + 1, len(schedules), result)
-    return report
+    report = FuzzReport(
+        mode="exhaustive-pairs" if pairs else "exhaustive", sites_discovered=counts
+    )
+    executed = _execute_all(schedules, params, jobs, progress)
+    return _merge_outcomes(report, schedules, executed)
 
 
 # ---------------------------------------------------------------------------
@@ -392,23 +516,12 @@ def fuzz_random(
     runs: int = 50,
     params: Optional[FuzzParams] = None,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> FuzzReport:
     """``runs`` independent seeded cases; failures report their case seed."""
     params = params or FuzzParams()
     report = FuzzReport(mode="random")
-    for i in range(runs):
-        case_seed = case_seed_for(master_seed, i)
-        result = run_random_case(case_seed, params)
-        report.schedules_run += 1
-        report.crashes_injected += result.crashes_injected
-        if result.failed:
-            report.failures.append(
-                FuzzFailure(
-                    schedule=result.schedule.to_dict(),
-                    violations=result.violations,
-                    case_seed=case_seed,
-                )
-            )
-        if progress is not None:
-            progress(i + 1, runs, result)
-    return report
+    case_seeds = [case_seed_for(master_seed, i) for i in range(runs)]
+    schedules = [schedule_from_seed(seed, params) for seed in case_seeds]
+    executed = _execute_all(schedules, params, jobs, progress, case_seeds=case_seeds)
+    return _merge_outcomes(report, schedules, executed, case_seeds=case_seeds)

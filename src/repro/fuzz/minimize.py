@@ -21,7 +21,28 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable
 
-from repro.fuzz.explorer import CrashSchedule, FaultSpec
+from repro.fuzz.explorer import CrashSchedule, FaultSpec, FuzzParams
+
+
+def minimize_recorded_failure(
+    schedule_dict: dict, params: FuzzParams, max_attempts: int = 200
+) -> tuple[dict, int]:
+    """Minimize one serialized failing schedule against the real oracle.
+
+    The module-level, fully-picklable form of :func:`minimize_schedule`
+    (the oracle is rebuilt here instead of closed over), so each failure
+    of a fuzz run can shrink in its own pool worker.  Returns the
+    minimized schedule in the same serialized form, plus oracle calls.
+    """
+    from repro.fuzz.explorer import run_schedule
+
+    schedule = CrashSchedule.from_dict(schedule_dict)
+    minimized, attempts = minimize_schedule(
+        schedule,
+        lambda candidate: run_schedule(candidate, params).failed,
+        max_attempts=max_attempts,
+    )
+    return minimized.to_dict(), attempts
 
 
 def minimize_schedule(

@@ -22,7 +22,35 @@ from repro.core.msp import MiddlewareServer
 from repro.core.session import SessionStatus
 from repro.harness.experiments import ExperimentResult
 from repro.net import Network
+from repro.parallel import resolve_jobs, run_tasks
 from repro.sim import RngRegistry, Simulator
+
+
+def _ablation_sweep(worker, specs, jobs=None, progress=None) -> list:
+    """Run an ablation's measurement points; results in spec order.
+
+    The ablation twin of :func:`repro.harness.experiments._sweep`: specs
+    are plain tuples, workers are the module-level ``_*_point``
+    functions below, and ``jobs=1`` stays in-process.
+    """
+    if resolve_jobs(jobs) == 1 or len(specs) <= 1:
+        results = []
+        for i, spec in enumerate(specs):
+            results.append(worker(spec))
+            if progress is not None:
+                progress(i + 1, len(specs), spec)
+        return results
+    outcomes = run_tasks(
+        worker,
+        specs,
+        jobs=jobs,
+        progress=(
+            None
+            if progress is None
+            else lambda done, total, outcome: progress(done, total, outcome.spec)
+        ),
+    )
+    return [outcome.unwrap() for outcome in outcomes]
 
 
 def _counter_method(ctx, argument):
@@ -80,8 +108,14 @@ def _measure_recovery_time(parallel: bool, sessions: int, requests: int, seed: i
     return recovery_ms, msp.stats.replayed_requests
 
 
+def _recovery_point(spec):
+    parallel, sessions, requests, seed = spec
+    return _measure_recovery_time(parallel, sessions, requests, seed)
+
+
 def ablation_parallel_recovery(
-    scale: float = 1.0, seed: int = 0, sessions: int = 8
+    scale: float = 1.0, seed: int = 0, sessions: int = 8,
+    jobs=None, progress=None,
 ) -> ExperimentResult:
     """Parallel vs sequential session recovery after an MSP crash."""
     requests = max(30, int(400 * scale))
@@ -93,8 +127,10 @@ def ablation_parallel_recovery(
         ),
     )
     times = {}
-    for parallel in (True, False):
-        recovery_ms, replayed = _measure_recovery_time(parallel, sessions, requests, seed)
+    specs = [(parallel, sessions, requests, seed) for parallel in (True, False)]
+    points = _ablation_sweep(_recovery_point, specs, jobs=jobs, progress=progress)
+    for spec, (recovery_ms, replayed) in zip(specs, points):
+        parallel = spec[0]
         times[parallel] = recovery_ms
         result.rows.append(
             {
@@ -198,8 +234,14 @@ def _measure_sv_logging_recovery(
     return ready["writer"], mean_reader
 
 
+def _sv_logging_point(spec):
+    sv_logging, readers, writer_requests, seed = spec
+    return _measure_sv_logging_recovery(sv_logging, readers, writer_requests, seed)
+
+
 def ablation_value_vs_access_order(
-    scale: float = 1.0, seed: int = 0, readers: int = 4
+    scale: float = 1.0, seed: int = 0, readers: int = 4,
+    jobs=None, progress=None,
 ) -> ExperimentResult:
     """Value logging (§3.3) vs access-order logging ([16]) at recovery.
 
@@ -220,10 +262,12 @@ def ablation_value_vs_access_order(
         ),
     )
     measured = {}
-    for mode in ("value", "access-order"):
-        writer_ms, reader_ms = _measure_sv_logging_recovery(
-            mode, readers, writer_requests, seed
-        )
+    specs = [
+        (mode, readers, writer_requests, seed) for mode in ("value", "access-order")
+    ]
+    points = _ablation_sweep(_sv_logging_point, specs, jobs=jobs, progress=progress)
+    for spec, (writer_ms, reader_ms) in zip(specs, points):
+        mode = spec[0]
         measured[mode] = (writer_ms, reader_ms)
         result.rows.append(
             {
@@ -351,7 +395,14 @@ def _measure_rollbacks(per_session_dv: bool, remote_sessions: int, local_session
     return front.stats.orphan_recoveries, network.messages_sent
 
 
-def ablation_dv_granularity(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def _dv_point(spec):
+    per_session_dv, remote_sessions, local_sessions, seed = spec
+    return _measure_rollbacks(per_session_dv, remote_sessions, local_sessions, seed)
+
+
+def ablation_dv_granularity(
+    scale: float = 1.0, seed: int = 0, jobs=None, progress=None
+) -> ExperimentResult:
     """Per-session DVs vs one MSP-wide DV.
 
     Half the sessions only touch local state.  With one MSP-wide DV,
@@ -374,8 +425,10 @@ def ablation_dv_granularity(scale: float = 1.0, seed: int = 0) -> ExperimentResu
     )
     rollbacks = {}
     backend_writes = {}
-    for per_session in (True, False):
-        count, messages = _measure_rollbacks(per_session, remote, local, seed)
+    specs = [(per_session, remote, local, seed) for per_session in (True, False)]
+    points = _ablation_sweep(_dv_point, specs, jobs=jobs, progress=progress)
+    for spec, (count, messages) in zip(specs, points):
+        per_session = spec[0]
         rollbacks[per_session] = count
         backend_writes[per_session] = messages
         result.rows.append(

@@ -9,6 +9,13 @@ expected (our substrate is a calibrated simulator); shape parity is.
 
 ``scale`` trades runtime for fidelity: 1.0 approximates the paper's run
 lengths (20 K requests for Fig. 14), smaller values keep CI fast.
+
+Each experiment is a *sweep*: it first enumerates its independent
+workload points (one seeded simulation each), runs them through
+:func:`_sweep` — in-process for ``jobs=1``, fanned across worker
+processes otherwise, with results merged back in point order either way
+— and only then derives rows and claims.  More cores therefore buy more
+measurement points per wall-second without changing a single number.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.harness.metrics import ResponseStats
+from repro.parallel import WorkerFailure, resolve_jobs, run_tasks
+from repro.parallel.tasks import WorkloadPointSpec, run_workload_point
 from repro.workloads import PaperWorkload, WorkloadParams
 
 KB = 1024
@@ -53,6 +62,43 @@ def _run(params: WorkloadParams) -> tuple[PaperWorkload, "object"]:
     return workload, result
 
 
+def _sweep(points: list[WorkloadPointSpec], jobs=None, progress=None) -> list:
+    """Run a sweep's independent points; results come back in point order.
+
+    ``jobs=1`` (the default resolution on a single core) is the
+    in-process reference path; otherwise points fan across spawn
+    workers.  A point whose worker raises (including a failed
+    ``verify_exactly_once``) aborts the experiment with the point's key
+    in the error, matching the sequential behaviour.
+    ``progress(done, total, key)`` reports completions in either mode.
+    """
+    if resolve_jobs(jobs) == 1 or len(points) <= 1:
+        results = []
+        for i, spec in enumerate(points):
+            results.append(run_workload_point(spec))
+            if progress is not None:
+                progress(i + 1, len(points), spec.key)
+        return results
+    outcomes = run_tasks(
+        run_workload_point,
+        points,
+        jobs=jobs,
+        progress=(
+            None
+            if progress is None
+            else lambda done, total, outcome: progress(done, total, outcome.spec.key)
+        ),
+    )
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        first = failed[0]
+        raise WorkerFailure(
+            f"sweep point {first.spec.key} failed "
+            f"({len(failed)}/{len(outcomes)} points): {first.error}"
+        )
+    return [outcome.result for outcome in outcomes]
+
+
 # ---------------------------------------------------------------------------
 # Figure 14 (table): average response time of the five configurations
 # ---------------------------------------------------------------------------
@@ -66,7 +112,9 @@ PAPER_FIG14_TABLE = {
 }
 
 
-def fig14_response_table(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def fig14_response_table(
+    scale: float = 1.0, seed: int = 0, jobs=None, progress=None
+) -> ExperimentResult:
     """Fig. 14 table: average response time over 20 K requests."""
     requests = max(50, int(20_000 * scale))
     result = ExperimentResult(
@@ -74,15 +122,20 @@ def fig14_response_table(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         description="Average response time (ms), 1 client, m=1",
         paper=dict(PAPER_FIG14_TABLE),
     )
-    means: dict[str, float] = {}
-    for configuration in PAPER_FIG14_TABLE:
-        _wl, run = _run(
-            WorkloadParams(
+    points = [
+        WorkloadPointSpec(
+            key=("fig14-table", configuration),
+            params=WorkloadParams(
                 configuration=configuration,
                 requests_per_client=requests,
                 seed=seed,
-            )
+            ),
         )
+        for configuration in PAPER_FIG14_TABLE
+    ]
+    means: dict[str, float] = {}
+    for point, run in zip(points, _sweep(points, jobs=jobs, progress=progress)):
+        configuration = point.key[1]
         means[configuration] = run.mean_response_ms
         result.rows.append(
             {
@@ -113,7 +166,11 @@ def fig14_response_table(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
 
 
 def fig14_calls_chart(
-    scale: float = 1.0, seed: int = 0, calls: tuple[int, ...] = (1, 2, 3, 4)
+    scale: float = 1.0,
+    seed: int = 0,
+    calls: tuple[int, ...] = (1, 2, 3, 4),
+    jobs=None,
+    progress=None,
 ) -> ExperimentResult:
     """Fig. 14 chart: response time versus m for all five configurations."""
     requests = max(30, int(2_000 * scale))
@@ -121,27 +178,30 @@ def fig14_calls_chart(
         experiment="fig14-chart",
         description="Response time (ms) vs number of calls to ServiceMethod2",
     )
-    series: dict[str, list[float]] = {}
-    for configuration in PAPER_FIG14_TABLE:
-        times = []
-        for m in calls:
-            _wl, run = _run(
-                WorkloadParams(
-                    configuration=configuration,
-                    requests_per_client=requests,
-                    calls_to_sm2=m,
-                    seed=seed,
-                )
-            )
-            times.append(run.mean_response_ms)
-            result.rows.append(
-                {
-                    "configuration": configuration,
-                    "calls": m,
-                    "mean_response_ms": run.mean_response_ms,
-                }
-            )
-        series[configuration] = times
+    points = [
+        WorkloadPointSpec(
+            key=("fig14-chart", configuration, m),
+            params=WorkloadParams(
+                configuration=configuration,
+                requests_per_client=requests,
+                calls_to_sm2=m,
+                seed=seed,
+            ),
+        )
+        for configuration in PAPER_FIG14_TABLE
+        for m in calls
+    ]
+    series: dict[str, list[float]] = {c: [] for c in PAPER_FIG14_TABLE}
+    for point, run in zip(points, _sweep(points, jobs=jobs, progress=progress)):
+        _name, configuration, m = point.key
+        series[configuration].append(run.mean_response_ms)
+        result.rows.append(
+            {
+                "configuration": configuration,
+                "calls": m,
+                "mean_response_ms": run.mean_response_ms,
+            }
+        )
 
     def slope(name: str) -> float:
         values = series[name]
@@ -183,6 +243,8 @@ def fig15a_checkpoint_overhead(
     scale: float = 1.0,
     seed: int = 0,
     thresholds: tuple = (64 * KB, 256 * KB, 1 * MB, 4 * MB, None),
+    jobs=None,
+    progress=None,
 ) -> ExperimentResult:
     """Fig. 15(a): session checkpointing overhead on throughput."""
     requests = max(200, int(5_000 * scale))
@@ -190,20 +252,24 @@ def fig15a_checkpoint_overhead(
         experiment="fig15a",
         description="Throughput (req/s) vs session checkpoint threshold, LoOptimistic",
     )
-    throughputs = []
-    for threshold in thresholds:
-        _wl, run = _run(
-            WorkloadParams(
+    points = [
+        WorkloadPointSpec(
+            key=("fig15a", "none" if threshold is None else f"{threshold // KB}KB"),
+            params=WorkloadParams(
                 configuration="LoOptimistic",
                 requests_per_client=requests,
                 session_ckpt_threshold=threshold,
                 seed=seed,
-            )
+            ),
         )
+        for threshold in thresholds
+    ]
+    throughputs = []
+    for point, run in zip(points, _sweep(points, jobs=jobs, progress=progress)):
         throughputs.append(run.throughput_rps)
         result.rows.append(
             {
-                "threshold": "none" if threshold is None else f"{threshold // KB}KB",
+                "threshold": point.key[1],
                 "throughput_rps": run.throughput_rps,
                 "session_checkpoints": run.session_checkpoints,
             }
@@ -231,6 +297,8 @@ def fig15b_crash_throughput(
     scale: float = 1.0,
     seed: int = 0,
     crash_rates: tuple = (None, 2000, 1500, 1000),
+    jobs=None,
+    progress=None,
 ) -> ExperimentResult:
     """Fig. 15(b): throughput under forced MSP2 crashes.
 
@@ -242,30 +310,38 @@ def fig15b_crash_throughput(
         description="Throughput (req/s) vs crash rate (one crash per N requests)",
     )
     series: dict[str, list[float]] = {"LoOptimistic": [], "Pessimistic": []}
-    for configuration in series:
-        for rate in crash_rates:
-            scaled_rate = None if rate is None else max(20, int(rate * scale))
-            requests = max(200, int(6_000 * scale))
-            workload, run = _run(
-                WorkloadParams(
-                    configuration=configuration,
-                    requests_per_client=requests,
-                    crash_every_n=scaled_rate,
-                    seed=seed,
-                )
-            )
-            workload.verify_exactly_once()
-            series[configuration].append(run.throughput_rps)
-            result.rows.append(
-                {
-                    "configuration": configuration,
-                    "crash_every_n": scaled_rate,
-                    "throughput_rps": run.throughput_rps,
-                    "crashes": run.crashes,
-                    "orphan_recoveries": run.orphan_recoveries,
-                    "replayed_requests": run.replayed_requests,
-                }
-            )
+    requests = max(200, int(6_000 * scale))
+    points = [
+        WorkloadPointSpec(
+            key=(
+                "fig15b",
+                configuration,
+                None if rate is None else max(20, int(rate * scale)),
+            ),
+            params=WorkloadParams(
+                configuration=configuration,
+                requests_per_client=requests,
+                crash_every_n=None if rate is None else max(20, int(rate * scale)),
+                seed=seed,
+            ),
+            verify_exactly_once=True,
+        )
+        for configuration in series
+        for rate in crash_rates
+    ]
+    for point, run in zip(points, _sweep(points, jobs=jobs, progress=progress)):
+        _name, configuration, scaled_rate = point.key
+        series[configuration].append(run.throughput_rps)
+        result.rows.append(
+            {
+                "configuration": configuration,
+                "crash_every_n": scaled_rate,
+                "throughput_rps": run.throughput_rps,
+                "crashes": run.crashes,
+                "orphan_recoveries": run.orphan_recoveries,
+                "replayed_requests": run.replayed_requests,
+            }
+        )
     lo, pe = series["LoOptimistic"], series["Pessimistic"]
     result.claim(
         "locally optimistic always has higher throughput than pessimistic",
@@ -296,7 +372,9 @@ PAPER_FIG16_TABLE = {
 }
 
 
-def fig16_max_response_table(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def fig16_max_response_table(
+    scale: float = 1.0, seed: int = 0, jobs=None, progress=None
+) -> ExperimentResult:
     """Fig. 16 table: maximum response time under crashes/checkpointing."""
     requests = max(400, int(6_000 * scale))
     crash_rate = max(50, int(1000 * scale))
@@ -307,6 +385,7 @@ def fig16_max_response_table(scale: float = 1.0, seed: int = 0) -> ExperimentRes
     )
     measured: dict[tuple[str, str], float] = {}
     means: dict[tuple[str, str], float] = {}
+    points = []
     for configuration in ("LoOptimistic", "Pessimistic"):
         scenarios = {
             "Crash": WorkloadParams(
@@ -325,19 +404,23 @@ def fig16_max_response_table(scale: float = 1.0, seed: int = 0) -> ExperimentRes
                 seed=seed,
             ),
         }
-        for column, params in scenarios.items():
-            _wl, run = _run(params)
-            measured[(configuration, column)] = run.max_response_ms
-            means[(configuration, column)] = run.mean_response_ms
-            result.rows.append(
-                {
-                    "configuration": configuration,
-                    "scenario": column,
-                    "max_response_ms": run.max_response_ms,
-                    "mean_response_ms": run.mean_response_ms,
-                    "paper_max_ms": PAPER_FIG16_TABLE[(configuration, column)],
-                }
-            )
+        points.extend(
+            WorkloadPointSpec(key=("fig16-table", configuration, column), params=params)
+            for column, params in scenarios.items()
+        )
+    for point, run in zip(points, _sweep(points, jobs=jobs, progress=progress)):
+        _name, configuration, column = point.key
+        measured[(configuration, column)] = run.max_response_ms
+        means[(configuration, column)] = run.mean_response_ms
+        result.rows.append(
+            {
+                "configuration": configuration,
+                "scenario": column,
+                "max_response_ms": run.max_response_ms,
+                "mean_response_ms": run.mean_response_ms,
+                "paper_max_ms": PAPER_FIG16_TABLE[(configuration, column)],
+            }
+        )
     result.claim(
         "crashes raise the maximum response time substantially (both methods)",
         measured[("LoOptimistic", "Crash")] > 3 * measured[("LoOptimistic", "NoCrash")]
@@ -364,6 +447,8 @@ def fig16_optimal_threshold(
     scale: float = 1.0,
     seed: int = 0,
     thresholds: tuple = (64 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB),
+    jobs=None,
+    progress=None,
 ) -> ExperimentResult:
     """Fig. 16 chart: throughput at crash rate 1/1000 vs threshold."""
     requests = max(400, int(8_000 * scale))
@@ -372,22 +457,26 @@ def fig16_optimal_threshold(
         experiment="fig16-chart",
         description="Throughput (req/s) at crash rate 1/1000 vs checkpoint threshold",
     )
-    throughputs = []
-    for threshold in thresholds:
-        workload, run = _run(
-            WorkloadParams(
+    points = [
+        WorkloadPointSpec(
+            key=("fig16-chart", f"{threshold // KB}KB"),
+            params=WorkloadParams(
                 configuration="LoOptimistic",
                 requests_per_client=requests,
                 session_ckpt_threshold=threshold,
                 crash_every_n=crash_rate,
                 seed=seed,
-            )
+            ),
+            verify_exactly_once=True,
         )
-        workload.verify_exactly_once()
+        for threshold in thresholds
+    ]
+    throughputs = []
+    for point, run in zip(points, _sweep(points, jobs=jobs, progress=progress)):
         throughputs.append(run.throughput_rps)
         result.rows.append(
             {
-                "threshold": f"{threshold // KB}KB",
+                "threshold": point.key[1],
                 "throughput_rps": run.throughput_rps,
                 "replayed_requests": run.replayed_requests,
                 "session_checkpoints": run.session_checkpoints,
@@ -414,6 +503,8 @@ def fig17_multiclient(
     scale: float = 1.0,
     seed: int = 0,
     client_counts: tuple = (1, 2, 3, 4, 6, 8),
+    jobs=None,
+    progress=None,
 ) -> ExperimentResult:
     """Fig. 17: throughput and response vs #clients, +/- batch flushing."""
     requests = max(40, int(1_500 * scale))
@@ -421,36 +512,38 @@ def fig17_multiclient(
         experiment="fig17",
         description="Throughput and response time vs number of clients",
     )
+    points = [
+        WorkloadPointSpec(
+            key=("fig17", configuration, batch, clients),
+            params=WorkloadParams(
+                configuration=configuration,
+                requests_per_client=requests,
+                num_clients=clients,
+                batch_flush_timeout_ms=8.0 if batch else 0.0,
+                seed=seed,
+            ),
+        )
+        for configuration in ("Pessimistic", "LoOptimistic")
+        for batch in (False, True)
+        for clients in client_counts
+    ]
     curves: dict[tuple[str, bool], list[float]] = {}
     responses: dict[tuple[str, bool], list[float]] = {}
-    for configuration in ("Pessimistic", "LoOptimistic"):
-        for batch in (False, True):
-            throughputs, response_means = [], []
-            for clients in client_counts:
-                _wl, run = _run(
-                    WorkloadParams(
-                        configuration=configuration,
-                        requests_per_client=requests,
-                        num_clients=clients,
-                        batch_flush_timeout_ms=8.0 if batch else 0.0,
-                        seed=seed,
-                    )
-                )
-                throughputs.append(run.throughput_rps)
-                response_means.append(run.mean_response_ms)
-                result.rows.append(
-                    {
-                        "configuration": configuration,
-                        "batch": batch,
-                        "clients": clients,
-                        "throughput_rps": run.throughput_rps,
-                        "mean_response_ms": run.mean_response_ms,
-                        "msp1_cpu_utilization": run.msp1_cpu_utilization,
-                        "msp1_disk_utilization": run.msp1_disk_utilization,
-                    }
-                )
-            curves[(configuration, batch)] = throughputs
-            responses[(configuration, batch)] = response_means
+    for point, run in zip(points, _sweep(points, jobs=jobs, progress=progress)):
+        _name, configuration, batch, clients = point.key
+        curves.setdefault((configuration, batch), []).append(run.throughput_rps)
+        responses.setdefault((configuration, batch), []).append(run.mean_response_ms)
+        result.rows.append(
+            {
+                "configuration": configuration,
+                "batch": batch,
+                "clients": clients,
+                "throughput_rps": run.throughput_rps,
+                "mean_response_ms": run.mean_response_ms,
+                "msp1_cpu_utilization": run.msp1_cpu_utilization,
+                "msp1_disk_utilization": run.msp1_disk_utilization,
+            }
+        )
 
     def peak(configuration: str, batch: bool) -> float:
         return max(curves[(configuration, batch)])
@@ -495,7 +588,9 @@ def fig17_multiclient(
 # ---------------------------------------------------------------------------
 
 
-def analysis_flush_accounting(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def analysis_flush_accounting(
+    scale: float = 1.0, seed: int = 0, jobs=None, progress=None
+) -> ExperimentResult:
     """§5.2 analysis: flush counts and sector usage per request.
 
     Paper: pessimistic logging needs three sequential flushes per end
@@ -515,12 +610,17 @@ def analysis_flush_accounting(scale: float = 1.0, seed: int = 0) -> ExperimentRe
         },
     )
     measured = {}
-    for configuration in ("Pessimistic", "LoOptimistic"):
-        _wl, run = _run(
-            WorkloadParams(
+    points = [
+        WorkloadPointSpec(
+            key=("analysis-flush", configuration),
+            params=WorkloadParams(
                 configuration=configuration, requests_per_client=requests, seed=seed
-            )
+            ),
         )
+        for configuration in ("Pessimistic", "LoOptimistic")
+    ]
+    for point, run in zip(points, _sweep(points, jobs=jobs, progress=progress)):
+        configuration = point.key[1]
         flushes = (run.msp1_flushes + run.msp2_flushes) / run.completed_requests
         sectors = (
             run.msp1_flushed_sectors + run.msp2_flushed_sectors

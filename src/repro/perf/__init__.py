@@ -7,6 +7,11 @@ records.  They exist so hot-path changes ship with numbers — see
 ``python -m repro bench`` and ``BENCH_*.json``.
 """
 
-from repro.perf.bench import BENCHMARKS, run_benchmarks, write_report
+from repro.perf.bench import (
+    BENCHMARKS,
+    run_benchmark_cell,
+    run_benchmarks,
+    write_report,
+)
 
-__all__ = ["BENCHMARKS", "run_benchmarks", "write_report"]
+__all__ = ["BENCHMARKS", "run_benchmark_cell", "run_benchmarks", "write_report"]

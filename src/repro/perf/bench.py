@@ -1,6 +1,6 @@
 """Microbenchmarks for the logging hot path (wall-clock, not simulated).
 
-Four benchmarks cover the pipeline stages the experiments are
+The benchmarks cover the pipeline stages the experiments are
 bottlenecked on:
 
 - ``codec_encode`` / ``codec_decode`` — records/s through the record
@@ -9,18 +9,24 @@ bottlenecked on:
   plus grouped flushes under the simulator;
 - ``scan`` — MB/s and records/s of ``scan_durable`` over a prebuilt
   durable log (the crash-recovery analysis scan);
+- ``recovery_scan`` — per-record CPU of ``recover_msp``'s analysis
+  pass (the type-dispatched loop of §4.3 step 2) against log length;
 - ``fig14`` — end-to-end wall seconds for a scaled-down Fig. 14
   workload run (the paper's headline experiment).
 
 ``run_benchmarks`` returns a machine-readable dict; ``write_report``
 emits it as JSON (``BENCH_PR1.json`` at the repo root by convention).
 When a baseline report is supplied, per-metric speedups are computed so
-a PR can quote before/after numbers directly.
+a PR can quote before/after numbers directly.  With ``jobs > 1`` the
+benchmark *cells* run as parallel worker processes (each cell's timing
+loop still runs alone in its worker); quote single-core numbers from
+``--jobs 1`` runs when cells would contend for cores.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import random
 import time
@@ -140,7 +146,9 @@ def bench_append_flush(scale: float = 1.0) -> dict:
         "seconds": elapsed,
         "records_per_s": n / elapsed,
         "mb_per_s": log.stats.appended_bytes / elapsed / 1e6,
+        "flush_requests": log.stats.flush_requests,
         "physical_flushes": log.stats.physical_flushes,
+        "coalesced_flushes": log.stats.coalesced_flushes,
     }
 
 
@@ -170,6 +178,89 @@ def bench_scan(scale: float = 1.0) -> dict:
         "seconds": elapsed,
         "records_per_s": len(scanned) / elapsed,
         "mb_per_s": nbytes / elapsed / 1e6,
+        "decode_cache_hits": log.stats.decode_cache_hits,
+        "decode_cache_misses": log.stats.decode_cache_misses,
+    }
+
+
+def _analysis_record_stream(n: int) -> list:
+    """Synthetic ``(lsn, record)`` stream shaped like a real scan's input.
+
+    Mostly position-stream kinds (request/reply/SV accesses), with
+    session checkpoints sprinkled in at roughly the density the paper's
+    1 MB threshold produces — the mix ``analyze_scan`` dispatches over.
+    """
+    from repro.core.records import SessionCheckpointRecord
+
+    dv = _sample_dv()
+    records: list = []
+    lsn = 0
+    for i in range(n):
+        session_id = f"client-{i & 3}/session-{i % 7}"
+        k = i & 7
+        if k < 3:
+            record = RequestRecord(session_id, i, "ServiceMethod1", b"x" * 64, dv)
+        elif k < 5:
+            record = ReplyRecord(session_id, f"{session_id}/out", i, b"r" * 48, dv)
+        elif k == 5:
+            record = SvReadRecord(session_id, "SV0", b"v" * 32, dv)
+        elif k == 6:
+            record = SvWriteRecord(session_id, "SV1", b"w" * 32, dv, prev_write_lsn=lsn)
+        elif i % 512 == 7:
+            record = SessionCheckpointRecord(
+                session_id,
+                variables={"state": b"s" * 128},
+                buffered_reply=b"r" * 48,
+                buffered_reply_seq=i,
+                next_expected_seq=i + 1,
+                outgoing_next_seq={f"{session_id}/out": i},
+            )
+        else:
+            record = RequestRecord(session_id, i, "ServiceMethod2", b"y" * 64, dv)
+        records.append((lsn, record))
+        lsn += 96
+    return records
+
+
+def bench_recovery_scan(scale: float = 1.0) -> dict:
+    """Per-record CPU of the recovery analysis pass, against log length.
+
+    Drives :func:`repro.core.crash_recovery.analyze_scan` (the
+    type-dispatched inner loop of §4.3 step 2) over synthetic scanned
+    streams of increasing length on a real MSP (live shared variables,
+    so SV roll-forward does its genuine work).  ``records_per_s`` /
+    ``ns_per_record`` at the longest length are the headline; the
+    per-length rows show the cost stays linear.
+    """
+    from repro.core.crash_recovery import analyze_scan
+    from repro.workloads import PaperWorkload, WorkloadParams
+
+    n_max = max(64, int(40_000 * scale))
+    stream = _analysis_record_stream(n_max)
+    lengths = sorted({max(1, n_max // 4), max(1, n_max // 2), n_max})
+    rows = []
+    for n in lengths:
+        # A fresh world per length: SV undo chains would otherwise grow
+        # across measurements and skew the per-record cost.
+        msp = PaperWorkload(WorkloadParams(seed=0)).msp1
+        start = time.perf_counter()
+        analyze_scan(msp, stream[:n])
+        elapsed = max(time.perf_counter() - start, 1e-9)
+        rows.append(
+            {
+                "records": n,
+                "seconds": elapsed,
+                "records_per_s": n / elapsed,
+                "ns_per_record": elapsed / n * 1e9,
+            }
+        )
+    headline = rows[-1]
+    return {
+        "records": headline["records"],
+        "seconds": headline["seconds"],
+        "records_per_s": headline["records_per_s"],
+        "ns_per_record": headline["ns_per_record"],
+        "lengths": rows,
     }
 
 
@@ -201,6 +292,7 @@ BENCHMARKS: dict[str, Callable[[float], dict]] = {
     "codec_decode": bench_codec_decode,
     "append_flush": bench_append_flush,
     "scan": bench_scan,
+    "recovery_scan": bench_recovery_scan,
     "fig14": bench_fig14,
 }
 
@@ -210,37 +302,77 @@ _HEADLINE = {
     "codec_decode": "records_per_s",
     "append_flush": "records_per_s",
     "scan": "mb_per_s",
+    "recovery_scan": "records_per_s",
     "fig14": "requests_per_wall_s",
 }
+
+
+def run_benchmark_cell(name: str, scale: float = 1.0, repeat: int = 3) -> dict:
+    """Warm up, then run one benchmark cell; the best repeat is kept.
+
+    This is the unit of work a pool worker executes for a parallel
+    ``repro bench`` run.
+    """
+    fn = BENCHMARKS[name]
+    fn(min(scale, 0.01))  # warmup: import, allocate, JIT-warm caches
+    best: Optional[dict] = None
+    for _ in range(max(1, repeat)):
+        run = fn(scale)
+        if best is None or run["seconds"] < best["seconds"]:
+            best = run
+    return best
 
 
 def run_benchmarks(
     scale: float = 1.0,
     repeat: int = 3,
     only: Optional[list[str]] = None,
+    jobs: Optional[int] = None,
+    progress=None,
 ) -> dict:
     """Run the benchmark suite; the best of ``repeat`` runs is reported.
 
     ``scale`` shrinks iteration counts (smoke mode uses a tiny scale and
-    ``repeat=1`` and only asserts completion).
+    ``repeat=1`` and only asserts completion).  ``jobs`` fans the cells
+    across worker processes (``1`` keeps today's in-process loop);
+    results are merged in benchmark-name order either way.
+    ``progress(done, total, name)`` reports cell completions.
     """
+    from repro.parallel import resolve_jobs, run_tasks
+    from repro.parallel.tasks import BenchCellSpec, run_bench_cell
+
     names = only if only is not None else list(BENCHMARKS)
+    effective_jobs = resolve_jobs(jobs)
     results: dict[str, dict] = {}
-    for name in names:
-        fn = BENCHMARKS[name]
-        fn(min(scale, 0.01))  # warmup: import, allocate, JIT-warm caches
-        best: Optional[dict] = None
-        for _ in range(max(1, repeat)):
-            run = fn(scale)
-            if best is None or run["seconds"] < best["seconds"]:
-                best = run
-        results[name] = best
+    if effective_jobs == 1 or len(names) <= 1:
+        for i, name in enumerate(names):
+            results[name] = run_benchmark_cell(name, scale=scale, repeat=repeat)
+            if progress is not None:
+                progress(i + 1, len(names), name)
+    else:
+        specs = [BenchCellSpec(name, scale=scale, repeat=repeat) for name in names]
+        outcomes = run_tasks(
+            run_bench_cell,
+            specs,
+            jobs=effective_jobs,
+            progress=(
+                None
+                if progress is None
+                else lambda done, total, outcome: progress(
+                    done, total, outcome.spec.name
+                )
+            ),
+        )
+        for outcome in outcomes:
+            results[outcome.spec.name] = outcome.unwrap()
     return {
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "scale": scale,
             "repeat": repeat,
+            "jobs": effective_jobs,
+            "cpu_count": os.cpu_count(),
         },
         "benchmarks": results,
     }
@@ -266,6 +398,17 @@ def write_report(report: dict, path: str) -> None:
         fh.write("\n")
 
 
+#: Pipeline counters surfaced under each benchmark's headline line:
+#: the PR 1 flush-coalescing and decode-cache instrumentation.
+_COUNTER_KEYS = (
+    "flush_requests",
+    "physical_flushes",
+    "coalesced_flushes",
+    "decode_cache_hits",
+    "decode_cache_misses",
+)
+
+
 def format_report(report: dict) -> str:
     lines = []
     for name, run in report["benchmarks"].items():
@@ -276,4 +419,7 @@ def format_report(report: dict) -> str:
         if speedup is not None:
             line += f"   ({speedup:.2f}x vs baseline)"
         lines.append(line)
+        counters = [f"{key}={run[key]}" for key in _COUNTER_KEYS if key in run]
+        if counters:
+            lines.append(f"{'':14s} counters: {' '.join(counters)}")
     return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Sequential-vs-parallel fan-out report (``repro bench --fanout``).
+
+The parallel runner's contract is *determinism*: fanning work across
+worker processes must change wall-clock time and nothing else.  This
+module measures both halves of that claim in one pass and emits the
+``BENCH_PR3.json`` artifact:
+
+- each section runs the same work twice, ``jobs=1`` (in-process
+  reference) and ``jobs=N`` (spawn pool), and records both wall times
+  plus the speedup;
+- wherever the work has a deterministic verdict — fuzz reports,
+  experiment rows and claims — the two runs are compared for *exact*
+  equality and the result recorded as ``verdicts_identical``.
+
+Sections: exhaustive single-crash fuzz, the bounded two-crash pair
+product, seeded random fuzz, the benchmark cells, and one paper
+experiment sweep.  Speedup on a single-core container is ~1.0 or below
+(the pool only adds overhead there); ``meta.cpu_count`` records how many
+cores the numbers were taken on.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Optional
+
+from repro.parallel import resolve_jobs
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def _section(run, verdict, jobs: int) -> dict:
+    """One seq-vs-par comparison; ``verdict`` digests a run for equality."""
+    seq, seq_s = _timed(lambda: run(1))
+    par, par_s = _timed(lambda: run(jobs))
+    return {
+        "sequential_s": seq_s,
+        "parallel_s": par_s,
+        "speedup": (seq_s / par_s) if par_s > 0 else None,
+        "verdicts_identical": verdict(seq) == verdict(par),
+        "verdict": verdict(seq),
+    }
+
+
+def _experiment_digest(result) -> dict:
+    return {
+        "rows": result.rows,
+        "claims": [[text, ok] for text, ok in result.claims],
+    }
+
+
+def run_fanout_report(
+    jobs: Optional[int] = None,
+    fuzz_stride: int = 8,
+    pair_schedules: int = 48,
+    random_cases: int = 24,
+    bench_scale: float = 0.01,
+    sweep_scale: float = 0.02,
+    seed: int = 0,
+    progress=None,
+) -> dict:
+    """Measure the whole fan-out surface; returns the report dict.
+
+    Defaults are sized for a minutes-not-hours run; CI smoke shrinks
+    them further.  ``progress(done, total, label)`` ticks once per
+    finished section.
+    """
+    from repro.fuzz.explorer import FuzzParams, explore_exhaustive, fuzz_random
+    from repro.harness.experiments import fig14_response_table
+    from repro.perf.bench import run_benchmarks
+
+    effective_jobs = resolve_jobs(jobs)
+    params = FuzzParams()
+
+    sections: dict[str, dict] = {}
+    plan = [
+        (
+            "fuzz_exhaustive",
+            lambda j: explore_exhaustive(
+                params, seed=seed, stride=fuzz_stride, jobs=j
+            ),
+            lambda report: report.to_dict(),
+        ),
+        (
+            "fuzz_pairs",
+            lambda j: explore_exhaustive(
+                params,
+                seed=seed,
+                stride=fuzz_stride,
+                max_schedules=pair_schedules,
+                jobs=j,
+                pairs=True,
+            ),
+            lambda report: report.to_dict(),
+        ),
+        (
+            "fuzz_random",
+            lambda j: fuzz_random(
+                master_seed=seed, runs=random_cases, params=params, jobs=j
+            ),
+            lambda report: report.to_dict(),
+        ),
+        (
+            "bench_cells",
+            lambda j: run_benchmarks(scale=bench_scale, repeat=1, jobs=j),
+            # Timings jitter run to run; the deterministic verdict is the
+            # set of cells that completed.
+            lambda report: sorted(report["benchmarks"]),
+        ),
+        (
+            "experiment_sweep",
+            lambda j: fig14_response_table(scale=sweep_scale, seed=seed, jobs=j),
+            _experiment_digest,
+        ),
+    ]
+    for i, (name, run, verdict) in enumerate(plan):
+        sections[name] = _section(run, verdict, effective_jobs)
+        if progress is not None:
+            progress(i + 1, len(plan), name)
+
+    return {
+        "meta": {
+            "kind": "fanout",
+            "created_unix": time.time(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "jobs": effective_jobs,
+            "seed": seed,
+        },
+        "sections": sections,
+        "all_identical": all(
+            section["verdicts_identical"] for section in sections.values()
+        ),
+    }
+
+
+def format_fanout_report(report: dict) -> str:
+    meta = report["meta"]
+    lines = [
+        f"fan-out report: jobs={meta['jobs']} on {meta['cpu_count']} cores "
+        f"(python {meta['python']})"
+    ]
+    for name, section in report["sections"].items():
+        mark = "ok " if section["verdicts_identical"] else "DIFF"
+        lines.append(
+            f"  {name:18s} seq {section['sequential_s']:7.2f}s  "
+            f"par {section['parallel_s']:7.2f}s  "
+            f"{section['speedup']:.2f}x  verdicts {mark}"
+        )
+    lines.append(
+        "all verdicts identical"
+        if report["all_identical"]
+        else "VERDICT MISMATCH — parallel run diverged from sequential"
+    )
+    return "\n".join(lines)

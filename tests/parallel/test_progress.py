@@ -1,0 +1,75 @@
+"""Tests for the shared progress/ETA reporter (fake clock, StringIO)."""
+
+import io
+
+from repro.parallel import ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_reporter(min_interval_s=1.0):
+    stream = io.StringIO()
+    clock = FakeClock()
+    reporter = ProgressReporter(
+        "sweep", min_interval_s=min_interval_s, stream=stream, clock=clock
+    ).start()
+    return reporter, stream, clock
+
+
+def test_first_and_last_updates_always_print():
+    reporter, stream, clock = make_reporter()
+    reporter.update(1, 4)
+    clock.t = 0.1  # within the rate limit
+    reporter.update(2, 4)
+    reporter.update(3, 4)
+    clock.t = 0.2
+    reporter.update(4, 4)  # done == total forces a line
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert "[1/4]" in lines[0] and " 25.0%" in lines[0]
+    assert "[4/4]" in lines[1] and "100.0%" in lines[1]
+
+
+def test_rate_limit_releases_after_interval():
+    reporter, stream, clock = make_reporter(min_interval_s=1.0)
+    reporter.update(1, 10)
+    clock.t = 0.5
+    reporter.update(2, 10)  # suppressed
+    clock.t = 1.5
+    reporter.update(3, 10)  # due again
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert "[ 3/10]" in lines[1]
+
+
+def test_detail_forces_a_line():
+    reporter, stream, clock = make_reporter()
+    reporter.update(1, 100)
+    clock.t = 0.01
+    reporter.update(2, 100, detail="FAIL {'target': 'msp1'}")
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert lines[1].endswith("FAIL {'target': 'msp1'}")
+
+
+def test_rate_and_eta():
+    reporter, stream, clock = make_reporter()
+    clock.t = 2.0  # 2s after start: 10 done -> 5.0/s, 90 left -> 18s
+    reporter.update(10, 100)
+    line = stream.getvalue().splitlines()[0]
+    assert "5.0/s" in line
+    assert "ETA 0:18" in line
+
+
+def test_finish_reports_elapsed():
+    reporter, stream, clock = make_reporter()
+    clock.t = 3.25
+    elapsed = reporter.finish("done")
+    assert elapsed == 3.25
+    assert "done (3.2s)" in stream.getvalue() or "done (3.3s)" in stream.getvalue()

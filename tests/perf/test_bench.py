@@ -1,0 +1,96 @@
+"""Tests for the wall-clock benchmark suite and the fan-out report."""
+
+from repro.perf.bench import (
+    BENCHMARKS,
+    bench_recovery_scan,
+    format_report,
+    run_benchmark_cell,
+    run_benchmarks,
+)
+
+
+def test_recovery_scan_benchmark_shape():
+    run = bench_recovery_scan(scale=0.005)
+    assert run["records_per_s"] > 0
+    assert run["ns_per_record"] > 0
+    # One row per scanned log length, longest last — the sweep that
+    # shows analysis cost is linear in log length.
+    lengths = run["lengths"]
+    assert len(lengths) == 3
+    assert [row["records"] for row in lengths] == sorted(
+        row["records"] for row in lengths
+    )
+    assert run["records"] == lengths[-1]["records"]
+
+
+def test_run_benchmark_cell_matches_registry():
+    assert "recovery_scan" in BENCHMARKS
+    cell = run_benchmark_cell("scan", scale=0.005, repeat=1)
+    assert cell["seconds"] > 0
+    assert "decode_cache_misses" in cell
+
+
+def test_run_benchmarks_sequential_smoke():
+    report = run_benchmarks(scale=0.002, repeat=1, jobs=1)
+    assert set(report["benchmarks"]) == set(BENCHMARKS)
+    assert report["meta"]["jobs"] == 1
+    assert report["meta"]["cpu_count"] >= 1
+
+
+def test_format_report_snapshot_with_counters():
+    # A synthetic report pins the exact rendering, counters included.
+    report = {
+        "benchmarks": {
+            "append_flush": {
+                "seconds": 1.0,
+                "records_per_s": 12345.6,
+                "flush_requests": 10,
+                "physical_flushes": 4,
+                "coalesced_flushes": 6,
+            },
+            "scan": {
+                "seconds": 0.5,
+                "mb_per_s": 250.0,
+                "decode_cache_hits": 7,
+                "decode_cache_misses": 3,
+            },
+        },
+        "speedup": {"scan": 1.25},
+    }
+    assert format_report(report) == "\n".join(
+        [
+            "append_flush   records_per_s            12,345.6",
+            "               counters: flush_requests=10 physical_flushes=4 "
+            "coalesced_flushes=6",
+            "scan           mb_per_s                    250.0   "
+            "(1.25x vs baseline)",
+            "               counters: decode_cache_hits=7 decode_cache_misses=3",
+        ]
+    )
+
+
+def test_fanout_report_smoke():
+    from repro.perf.fanout import format_fanout_report, run_fanout_report
+
+    report = run_fanout_report(
+        jobs=2,
+        fuzz_stride=256,
+        pair_schedules=4,
+        random_cases=2,
+        bench_scale=0.002,
+        sweep_scale=0.01,
+    )
+    assert set(report["sections"]) == {
+        "fuzz_exhaustive",
+        "fuzz_pairs",
+        "fuzz_random",
+        "bench_cells",
+        "experiment_sweep",
+    }
+    # The determinism contract: parallel verdicts equal sequential ones.
+    assert report["all_identical"]
+    for section in report["sections"].values():
+        assert section["sequential_s"] > 0 and section["parallel_s"] > 0
+    text = format_fanout_report(report)
+    assert "all verdicts identical" in text
+    assert "jobs=2" in text

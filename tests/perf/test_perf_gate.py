@@ -1,0 +1,62 @@
+"""Tests for the CI perf-regression gate's comparison logic."""
+
+import importlib.util
+import pathlib
+
+_spec = importlib.util.spec_from_file_location(
+    "perf_gate",
+    pathlib.Path(__file__).resolve().parents[2] / "scripts" / "perf_gate.py",
+)
+perf_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_gate)
+
+
+def _report(seq=1.0, par=0.5, verdict="v", identical=True):
+    return {
+        "all_identical": identical,
+        "sections": {
+            "fuzz_exhaustive": {
+                "sequential_s": seq,
+                "parallel_s": par,
+                "speedup": seq / par,
+                "verdict": verdict,
+            }
+        },
+    }
+
+
+def test_clean_comparison_passes():
+    assert perf_gate.compare(_report(), _report(seq=2.0, par=1.0), band=4.0) == []
+
+
+def test_nondeterministic_fresh_run_fails():
+    problems = perf_gate.compare(_report(identical=False), _report(), band=4.0)
+    assert any("all_identical" in p for p in problems)
+
+
+def test_verdict_drift_fails():
+    problems = perf_gate.compare(_report(verdict="changed"), _report(), band=4.0)
+    assert any("verdict differs" in p for p in problems)
+
+
+def test_sequential_time_band():
+    problems = perf_gate.compare(_report(seq=9.0, par=1.0), _report(seq=2.0), band=4.0)
+    assert any("exceeds 4x committed" in p for p in problems)
+
+
+def test_pool_overhead_band():
+    problems = perf_gate.compare(_report(seq=1.0, par=8.0), _report(), band=4.0)
+    assert any("pool overhead" in p for p in problems)
+
+
+def test_pool_startup_grace_covers_tiny_sections():
+    # A 0.04s section whose parallel run pays ~0.4s of spawn start-up is
+    # fixed cost, not a regression.
+    assert perf_gate.compare(_report(seq=0.04, par=0.45), _report(seq=0.04), band=4.0) == []
+
+
+def test_missing_section_fails():
+    fresh = _report()
+    fresh["sections"] = {}
+    problems = perf_gate.compare(fresh, _report(), band=4.0)
+    assert any("lacks sections" in p for p in problems)

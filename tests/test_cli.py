@@ -70,6 +70,47 @@ def test_fuzz_random_smoke(capsys, tmp_path, monkeypatch):
     assert "fuzz random: 3 schedules" in out
 
 
+def test_fuzz_pairs_smoke(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["fuzz", "--pairs", "--max-schedules", "4", "--quiet"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fuzz exhaustive-pairs: 4 schedules" in out
+    # Two kills per pair schedule, so at least 8 crashes were injected.
+    assert "8 crashes injected" in out
+
+
+def test_fuzz_parallel_matches_sequential(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["fuzz", "--max-schedules", "4", "--jobs", "1", "--quiet"]) == 0
+    seq = capsys.readouterr().out
+    assert main(["fuzz", "--max-schedules", "4", "--jobs", "2", "--quiet"]) == 0
+    par = capsys.readouterr().out
+    assert seq.splitlines()[-1].rsplit(",", 1)[0] == (
+        par.splitlines()[-1].rsplit(",", 1)[0]  # all but the wall time
+    )
+
+
+def test_run_experiment_with_jobs(capsys):
+    code = main(["run", "analysis-flush", "--scale", "0.05", "--jobs", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[PASS]" in out
+
+
+def test_bench_fanout_smoke(capsys, tmp_path, monkeypatch):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    code = main(["bench", "--fanout", "--smoke", "--jobs", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all verdicts identical" in out
+    report = json.loads((tmp_path / "BENCH_PR3.json").read_text())
+    assert report["all_identical"] is True
+    assert report["meta"]["jobs"] == 2
+
+
 def test_fuzz_replay_case_seed(capsys):
     code = main(["fuzz", "--replay", "7"])
     out = capsys.readouterr().out
