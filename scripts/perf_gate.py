@@ -18,6 +18,14 @@ Compares a freshly generated report against the committed baseline:
   pool overhead regression even on one core).
 
 Usage: ``python scripts/perf_gate.py FRESH BASELINE [--band 4.0]``
+
+A second mode gates the bounded-memory claim of the PR 4 segmented log
+store: ``python scripts/perf_gate.py --log-space BENCH.json`` checks the
+``log_space`` cell of a fresh bench report — with truncation on, live
+log bytes must stay bounded by the checkpoint interval (plus segment
+slack) and roughly flat across run lengths, while the truncation-off
+control must grow linearly.  These are properties of the seeded
+simulation, not the machine, so they are gated exactly.
 """
 
 from __future__ import annotations
@@ -68,15 +76,116 @@ def compare(fresh: dict, baseline: dict, band: float) -> list[str]:
     return problems
 
 
+#: Segment-granularity slack on the bounded-space check: the floor can
+#: trail the checkpoint by up to one segment per recycle boundary, the
+#: checkpoint record itself and the next interval's appends pile on top.
+LOG_SPACE_SLACK_SEGMENTS = 4
+
+
+def gate_log_space(report: dict) -> list[str]:
+    """Gate the bounded-memory claim of the ``log_space`` bench cell."""
+    cell = report.get("benchmarks", {}).get("log_space")
+    if cell is None:
+        return ["log-space: report has no log_space benchmark cell"]
+    problems: list[str] = []
+    on = cell["truncation_on"]
+    off = cell["truncation_off"]
+    records = cell["records"]
+    if cell["ckpt_every"] * 2 > records:
+        return [
+            f"log-space: only {records} records for a checkpoint every "
+            f"{cell['ckpt_every']} — too short to exercise truncation "
+            "(raise --scale)"
+        ]
+    # Bounded: live bytes with truncation on may never exceed one
+    # checkpoint interval of appends plus segment-granularity slack.
+    avg_record = on["appended_bytes"] / records
+    bound = (
+        cell["ckpt_every"] * avg_record
+        + LOG_SPACE_SLACK_SEGMENTS * cell["segment_bytes"]
+    )
+    if on["peak_live_bytes"] > bound:
+        problems.append(
+            f"log-space: peak live bytes {on['peak_live_bytes']} with "
+            f"truncation on exceeds the checkpoint-interval bound {bound:.0f}"
+        )
+    # Flat: the final sample must not outgrow the bound either (the
+    # per-length rows would reveal creep long before the peak does).
+    rows_on = on["rows"]
+    if rows_on and rows_on[-1]["live_bytes"] > bound:
+        problems.append(
+            f"log-space: live bytes grew to {rows_on[-1]['live_bytes']} at "
+            f"{rows_on[-1]['records']} records (bound {bound:.0f}) — "
+            "truncation is not holding the log flat"
+        )
+    # The control: with truncation off the log must actually grow
+    # linearly, otherwise the comparison proves nothing.
+    rows_off = off["rows"]
+    if len(rows_off) >= 2 and rows_off[-1]["live_bytes"] < 2 * rows_off[0]["live_bytes"]:
+        problems.append(
+            "log-space: truncation-off control did not grow "
+            f"({rows_off[0]['live_bytes']} -> {rows_off[-1]['live_bytes']})"
+        )
+    if off["final_live_bytes"] < 2 * on["final_live_bytes"]:
+        problems.append(
+            f"log-space: final live bytes on={on['final_live_bytes']} vs "
+            f"off={off['final_live_bytes']} — truncation reclaimed too little"
+        )
+    if on["recycled_segments"] <= 0:
+        problems.append("log-space: truncation on but no segment was recycled")
+    return problems
+
+
+def _run_log_space_gate(path: str) -> int:
+    with open(path) as fh:
+        report = json.load(fh)
+    problems = gate_log_space(report)
+    cell = report.get("benchmarks", {}).get("log_space", {})
+    if cell:
+        on = cell.get("truncation_on", {})
+        off = cell.get("truncation_off", {})
+        print(
+            f"log-space gate: {cell.get('records')} records, "
+            f"segment {cell.get('segment_bytes')} B, "
+            f"ckpt every {cell.get('ckpt_every')}"
+        )
+        print(
+            f"  truncation on : peak {on.get('peak_live_bytes')} B, "
+            f"final {on.get('final_live_bytes')} B, "
+            f"{on.get('recycled_segments')} segments recycled"
+        )
+        print(
+            f"  truncation off: final {off.get('final_live_bytes')} B "
+            f"({cell.get('space_ratio', 0):.1f}x the bounded log)"
+        )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("log-space gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", help="fan-out report generated on this runner")
-    parser.add_argument("baseline", help="committed BENCH_PR3.json")
+    parser.add_argument(
+        "fresh", nargs="?", help="fan-out report generated on this runner"
+    )
+    parser.add_argument("baseline", nargs="?", help="committed BENCH_PR3.json")
     parser.add_argument(
         "--band", type=float, default=4.0,
         help="wall-time tolerance factor (default 4.0)",
     )
+    parser.add_argument(
+        "--log-space", metavar="PATH", default=None,
+        help="gate the log_space cell of a bench report instead of "
+        "comparing fan-out reports",
+    )
     args = parser.parse_args(argv)
+    if args.log_space is not None:
+        return _run_log_space_gate(args.log_space)
+    if args.fresh is None or args.baseline is None:
+        parser.error("fresh and baseline reports are required without --log-space")
     with open(args.fresh) as fh:
         fresh = json.load(fh)
     with open(args.baseline) as fh:

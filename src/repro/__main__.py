@@ -100,11 +100,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "(the paper's separate read+write accesses lose updates under "
         "concurrent clients, failing exactly-once verification)",
     )
+    workload.add_argument(
+        "--no-truncation", action="store_true",
+        help="disable checkpoint-driven log truncation (the log then "
+        "grows without bound — the PR 4 log_space benchmark's off mode)",
+    )
+    workload.add_argument(
+        "--segment-bytes", type=int, default=None,
+        help="log segment size in bytes (default 64 KiB); truncation "
+        "recycles whole segments below the checkpoint floor",
+    )
     workload.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser("bench", help="run the log-pipeline perf benchmarks")
     bench.add_argument("--scale", type=float, default=1.0, help="iteration-count multiplier")
     bench.add_argument("--repeat", type=int, default=3, help="runs per benchmark (best kept)")
+    bench.add_argument(
+        "--only", action="append", default=None, metavar="NAME",
+        help="run only the named benchmark cell (repeatable); "
+        "see repro.perf.bench.BENCHMARKS for the cell names",
+    )
     bench.add_argument(
         "--smoke", action="store_true",
         help="tiny single iteration, completion check only (CI mode)",
@@ -175,10 +190,22 @@ def _run_bench(args: argparse.Namespace) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
             return 2
+    if args.only:
+        from repro.perf.bench import BENCHMARKS
+
+        unknown = [name for name in args.only if name not in BENCHMARKS]
+        if unknown:
+            print(
+                f"error: unknown benchmark cell(s) {', '.join(unknown)}; "
+                f"available: {', '.join(BENCHMARKS)}",
+                file=sys.stderr,
+            )
+            return 2
     scale = 0.002 if args.smoke else args.scale
     repeat = 1 if args.smoke else args.repeat
     report = run_benchmarks(
-        scale=scale, repeat=repeat, jobs=args.jobs, progress=_progress("bench")
+        scale=scale, repeat=repeat, only=args.only, jobs=args.jobs,
+        progress=_progress("bench"),
     )
     if baseline is not None:
         attach_baseline(report, baseline)
@@ -197,6 +224,8 @@ def _run_workload(args: argparse.Namespace) -> int:
         crash_every_n=args.crash_every,
         batch_flush_timeout_ms=args.batch,
         atomic_sv_updates=args.atomic_sv,
+        log_truncation=not args.no_truncation,
+        log_segment_bytes=args.segment_bytes,
         seed=args.seed,
     )
     workload = PaperWorkload(params)
@@ -211,6 +240,10 @@ def _run_workload(args: argparse.Namespace) -> int:
     print(f"replayed requests:  {result.replayed_requests}")
     print(f"MSP1 cpu/disk util: {result.msp1_cpu_utilization:.2f} / "
           f"{result.msp1_disk_utilization:.2f}")
+    store = workload.msp1.store
+    print(f"MSP1 log space:     {store.live_bytes} live bytes, "
+          f"{store.truncated_bytes} truncated "
+          f"({store.recycled_segments} segments recycled)")
     if args.configuration in ("LoOptimistic", "Pessimistic"):
         workload.verify_exactly_once()
         print("exactly-once:       verified")

@@ -160,3 +160,11 @@ def perform_msp_checkpoint(msp: "MiddlewareServer"):
     yield from msp.log.write_anchor(lsn)
     msp.stats.msp_checkpoints += 1
     msp.sim.probe("ckpt.msp.anchored", owner=msp.name)
+    if msp.config.log_truncation:
+        # The anchor is durable, so analysis can never need anything
+        # below this checkpoint's minimal LSN again: reclaim it.  The
+        # probes around the recycle are crash sites — a crash between
+        # anchor-durable and segment-recycle must recover exactly like
+        # one after the recycle (the floor is rebuilt by the next
+        # checkpoint, not recovered).
+        yield from msp.log.truncate_to(record.min_lsn(lsn))

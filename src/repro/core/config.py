@@ -109,6 +109,16 @@ class RecoveryConfig:
     #: log volume matches the paper's fatter .NET serialization
     #: (calibrated to ~1.5 KB logged per request at MSP1).
     log_record_overhead_bytes: int = 64
+    #: Checkpoint-driven log truncation: once the log anchor is durable,
+    #: advance the store's truncation floor to the anchored checkpoint's
+    #: minimal LSN and recycle every segment wholly below it.  Off keeps
+    #: the log growing for the whole run (the seed behaviour — only
+    #: useful for the ``log_space`` comparison benchmark).
+    log_truncation: bool = True
+    #: Fixed segment size of the physical log store, in bytes.  Smaller
+    #: segments reclaim space at a finer grain; larger ones make frame
+    #: straddling (the only non-zero-copy reads) rarer.
+    log_segment_bytes: int = 64 * 1024
 
     # -- server sizing -----------------------------------------------------
     thread_pool_size: int = 16

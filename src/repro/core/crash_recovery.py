@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.dv import RecoveryTable
+from repro.core.errors import LogTruncatedError
 from repro.core.records import (
     AnnouncementRecord,
     EosRecord,
@@ -192,6 +193,16 @@ def recover_msp(msp: "MiddlewareServer"):
         msp.table = RecoveryTable.from_snapshot(ckpt.recovered_snapshot)
         old_epoch = ckpt.epoch
         scan_start = ckpt.min_lsn(anchor)
+    # Truncation safety, stated as an executable assertion: the floor
+    # only ever advances to an *anchored* checkpoint's minimal LSN, and
+    # the durable anchor is monotone, so the scan start derived from the
+    # current anchor can never lie in recycled space.  Tripping this
+    # means the truncation pipeline ran ahead of the anchor.
+    if scan_start < log.store.truncate_lsn:
+        raise LogTruncatedError(
+            f"{msp.name}: recovery scan start {scan_start} below the "
+            f"truncation floor {log.store.truncate_lsn}"
+        )
     msp.sim.probe("recovery.anchor-read", owner=msp.name)
 
     # 2. Single-threaded analysis scan.

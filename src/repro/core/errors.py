@@ -2,6 +2,22 @@
 
 from __future__ import annotations
 
+# Re-exported here so recovery code can catch it alongside the rest of
+# the hierarchy without reaching into the storage layer: a read below
+# the log's truncation floor.  Raising it is always a bookkeeping bug —
+# the floor only advances to an anchored MSP checkpoint's minimal LSN,
+# which lower-bounds every LSN recovery can touch.
+from repro.storage.stable import LogTruncatedError
+
+__all__ = [
+    "RecoveryError",
+    "OrphanDetected",
+    "ServiceBusy",
+    "SessionProtocolError",
+    "FlushFailed",
+    "LogTruncatedError",
+]
+
 
 class RecoveryError(Exception):
     """Base class for recovery-infrastructure errors."""

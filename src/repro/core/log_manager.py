@@ -28,7 +28,7 @@ from typing import Optional
 
 from repro.core.records import KIND_FILLER, FillerRecord, LogRecord, decode_record
 from repro.sim import ProcessGroup, Simulator, Store
-from repro.storage import Disk, StableStore
+from repro.storage import Disk, LogTruncatedError, StableStore
 from repro.storage.disk import SECTOR_BYTES
 from repro.wire import frame, unframe
 from repro.wire.framing import _HEADER
@@ -48,6 +48,14 @@ class LogStats:
     read_chunks: int = 0
     decode_cache_hits: int = 0
     decode_cache_misses: int = 0
+    #: Log-space reclamation (checkpoint-driven truncation).
+    truncations: int = 0
+    truncated_bytes: int = 0
+    recycled_segments: int = 0
+    #: Bytes held in retained segments at the last truncation point —
+    #: the quantity the ``log_space`` benchmark shows stays
+    #: O(checkpoint interval) instead of O(run length).
+    live_bytes: int = 0
 
     def snapshot(self) -> "LogStats":
         return LogStats(**vars(self))
@@ -283,20 +291,25 @@ class LogManager:
 
     # -- reading -----------------------------------------------------------------
 
-    def record_at(self, lsn: int) -> tuple[LogRecord, int]:
+    def record_at(
+        self, lsn: int, frame_end: Optional[int] = None
+    ) -> tuple[LogRecord, int]:
         """Parse the record at ``lsn`` from store bytes (no timing).
 
         Returns ``(record, next_lsn)``.  Timing is charged separately by
         the read helpers below, which model the 64 KB chunked I/O.
         Decoded records come from the bounded LRU cache when the LSN was
         already parsed this crash epoch (e.g. by the analysis scan).
+        Callers that already parsed the frame header (the window reader
+        does, for its window check) pass ``frame_end`` so the header is
+        unpacked once per fetch, not twice.
         """
         cached = self._cache_get(lsn)
         if cached is not None:
             self.stats.decode_cache_hits += 1
             return cached
         self.stats.decode_cache_misses += 1
-        end = self._frame_end(lsn)
+        end = frame_end if frame_end is not None else self._frame_end(lsn)
         payload, consumed = unframe(self.store.view(lsn, end - lsn), 0)
         if payload is None:
             raise ValueError(f"{self.name}: no complete record at LSN {lsn}")
@@ -312,13 +325,26 @@ class LogManager:
         charging disk time, then returns the parsed ``(lsn, record)``
         list.  This is the single-threaded analysis scan of §4.3.
 
-        Parsing is zero-copy: one view over the scanned region, frames
-        and payloads sliced out of it without intermediate ``bytes``
-        materialization (the old path re-copied the remaining region for
-        every record — quadratic in the scan length).  Decoded records
-        are entered into the decode cache so the per-session replay
-        fetches that follow the scan do not decode them again.
+        Parsing is zero-copy per segment: one view over each contiguous
+        span of the segmented store, frames and payloads sliced out of
+        it without intermediate ``bytes`` materialization.  A frame that
+        straddles a segment boundary is stitched individually — the only
+        copies the scan ever makes.  Decoded records are entered into
+        the decode cache so the per-session replay fetches that follow
+        the scan do not decode them again.
+
+        A ``start`` below the truncation floor raises
+        :class:`LogTruncatedError`: recovery computes its scan start
+        from the anchored checkpoint's minimal LSN, which is exactly the
+        value the floor advances to, so the scan can never legitimately
+        begin in recycled space.
         """
+        floor = self.store.truncate_lsn
+        if start < floor:
+            raise LogTruncatedError(
+                f"{self.name}: scan start {start} below the truncation "
+                f"floor {floor}"
+            )
         end = self.store.durable_end
         chunk_bytes = self.read_chunk_sectors * SECTOR_BYTES
         position = start
@@ -328,29 +354,93 @@ class LogManager:
             self.stats.read_chunks += 1
             position += size
         records: list[tuple[int, LogRecord]] = []
-        if start >= end:
-            return records
-        # No simulation yields below this point: the view must not be
+        # No simulation yields below this point: the views must not be
         # held across an append (see StableStore.view).
-        view = self.store.view(start, end - start)
-        offset = 0
-        span = end - start
-        while offset < span:
-            payload, next_offset = unframe(view, offset)
-            if payload is None:
+        position = start
+        while position < end:
+            span_end = min(end, self.store.contiguous_end(position))
+            view = self.store.view(position, span_end - position)
+            span = span_end - position
+            offset = 0
+            while offset < span:
+                payload, next_offset = unframe(view, offset)
+                if payload is None:
+                    break
+                self._scan_emit(records, position + offset, payload)
+                offset = next_offset
+            position += offset
+            del view
+            if position >= end:
                 break
-            lsn = start + offset
-            cached = self._cache_get(lsn)
-            if cached is not None:
-                self.stats.decode_cache_hits += 1
-                record = cached[0]
-            else:
-                self.stats.decode_cache_misses += 1
-                record = decode_record(payload)
-                self._cache_put(lsn, record, start + next_offset)
-            records.append((lsn, record))
-            offset = next_offset
+            # The next frame straddles the span's end: either it crosses
+            # a segment boundary (stitch exactly that frame) or the
+            # durable prefix ends mid-frame (the torn tail — stop).
+            if position + _HEADER.size > end:
+                break
+            (length, _crc) = _HEADER.unpack_from(self.store.view(position, _HEADER.size))
+            frame_end = position + _HEADER.size + length
+            if frame_end > end:
+                break
+            payload, _next = unframe(self.store.view(position, frame_end - position), 0)
+            self._scan_emit(records, position, payload)
+            position = frame_end
         return records
+
+    def _scan_emit(self, records: list, lsn: int, payload) -> None:
+        """Decode (or cache-hit) one scanned frame payload into ``records``."""
+        cached = self._cache_get(lsn)
+        if cached is not None:
+            self.stats.decode_cache_hits += 1
+            record = cached[0]
+        else:
+            self.stats.decode_cache_misses += 1
+            record = decode_record(payload)
+            self._cache_put(lsn, record, lsn + _HEADER.size + len(payload))
+        records.append((lsn, record))
+
+    # -- truncation ---------------------------------------------------------
+
+    @property
+    def truncate_lsn(self) -> int:
+        return self.store.truncate_lsn
+
+    def truncate_to(self, floor_lsn: int):
+        """Advance the log's truncation floor to ``floor_lsn`` (generator).
+
+        Called by the MSP checkpoint daemon once the log anchor is
+        durable, with the anchored checkpoint's minimal LSN.  Safety:
+        ``min_lsn`` lower-bounds every LSN recovery can touch — session
+        scan starts, shared-variable scan starts (backward write chains
+        break at sv checkpoints at or above them), EOS back-pointers are
+        only compared, never read — so no read below the new floor can
+        ever be issued by correct code.
+
+        The yield between the probes is a real crash window: a crash
+        after the anchor is durable but before segments are recycled
+        must recover exactly like one after recycling (the floor is not
+        recovery state — the next checkpoint simply re-truncates).
+        """
+        target = min(floor_lsn, self.store.durable_end)
+        self.sim.probe("log.truncate.begin", owner=self.owner)
+        # Crash window: anchor durable, segments not yet recycled.
+        yield 0.0
+        before = self.store.truncate_lsn
+        recycled = self.store.truncate(target)
+        if recycled:
+            self.disk.trim(recycled * self.store.segment_bytes)
+        floor = self.store.truncate_lsn
+        if floor > before:
+            # Evict truncated entries: a cached decode below the floor
+            # must not outlive the bytes it was decoded from.
+            self._cache_sync()
+            for lsn in [k for k in self._decode_cache if k < floor]:
+                del self._decode_cache[lsn]
+        self.stats.truncations += 1
+        self.stats.truncated_bytes = self.store.truncated_bytes
+        self.stats.recycled_segments = self.store.recycled_segments
+        self.stats.live_bytes = self.store.live_bytes
+        self.sim.probe("log.truncate.end", owner=self.owner)
+        return recycled
 
 
 class LogWindowReader:
@@ -373,6 +463,16 @@ class LogWindowReader:
         limit = self.log.store.durable_end if self.durable_only else self.log.store.end
         if lsn >= limit:
             raise ValueError(f"fetch at {lsn} beyond readable end {limit}")
+        floor = self.log.store.truncate_lsn
+        if lsn < floor:
+            raise LogTruncatedError(
+                f"{self.log.name}: fetch at {lsn} below the truncation "
+                f"floor {floor}"
+            )
+        if -1 < self._window_start < floor:
+            # The window's low end was recycled by a truncation; its
+            # accounting must not pretend those bytes are still readable.
+            self._window_start = self._window_end = -1
         frame_end = self.log._frame_end(lsn)
         # The window is invalid if the record *starts* outside it, or if
         # it starts inside but its frame straddles the window's end — a
@@ -386,5 +486,7 @@ class LogWindowReader:
             self.log.stats.read_chunks += 1
             self._window_start = lsn
             self._window_end = lsn + size
-        record, _next = self.log.record_at(lsn)
+        # The frame end is already known from the window check above;
+        # threading it through saves the second header unpack per fetch.
+        record, _next = self.log.record_at(lsn, frame_end=frame_end)
         return record

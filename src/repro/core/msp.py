@@ -106,7 +106,9 @@ class MiddlewareServer:
             rng=rng.stream(f"disk.{name}"),
             name=f"disk.{name}",
         )
-        self.store = StableStore(name=f"log.{name}")
+        self.store = StableStore(
+            name=f"log.{name}", segment_bytes=self.config.log_segment_bytes
+        )
         self._cpu = Resource(sim, capacity=self.config.cpu_cores, name=f"cpu.{name}")
         self.table = RecoveryTable()
         self.epoch = 0

@@ -121,6 +121,15 @@ class FuzzParams:
     #: Random mode samples kill ordinals from ``[0, kill_horizon)``.
     kill_horizon: int = 600
     targets: tuple[str, ...] = ("msp1", "msp2")
+    #: Checkpoint-driven log truncation, with segments small enough —
+    #: and sv/forced checkpoints frequent enough that the minimal LSN
+    #: actually advances — that the short fuzz workloads recycle real
+    #: segments, so the truncate-step crash probes guard genuine
+    #: recycling, not no-op truncations.
+    log_truncation: bool = True
+    log_segment_bytes: int = 2048
+    sv_ckpt_write_threshold: int = 6
+    forced_ckpt_msp_count: int = 2
 
     def workload_params(self, seed: int) -> WorkloadParams:
         return WorkloadParams(
@@ -130,6 +139,10 @@ class FuzzParams:
             calls_to_sm2=self.calls_to_sm2,
             session_ckpt_threshold=self.session_ckpt_threshold,
             msp_ckpt_interval_ms=self.msp_ckpt_interval_ms,
+            log_truncation=self.log_truncation,
+            log_segment_bytes=self.log_segment_bytes,
+            sv_ckpt_write_threshold=self.sv_ckpt_write_threshold,
+            forced_ckpt_msp_count=self.forced_ckpt_msp_count,
             # Atomic RMW counters: with the paper's separate read + write
             # accesses, two concurrent clients can interleave and lose an
             # increment with no crash at all (the fuzzer's first find),

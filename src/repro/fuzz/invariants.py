@@ -150,16 +150,29 @@ def check_sv_chains(msp: "MiddlewareServer", max_hops: int = 100_000) -> list[st
 
 
 def check_durable_log(msp: "MiddlewareServer") -> list[str]:
-    """The durable prefix must be a clean sequence of decodable frames."""
+    """The live durable suffix must be a clean sequence of decodable frames.
+
+    With checkpoint-driven truncation the log below ``truncate_lsn`` is
+    recycled, so the walk starts at the floor.  The floor itself is
+    checked too: it must trail the durable boundary, and the anchored
+    checkpoint (which justified it) must sit at or above it.
+    """
     violations: list[str] = []
     store = msp.store
     durable = store.durable_end
-    offset = 0
+    floor = store.truncate_lsn
+    if floor > durable:
+        violations.append(
+            f"durable-log: {msp.name} truncation floor {floor} ahead of the "
+            f"durable boundary {durable}"
+        )
+        return violations
+    offset = floor
     count = 0
-    view = store.view(0, durable)
+    view = store.view(floor, durable - floor)
     try:
         while offset < durable:
-            payload, next_offset = unframe(view, offset)
+            payload, next_offset = unframe(view, offset - floor)
             if payload is None:
                 violations.append(
                     f"durable-log: {msp.name} torn frame at offset {offset} "
@@ -174,7 +187,7 @@ def check_durable_log(msp: "MiddlewareServer") -> list[str]:
                     f"LSN {offset}: {exc}"
                 )
                 break
-            offset = next_offset
+            offset = floor + next_offset
             count += 1
         else:
             if offset != durable:
@@ -195,6 +208,11 @@ def check_durable_log(msp: "MiddlewareServer") -> list[str]:
                 f"durable-log: {msp.name} anchor {anchor} points past the "
                 f"durable boundary {durable}"
             )
+        elif anchor < floor:
+            violations.append(
+                f"durable-log: {msp.name} anchor {anchor} below the "
+                f"truncation floor {floor}"
+            )
         elif msp.log is not None:
             try:
                 record, _next = msp.log.record_at(anchor)
@@ -212,6 +230,15 @@ def check_durable_log(msp: "MiddlewareServer") -> list[str]:
                     violations.append(
                         f"durable-log: {msp.name} anchor {anchor} points at a "
                         "non-durable checkpoint record"
+                    )
+                elif record.min_lsn(anchor) < floor:
+                    # Truncation safety itself: a floor above the
+                    # anchored checkpoint's minimal LSN means recovery
+                    # would need recycled bytes.
+                    violations.append(
+                        f"durable-log: {msp.name} anchored checkpoint min_lsn "
+                        f"{record.min_lsn(anchor)} below the truncation "
+                        f"floor {floor}"
                     )
     return violations
 

@@ -287,6 +287,93 @@ def bench_fig14(scale: float = 1.0) -> dict:
     }
 
 
+def _log_space_run(
+    n: int, truncation: bool, segment_bytes: int, ckpt_every: int
+) -> dict:
+    """Drive one long append run, checkpointing (and optionally
+    truncating) every ``ckpt_every`` appends; sample live log bytes at
+    n/4, n/2, n."""
+    from repro.core.records import MspCheckpointRecord
+
+    sim = Simulator()
+    store = StableStore(segment_bytes=segment_bytes)
+    disk = Disk(sim, rng=random.Random(1234))
+    log = LogManager(sim, store, disk)
+    log.start(group=ProcessGroup("bench"))
+    records = _sample_records()
+    ckpt = MspCheckpointRecord(
+        recovered_snapshot={}, session_start_lsns={}, sv_start_lsns={}, epoch=0
+    )
+    marks = sorted({max(1, n // 4), max(1, n // 2), n})
+    rows: list[dict] = []
+    peak = 0
+
+    def producer():
+        nonlocal peak
+        for i in range(n):
+            lsn, _size = log.append(records[i & 3])
+            if (i + 1) % ckpt_every == 0:
+                clsn, _size = log.append(ckpt)
+                yield from log.flush(clsn)
+                yield from log.write_anchor(clsn)
+                # Live bytes peak right before the recycle.
+                if store.live_bytes > peak:
+                    peak = store.live_bytes
+                if truncation:
+                    # Empty position maps: min_lsn is the checkpoint's
+                    # own LSN, the most aggressive legal floor.
+                    yield from log.truncate_to(ckpt.min_lsn(clsn))
+            if i + 1 in marks:
+                rows.append({"records": i + 1, "live_bytes": store.live_bytes})
+        yield from log.flush()
+
+    start = time.perf_counter()
+    sim.run_process(producer())
+    elapsed = time.perf_counter() - start
+    if store.live_bytes > peak:
+        peak = store.live_bytes
+    return {
+        "seconds": elapsed,
+        "rows": rows,
+        "peak_live_bytes": peak,
+        "final_live_bytes": store.live_bytes,
+        "appended_bytes": log.stats.appended_bytes,
+        "truncated_bytes": log.stats.truncated_bytes,
+        "recycled_segments": log.stats.recycled_segments,
+        "truncations": log.stats.truncations,
+    }
+
+
+def bench_log_space(scale: float = 1.0) -> dict:
+    """Long-run log space: checkpoint-driven truncation on vs off.
+
+    With truncation on, live log bytes stay bounded by roughly the
+    checkpoint interval (plus one segment of slack per recycle
+    granularity); with it off they grow linearly with appended bytes.
+    The headline is append throughput *with truncation enabled* — the
+    recycle must not tax the hot path.  ``space_ratio`` quotes
+    final-off / final-on live bytes (higher = more space reclaimed).
+    """
+    segment_bytes = 16 * 1024
+    ckpt_every = 512
+    n = max(256, int(20_000 * scale))
+    on = _log_space_run(n, True, segment_bytes, ckpt_every)
+    off = _log_space_run(n, False, segment_bytes, ckpt_every)
+    return {
+        "records": n,
+        "segment_bytes": segment_bytes,
+        "ckpt_every": ckpt_every,
+        "seconds": on["seconds"],
+        "records_per_s": n / on["seconds"],
+        "truncation_on": on,
+        "truncation_off": off,
+        "space_ratio": off["final_live_bytes"] / max(1, on["final_live_bytes"]),
+        "truncated_bytes": on["truncated_bytes"],
+        "recycled_segments": on["recycled_segments"],
+        "live_bytes": on["final_live_bytes"],
+    }
+
+
 BENCHMARKS: dict[str, Callable[[float], dict]] = {
     "codec_encode": bench_codec_encode,
     "codec_decode": bench_codec_decode,
@@ -294,6 +381,7 @@ BENCHMARKS: dict[str, Callable[[float], dict]] = {
     "scan": bench_scan,
     "recovery_scan": bench_recovery_scan,
     "fig14": bench_fig14,
+    "log_space": bench_log_space,
 }
 
 #: The headline metric of each benchmark, used for speedup reporting.
@@ -304,6 +392,7 @@ _HEADLINE = {
     "scan": "mb_per_s",
     "recovery_scan": "records_per_s",
     "fig14": "requests_per_wall_s",
+    "log_space": "records_per_s",
 }
 
 
@@ -399,13 +488,17 @@ def write_report(report: dict, path: str) -> None:
 
 
 #: Pipeline counters surfaced under each benchmark's headline line:
-#: the PR 1 flush-coalescing and decode-cache instrumentation.
+#: the PR 1 flush-coalescing / decode-cache instrumentation and the
+#: PR 4 truncation accounting.
 _COUNTER_KEYS = (
     "flush_requests",
     "physical_flushes",
     "coalesced_flushes",
     "decode_cache_hits",
     "decode_cache_misses",
+    "truncated_bytes",
+    "recycled_segments",
+    "live_bytes",
 )
 
 

@@ -9,6 +9,6 @@ the failure model log-based recovery is designed against.
 """
 
 from repro.storage.disk import Disk, DiskModel, DiskStats
-from repro.storage.stable import StableStore
+from repro.storage.stable import LogTruncatedError, StableStore
 
-__all__ = ["Disk", "DiskModel", "DiskStats", "StableStore"]
+__all__ = ["Disk", "DiskModel", "DiskStats", "LogTruncatedError", "StableStore"]

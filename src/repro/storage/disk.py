@@ -105,6 +105,11 @@ class DiskStats:
     reads: int = 0
     sectors_written: int = 0
     sectors_read: int = 0
+    #: Whole-segment recycles by log truncation: a metadata operation
+    #: (the space is simply reused for future writes), so trims count
+    #: reclaimed sectors but consume no device time.
+    trims: int = 0
+    sectors_trimmed: int = 0
     busy_ms: float = 0.0
 
     def snapshot(self) -> "DiskStats":
@@ -113,6 +118,8 @@ class DiskStats:
             reads=self.reads,
             sectors_written=self.sectors_written,
             sectors_read=self.sectors_read,
+            trims=self.trims,
+            sectors_trimmed=self.sectors_trimmed,
             busy_ms=self.busy_ms,
         )
 
@@ -172,6 +179,18 @@ class Disk:
         sectors = max(1, math.ceil(nbytes / SECTOR_BYTES))
         service = yield from self.read(sectors, sequential=sequential)
         return service
+
+    def trim(self, nbytes: int) -> None:
+        """Account ``nbytes`` of reclaimed log space (not a generator).
+
+        Recycling a log segment rewinds an allocation pointer; no
+        platter time is spent, which is exactly why checkpoint-driven
+        truncation is free at the device while bounding log space.
+        """
+        if nbytes <= 0:
+            return
+        self.stats.trims += 1
+        self.stats.sectors_trimmed += math.ceil(nbytes / SECTOR_BYTES)
 
     def _serve(self, service_ms: float):
         yield from self._queue.acquire()

@@ -77,6 +77,18 @@ class WorkloadParams:
     #: calls" is a sound exactly-once oracle under multi-client runs;
     #: the §5 performance experiments keep the paper's access pattern.
     atomic_sv_updates: bool = False
+    #: Checkpoint-driven log truncation (segment recycling below the
+    #: anchored checkpoint's minimal LSN).  Off reproduces the seed's
+    #: grow-forever log, for the ``log_space`` comparison.
+    log_truncation: bool = True
+    #: Physical log segment size override (None = RecoveryConfig default).
+    log_segment_bytes: Optional[int] = None
+    #: Shared-variable checkpoint threshold override (None = default).
+    #: The fuzzer lowers it so sv scan starts stop pinning the minimal
+    #: LSN and truncation advances within short runs.
+    sv_ckpt_write_threshold: Optional[int] = None
+    #: Forced-checkpoint staleness limit override (None = default).
+    forced_ckpt_msp_count: Optional[int] = None
     request_arg_bytes: int = 100
     reply_bytes: int = 100
     sv_bytes: int = 128
@@ -202,6 +214,13 @@ class PaperWorkload:
         config.batch_flush_timeout_ms = params.batch_flush_timeout_ms
         if params.msp_ckpt_interval_ms is not None:
             config.msp_ckpt_interval_ms = params.msp_ckpt_interval_ms
+        config.log_truncation = params.log_truncation
+        if params.log_segment_bytes is not None:
+            config.log_segment_bytes = params.log_segment_bytes
+        if params.sv_ckpt_write_threshold is not None:
+            config.sv_ckpt_write_threshold = params.sv_ckpt_write_threshold
+        if params.forced_ckpt_msp_count is not None:
+            config.forced_ckpt_msp_count = params.forced_ckpt_msp_count
         return config
 
     def _build_servers(self) -> None:

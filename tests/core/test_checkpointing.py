@@ -56,7 +56,9 @@ def drive(sim, msp, client, n):
 
 def records_of(msp, kind):
     found = []
-    offset = 0
+    # Checkpoint-driven truncation recycles the log below the floor, so
+    # walk only the live suffix.
+    offset = msp.store.truncate_lsn
     while offset < msp.store.end:
         record, offset = msp.log.record_at(offset)
         if isinstance(record, kind):
@@ -152,6 +154,70 @@ def test_msp_checkpoint_min_lsn_bounds_scan():
     p = sim.spawn(driver())
     sim.run_until_process(p, limit=600_000)
     assert p.result == 41  # exactly-once across the crash
+
+
+def test_checkpoint_truncates_log_to_anchored_min_lsn():
+    """Each anchored MSP checkpoint advances the truncation floor to its
+    own minimal LSN and recycles the segments below it."""
+    config = RecoveryConfig(
+        session_ckpt_threshold_bytes=4096,
+        msp_ckpt_interval_ms=50.0,
+        sv_ckpt_write_threshold=8,
+        log_segment_bytes=2048,
+    )
+    sim, msp, client = build(config=config)
+    drive(sim, msp, client, 40)
+    store = msp.store
+    anchor = msp.log.read_anchor()
+    assert anchor is not None
+    record, _ = msp.log.record_at(anchor)
+    assert isinstance(record, MspCheckpointRecord)
+    assert store.truncate_lsn == record.min_lsn(anchor)
+    assert store.recycled_segments > 0
+    assert store.live_bytes < store.end
+
+
+def test_truncation_disabled_keeps_whole_log():
+    config = RecoveryConfig(
+        session_ckpt_threshold_bytes=4096,
+        msp_ckpt_interval_ms=50.0,
+        sv_ckpt_write_threshold=8,
+        log_segment_bytes=2048,
+        log_truncation=False,
+    )
+    sim, msp, client = build(config=config)
+    drive(sim, msp, client, 40)
+    store = msp.store
+    assert store.truncate_lsn == 0
+    assert store.recycled_segments == 0
+    assert store.live_bytes == store.end
+    # The whole log stays readable from offset 0.
+    assert records_of(msp, MspCheckpointRecord)
+
+
+def test_crash_before_anchor_flush_keeps_previous_floor():
+    """A checkpoint whose anchor was staged but not yet durable must not
+    advance the floor past what the *previous* durable anchor justifies:
+    recovery reads the old anchor, so the old min_lsn must be readable."""
+    config = RecoveryConfig(
+        session_ckpt_threshold_bytes=4096,
+        msp_ckpt_interval_ms=50.0,
+        sv_ckpt_write_threshold=8,
+        log_segment_bytes=2048,
+    )
+    sim, msp, client = build(config=config)
+    drive(sim, msp, client, 40)
+    floor_before = msp.store.truncate_lsn
+    # Stage a new (higher) anchor without flushing it, then crash.
+    msp.store.write_anchor(msp.store.durable_end.to_bytes(8, "big"))
+    msp.crash()
+    # The floor is whatever the last *anchored* checkpoint justified.
+    assert msp.store.truncate_lsn == floor_before
+    boot = msp.restart_process()
+    sim.run_until_process(boot, limit=600_000)
+    anchor = msp.log.read_anchor()
+    record, _ = msp.log.record_at(anchor)
+    assert record.min_lsn(anchor) >= floor_before
 
 
 def test_recovery_from_checkpoint_equals_full_replay():

@@ -342,7 +342,7 @@ def test_scan_raises_on_bit_flipped_durable_frame():
         yield from log.flush(lsn2)
         # Flip a payload bit of the *first* record, well inside the
         # durable prefix.
-        log.store._data[12] ^= 0x40
+        log.store._segments[0][12] ^= 0x40
         yield from log.scan_durable(0)
 
     with pytest.raises(CorruptRecordError):

@@ -64,7 +64,7 @@ def test_detects_corrupt_durable_prefix(world):
     store = world.msp1.store
     assert store.durable_end > 0
     offset = store.durable_end // 2
-    store._data[offset] ^= 0xFF
+    store._segments[offset // store.segment_bytes][offset % store.segment_bytes] ^= 0xFF
     violations = check_durable_log(world.msp1)
     assert violations and violations[0].startswith("durable-log:")
 

@@ -54,6 +54,13 @@ def test_format_report_snapshot_with_counters():
                 "decode_cache_hits": 7,
                 "decode_cache_misses": 3,
             },
+            "log_space": {
+                "seconds": 0.25,
+                "records_per_s": 98765.4,
+                "truncated_bytes": 400000,
+                "recycled_segments": 24,
+                "live_bytes": 50000,
+            },
         },
         "speedup": {"scan": 1.25},
     }
@@ -65,8 +72,29 @@ def test_format_report_snapshot_with_counters():
             "scan           mb_per_s                    250.0   "
             "(1.25x vs baseline)",
             "               counters: decode_cache_hits=7 decode_cache_misses=3",
+            "log_space      records_per_s            98,765.4",
+            "               counters: truncated_bytes=400000 "
+            "recycled_segments=24 live_bytes=50000",
         ]
     )
+
+
+def test_log_space_cell_bounds_live_bytes():
+    from repro.perf.bench import bench_log_space
+
+    run = bench_log_space(scale=0.1)
+    on, off = run["truncation_on"], run["truncation_off"]
+    # Same appends either way; truncation reclaims, the control grows.
+    assert on["appended_bytes"] == off["appended_bytes"]
+    assert on["recycled_segments"] > 0
+    assert off["recycled_segments"] == 0
+    assert on["final_live_bytes"] < off["final_live_bytes"]
+    assert off["final_live_bytes"] == off["appended_bytes"]
+    # The off-mode rows grow linearly; the on-mode peak stays bounded.
+    rows_off = off["rows"]
+    assert rows_off[-1]["live_bytes"] > 2 * rows_off[0]["live_bytes"]
+    interval = run["ckpt_every"] * (on["appended_bytes"] / run["records"])
+    assert on["peak_live_bytes"] <= interval + 4 * run["segment_bytes"]
 
 
 def test_fanout_report_smoke():

@@ -60,3 +60,98 @@ def test_missing_section_fails():
     fresh["sections"] = {}
     problems = perf_gate.compare(fresh, _report(), band=4.0)
     assert any("lacks sections" in p for p in problems)
+
+
+# -- the bounded-memory gate over the log_space bench cell -------------------
+
+
+def _log_space_report(
+    peak_on=60_000,
+    final_on=50_000,
+    final_off=500_000,
+    recycled=20,
+    rows_on=None,
+    rows_off=None,
+):
+    # 5000 records * 100 B, checkpoint every 512 => ~51.2 KB interval,
+    # 16 KiB segments => bound = 51.2 KB + 4 * 16 KiB = ~116 KB.
+    appended = 500_000
+    return {
+        "benchmarks": {
+            "log_space": {
+                "records": 5000,
+                "segment_bytes": 16384,
+                "ckpt_every": 512,
+                "truncation_on": {
+                    "peak_live_bytes": peak_on,
+                    "final_live_bytes": final_on,
+                    "appended_bytes": appended,
+                    "recycled_segments": recycled,
+                    "rows": rows_on
+                    or [
+                        {"records": 1250, "live_bytes": 55_000},
+                        {"records": 2500, "live_bytes": 52_000},
+                        {"records": 5000, "live_bytes": final_on},
+                    ],
+                },
+                "truncation_off": {
+                    "peak_live_bytes": final_off,
+                    "final_live_bytes": final_off,
+                    "appended_bytes": appended,
+                    "recycled_segments": 0,
+                    "rows": rows_off
+                    or [
+                        {"records": 1250, "live_bytes": final_off // 4},
+                        {"records": 2500, "live_bytes": final_off // 2},
+                        {"records": 5000, "live_bytes": final_off},
+                    ],
+                },
+            }
+        }
+    }
+
+
+def test_log_space_gate_passes_on_bounded_run():
+    assert perf_gate.gate_log_space(_log_space_report()) == []
+
+
+def test_log_space_gate_fails_on_unbounded_peak():
+    problems = perf_gate.gate_log_space(_log_space_report(peak_on=400_000))
+    assert any("checkpoint-interval bound" in p for p in problems)
+
+
+def test_log_space_gate_fails_on_creeping_final_row():
+    rows = [
+        {"records": 1250, "live_bytes": 55_000},
+        {"records": 2500, "live_bytes": 90_000},
+        {"records": 5000, "live_bytes": 200_000},
+    ]
+    problems = perf_gate.gate_log_space(_log_space_report(rows_on=rows))
+    assert any("not holding the log flat" in p for p in problems)
+
+
+def test_log_space_gate_fails_without_recycling():
+    problems = perf_gate.gate_log_space(_log_space_report(recycled=0))
+    assert any("no segment was recycled" in p for p in problems)
+
+
+def test_log_space_gate_fails_on_flat_control():
+    rows = [
+        {"records": 1250, "live_bytes": 490_000},
+        {"records": 2500, "live_bytes": 495_000},
+        {"records": 5000, "live_bytes": 500_000},
+    ]
+    problems = perf_gate.gate_log_space(_log_space_report(rows_off=rows))
+    assert any("control did not grow" in p for p in problems)
+
+
+def test_log_space_gate_requires_the_cell():
+    problems = perf_gate.gate_log_space({"benchmarks": {}})
+    assert problems == ["log-space: report has no log_space benchmark cell"]
+
+
+def test_log_space_gate_rejects_too_short_runs():
+    report = _log_space_report()
+    report["benchmarks"]["log_space"]["records"] = 600
+    problems = perf_gate.gate_log_space(report)
+    assert any("too short" in p for p in problems)

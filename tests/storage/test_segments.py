@@ -1,0 +1,160 @@
+"""Tests for the segmented store layout and checkpoint-driven truncation."""
+
+import pytest
+
+from repro.storage import LogTruncatedError, StableStore
+from repro.storage.stable import StableStoreError
+
+
+def make(segment_bytes=16):
+    return StableStore(segment_bytes=segment_bytes)
+
+
+def test_appends_span_segment_boundaries():
+    store = make(segment_bytes=16)
+    store.append(b"a" * 10)
+    store.append(b"b" * 10)  # straddles the first boundary at 16
+    store.append(b"c" * 20)  # spans two more boundaries
+    assert store.end == 40
+    assert store.segment_count == 3
+    assert store.read(0, 40) == b"a" * 10 + b"b" * 10 + b"c" * 20
+    # Offsets stay global logical bytes regardless of segmentation.
+    assert store.read(8, 4) == b"aabb"
+
+
+def test_view_zero_copy_within_segment():
+    store = make(segment_bytes=16)
+    store.append(b"0123456789abcdef")
+    view = store.view(4, 8)
+    assert isinstance(view, memoryview)
+    # Aliases the segment buffer: a poke shows through.
+    store._segments[0][4] = ord("X")
+    assert bytes(view) == b"X56789ab"
+    del view
+
+
+def test_view_straddling_boundary_is_stitched_copy():
+    store = make(segment_bytes=16)
+    store.append(b"a" * 16 + b"b" * 16)
+    view = store.view(12, 8)
+    assert bytes(view) == b"aaaabbbb"
+    # A stitched view is private: segment mutations do not show through.
+    store._segments[0][12] = ord("X")
+    assert bytes(view) == b"aaaabbbb"
+
+
+def test_contiguous_end_walks_segment_spans():
+    store = make(segment_bytes=16)
+    store.append(b"x" * 40)
+    assert store.contiguous_end(0) == 16
+    assert store.contiguous_end(15) == 16
+    assert store.contiguous_end(16) == 32
+    assert store.contiguous_end(33) == 40  # store end, not the boundary
+
+
+def test_truncate_recycles_whole_segments_only():
+    store = make(segment_bytes=16)
+    store.append(b"x" * 48)
+    store.mark_durable(48)
+    # Floor inside segment 1: only segment 0 is wholly below it.
+    assert store.truncate(20) == 1
+    assert store.truncate_lsn == 20
+    assert store.segment_count == 2
+    assert store.truncated_bytes == 20
+    assert store.recycled_segments == 1
+    # Bytes at and above the floor stay readable, even in segment 1.
+    assert store.read(20, 4) == b"xxxx"
+
+
+def test_truncate_is_monotone_noop_backwards():
+    store = make(segment_bytes=16)
+    store.append(b"x" * 32)
+    store.mark_durable(32)
+    store.truncate(20)
+    assert store.truncate(10) == 0
+    assert store.truncate_lsn == 20
+    assert store.truncated_bytes == 20
+
+
+def test_truncate_rejects_volatile_space():
+    store = make(segment_bytes=16)
+    store.append(b"x" * 32)
+    store.mark_durable(16)
+    with pytest.raises(StableStoreError):
+        store.truncate(20)
+
+
+def test_reads_below_floor_raise():
+    store = make(segment_bytes=16)
+    store.append(b"x" * 48)
+    store.mark_durable(48)
+    store.truncate(32)
+    for fn in (store.read, store.view):
+        with pytest.raises(LogTruncatedError):
+            fn(0, 4)
+        with pytest.raises(LogTruncatedError):
+            fn(31, 2)  # starts below the floor, ends above
+    with pytest.raises(LogTruncatedError):
+        store.read_durable(16, 4)
+    assert store.read(32, 4) == b"xxxx"
+
+
+def test_floor_at_exact_segment_boundary():
+    store = make(segment_bytes=16)
+    store.append(b"x" * 48)
+    store.mark_durable(48)
+    assert store.truncate(32) == 2
+    assert store.segment_count == 1
+    assert store.live_bytes == 16
+
+
+def test_truncate_everything_durable():
+    store = make(segment_bytes=16)
+    store.append(b"x" * 32)
+    store.mark_durable(32)
+    assert store.truncate(32) == 2
+    assert store.live_bytes == 0
+    # Appends continue from the same logical offset into a new segment.
+    assert store.append(b"yyyy") == 32
+    assert store.read(32, 4) == b"yyyy"
+
+
+def test_crash_preserves_floor_and_recycling_counters():
+    store = make(segment_bytes=16)
+    store.append(b"x" * 48)
+    store.mark_durable(32)
+    store.truncate(20)
+    store.crash()
+    assert store.truncate_lsn == 20
+    assert store.truncated_bytes == 20
+    assert store.recycled_segments == 1
+    assert store.end == 32  # volatile tail gone
+    with pytest.raises(LogTruncatedError):
+        store.read(0, 4)
+    assert store.read(20, 4) == b"xxxx"
+
+
+def test_crash_trims_tail_segment_in_place():
+    store = make(segment_bytes=16)
+    store.append(b"x" * 20)
+    store.mark_durable(18)
+    store.crash()
+    assert store.end == 18
+    assert store.segment_count == 2
+    assert len(store._segments[1]) == 2
+    store.append(b"yy")
+    assert store.read(16, 4) == b"xxyy"
+
+
+def test_live_bytes_tracks_retained_segments():
+    store = make(segment_bytes=16)
+    store.append(b"x" * 40)
+    assert store.live_bytes == 40
+    store.mark_durable(40)
+    store.truncate(33)
+    assert store.live_bytes == 8  # segments 0 and 1 recycled
+
+
+def test_invalid_segment_size_rejected():
+    with pytest.raises(StableStoreError):
+        StableStore(segment_bytes=0)
