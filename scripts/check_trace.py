@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""CI trace-smoke checker: validate ``repro trace`` / fuzz trace dumps.
+
+Usage: ``python scripts/check_trace.py CHROME.json [TRACE.jsonl]``
+
+Checks that the Chrome export is a loadable ``trace_event`` document
+(object form, ``traceEvents`` list, every event carrying the fields
+chrome://tracing / Perfetto require, durations non-negative) and — when
+a JSONL path is given — that the line export carries the
+``repro-trace-v1`` schema header and well-formed event lines.  Exits 1
+listing every problem found, so CI failures name the malformed field
+instead of a bare diff.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.trace import validate_chrome_trace, validate_jsonl_lines  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    problems: list[str] = []
+
+    chrome_path = argv[0]
+    try:
+        with open(chrome_path) as fh:
+            chrome = json.load(fh)
+    except (OSError, ValueError) as exc:
+        problems.append(f"{chrome_path}: unreadable ({exc})")
+        chrome = None
+    if chrome is not None:
+        problems += [f"{chrome_path}: {p}" for p in validate_chrome_trace(chrome)]
+        events = chrome.get("traceEvents", []) if isinstance(chrome, dict) else []
+        if not problems:
+            print(f"{chrome_path}: {len(events)} trace events, loadable")
+
+    if len(argv) == 2:
+        jsonl_path = argv[1]
+        try:
+            with open(jsonl_path) as fh:
+                lines = fh.read().splitlines()
+        except OSError as exc:
+            problems.append(f"{jsonl_path}: unreadable ({exc})")
+        else:
+            problems += [f"{jsonl_path}: {p}" for p in validate_jsonl_lines(lines)]
+            if not problems:
+                print(f"{jsonl_path}: {max(0, len(lines) - 1)} event lines, valid")
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("trace check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -26,6 +26,14 @@ log bytes must stay bounded by the checkpoint interval (plus segment
 slack) and roughly flat across run lengths, while the truncation-off
 control must grow linearly.  These are properties of the seeded
 simulation, not the machine, so they are gated exactly.
+
+A third mode gates the structured-tracing cost contract:
+``python scripts/perf_gate.py --trace-overhead BENCH.json
+[--max-ratio 5.0]`` checks the ``trace_overhead`` cell — the traced run
+must produce events (the instrumentation is alive) and must not exceed
+``max-ratio`` times the tracing-off run of the *same cell* (a relative
+bound, so runner speed cancels out).  The tracing-*off* cost itself is
+covered by the fan-out gate's wall-time band on the existing sections.
 """
 
 from __future__ import annotations
@@ -166,6 +174,56 @@ def _run_log_space_gate(path: str) -> int:
     return 0
 
 
+def gate_trace_overhead(report: dict, max_ratio: float) -> list[str]:
+    """Gate the enabled-cost bound of the ``trace_overhead`` bench cell."""
+    cell = report.get("benchmarks", {}).get("trace_overhead")
+    if cell is None:
+        return ["trace-overhead: report has no trace_overhead benchmark cell"]
+    problems: list[str] = []
+    if cell.get("trace_events", 0) <= 0:
+        problems.append(
+            "trace-overhead: traced run emitted no events — the "
+            "instrumentation is dead, the ratio proves nothing"
+        )
+    plain = cell.get("plain_seconds", 0.0)
+    traced = cell.get("traced_seconds", 0.0)
+    if plain <= 0.0 or traced <= 0.0:
+        problems.append(
+            f"trace-overhead: degenerate timings (plain {plain}s, "
+            f"traced {traced}s)"
+        )
+        return problems
+    if traced > max_ratio * plain:
+        problems.append(
+            f"trace-overhead: traced {traced:.3f}s exceeds "
+            f"{max_ratio:g}x tracing-off {plain:.3f}s "
+            f"(ratio {traced / plain:.2f}x)"
+        )
+    return problems
+
+
+def _run_trace_overhead_gate(path: str, max_ratio: float) -> int:
+    with open(path) as fh:
+        report = json.load(fh)
+    problems = gate_trace_overhead(report, max_ratio)
+    cell = report.get("benchmarks", {}).get("trace_overhead", {})
+    if cell:
+        print(
+            f"trace-overhead gate: {cell.get('requests')} requests, "
+            f"plain {cell.get('plain_seconds', 0.0):.3f}s, "
+            f"traced {cell.get('traced_seconds', 0.0):.3f}s "
+            f"({cell.get('overhead_ratio', 0.0):.2f}x, "
+            f"{cell.get('trace_events')} events), "
+            f"max ratio {max_ratio:g}x"
+        )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("trace-overhead gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -181,9 +239,21 @@ def main(argv=None) -> int:
         help="gate the log_space cell of a bench report instead of "
         "comparing fan-out reports",
     )
+    parser.add_argument(
+        "--trace-overhead", metavar="PATH", default=None,
+        help="gate the trace_overhead cell of a bench report instead of "
+        "comparing fan-out reports",
+    )
+    parser.add_argument(
+        "--max-ratio", type=float, default=5.0,
+        help="--trace-overhead: max traced/plain wall-time ratio "
+        "(default 5.0)",
+    )
     args = parser.parse_args(argv)
     if args.log_space is not None:
         return _run_log_space_gate(args.log_space)
+    if args.trace_overhead is not None:
+        return _run_trace_overhead_gate(args.trace_overhead, args.max_ratio)
     if args.fresh is None or args.baseline is None:
         parser.error("fresh and baseline reports are required without --log-space")
     with open(args.fresh) as fh:

@@ -19,7 +19,13 @@ Commands:
   systematically kill an MSP at every enumerated crash site (or at
   seeded random multi-crash schedules with network faults), recover,
   and check the exactly-once invariant battery; failures report a
-  replayable ``(seed, schedule)`` pair.
+  replayable ``(seed, schedule)`` pair;
+- ``trace [configuration] [--requests N] [--crash-every N] [--out
+  PATH] [--jsonl PATH]`` — run a paper workload with structured tracing
+  on (:mod:`repro.trace`) and export the sim-time timeline as a Chrome
+  ``trace_event`` file (loadable in ``chrome://tracing``/Perfetto) plus
+  an optional JSON-lines artifact, printing the recovery-time breakdown
+  and flush-latency histogram the trace contains.
 """
 
 from __future__ import annotations
@@ -144,6 +150,35 @@ def _build_parser() -> argparse.ArgumentParser:
     from repro.fuzz.cli import add_fuzz_arguments
 
     add_fuzz_arguments(fuzz)
+
+    trace = sub.add_parser(
+        "trace", help="run a workload with structured tracing and export it"
+    )
+    trace.add_argument(
+        "configuration", nargs="?", choices=CONFIGURATIONS, default="LoOptimistic"
+    )
+    trace.add_argument("--requests", type=int, default=200)
+    trace.add_argument("--clients", type=int, default=1)
+    trace.add_argument("--m", type=int, default=1, help="calls to ServiceMethod2")
+    trace.add_argument(
+        "--crash-every", type=int, default=60,
+        help="crash msp2 every N completed ServiceMethod2 calls so the "
+        "timeline contains recoveries (0 disables crashes)",
+    )
+    trace.add_argument("--batch", type=float, default=0.0, help="batch flush ms")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--max-events", type=int, default=1_000_000,
+        help="bound on retained trace events (drops beyond it)",
+    )
+    trace.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace_event output path (default trace.json)",
+    )
+    trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the JSON-lines artifact",
+    )
     return parser
 
 
@@ -250,6 +285,99 @@ def _run_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.trace import (
+        Tracer,
+        chrome_trace,
+        collect_component_metrics,
+        jsonl_lines,
+        validate_chrome_trace,
+        validate_jsonl_lines,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    params = WorkloadParams(
+        configuration=args.configuration,
+        requests_per_client=args.requests,
+        num_clients=args.clients,
+        calls_to_sm2=args.m,
+        crash_every_n=args.crash_every or None,
+        batch_flush_timeout_ms=args.batch,
+        seed=args.seed,
+    )
+    workload = PaperWorkload(params)
+    tracer = Tracer(workload.sim, max_events=args.max_events).attach()
+    result = workload.run()
+    tracer.finalize()
+    collect_component_metrics(
+        tracer.metrics,
+        msps=(workload.msp1, workload.msp2),
+        network=workload.network,
+    )
+    # Self-check before writing: the CI smoke job re-validates the files,
+    # but a malformed trace should fail loudly right here.
+    problems = validate_chrome_trace(chrome_trace(tracer))
+    problems += validate_jsonl_lines(jsonl_lines(tracer))
+    write_chrome_trace(tracer, args.out)
+    if args.jsonl:
+        write_jsonl(tracer, args.jsonl)
+
+    summary = tracer.summary()
+    print(f"configuration:      {result.configuration}")
+    print(f"completed requests: {result.completed_requests}")
+    print(f"crashes:            {result.crashes}")
+    print(
+        f"trace events:       {summary['events']} "
+        f"({summary['dropped_events']} dropped, "
+        f"{summary['open_spans']} left open)"
+    )
+    histograms = tracer.metrics.histograms
+    rows = [
+        (name, histograms.get(f"span.{name}_ms"))
+        for name in (
+            "recovery",
+            "recovery.anchor",
+            "recovery.scan",
+            "recovery.analyze",
+            "recovery.checkpoint",
+            "recovery.session",
+        )
+    ]
+    if any(h is not None and h.count for _name, h in rows):
+        print("recovery-time breakdown (sim ms):")
+        for name, h in rows:
+            if h is not None and h.count:
+                print(
+                    f"  {name:20s} n={h.count:<4d} mean={h.mean:10.3f} "
+                    f"max={h.max:10.3f}"
+                )
+    flush_wait = histograms.get("log.flush.wait_ms")
+    if flush_wait is not None and flush_wait.count:
+        print(
+            f"flush latency:      n={flush_wait.count} "
+            f"mean={flush_wait.mean:.3f} ms p99<={flush_wait.quantile(0.99):g} ms"
+        )
+    counters = tracer.metrics.counters
+    stale = counters.get("flush.stale_acks")
+    if stale is not None:
+        print(f"stale flush acks:   {stale.value}")
+    ledger = workload.network.ledger()
+    print(
+        f"network ledger:     sent={ledger['messages_sent']} "
+        f"dup={ledger['messages_duplicated']} "
+        f"delivered={ledger['messages_delivered']} "
+        f"dropped={ledger['messages_dropped']} "
+        f"in_flight={ledger['messages_in_flight']}"
+    )
+    print(f"wrote {args.out}" + (f" and {args.jsonl}" if args.jsonl else ""))
+    if problems:
+        for problem in problems:
+            print(f"trace validation: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -282,6 +410,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fuzz.cli import run_fuzz
 
         return run_fuzz(args)
+    if args.command == "trace":
+        return _run_trace(args)
     return 2  # pragma: no cover
 
 

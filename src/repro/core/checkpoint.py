@@ -51,6 +51,11 @@ def take_session_checkpoint(msp: "MiddlewareServer", session: Session):
     replies ("new requests are held until the checkpoint is completed").
     """
     session.status = SessionStatus.CHECKPOINTING
+    span = None
+    if msp.sim.tracer is not None:
+        span = msp.sim.tracer.span(
+            "ckpt.session", owner=msp.name, session=session.id
+        )
     try:
         msp.sim.probe("ckpt.session.begin", owner=msp.name)
         # The distributed flush guarantees the checkpointed state can
@@ -66,6 +71,8 @@ def take_session_checkpoint(msp: "MiddlewareServer", session: Session):
         msp.stats.session_checkpoints += 1
         msp.sim.probe("ckpt.session.logged", owner=msp.name)
     finally:
+        if span is not None:
+            span.end()
         if session.status is SessionStatus.CHECKPOINTING:
             session.status = SessionStatus.NORMAL
 
@@ -79,6 +86,9 @@ def sv_checkpoint(msp: "MiddlewareServer", sv: SharedVariable):
     thread is one of the two orphan-detection triggers of §4.2).
     """
     yield from sv.lock.acquire_write()
+    span = None
+    if msp.sim.tracer is not None:
+        span = msp.sim.tracer.span("ckpt.sv", owner=msp.name, variable=sv.name)
     try:
         msp.sim.probe("ckpt.sv.begin", owner=msp.name)
         try:
@@ -95,6 +105,8 @@ def sv_checkpoint(msp: "MiddlewareServer", sv: SharedVariable):
         msp.stats.sv_checkpoints += 1
         msp.sim.probe("ckpt.sv.logged", owner=msp.name)
     finally:
+        if span is not None:
+            span.end()
         sv.lock.release_write()
 
 
@@ -108,6 +120,10 @@ def msp_checkpoint_daemon(msp: "MiddlewareServer"):
 def perform_msp_checkpoint(msp: "MiddlewareServer"):
     """One fuzzy MSP checkpoint (§3.4), with forced checkpoints first."""
     msp.sim.probe("ckpt.msp.begin", owner=msp.name)
+    tracer = msp.sim.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.span("ckpt.msp", owner=msp.name, epoch=msp.epoch)
     limit = msp.config.forced_ckpt_msp_count
     # Force checkpoints for sessions idle so long that they would hold
     # back the minimal LSN.
@@ -160,6 +176,8 @@ def perform_msp_checkpoint(msp: "MiddlewareServer"):
     yield from msp.log.write_anchor(lsn)
     msp.stats.msp_checkpoints += 1
     msp.sim.probe("ckpt.msp.anchored", owner=msp.name)
+    if span is not None:
+        span.end(lsn=lsn)
     if msp.config.log_truncation:
         # The anchor is durable, so analysis can never need anything
         # below this checkpoint's minimal LSN again: reclaim it.  The

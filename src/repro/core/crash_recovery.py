@@ -179,6 +179,11 @@ def recover_msp(msp: "MiddlewareServer"):
     started_at = msp.sim.now
     log = msp.log
     msp.sim.probe("recovery.begin", owner=msp.name)
+    tracer = msp.sim.tracer
+    span = step = None
+    if tracer is not None:
+        span = tracer.span("recovery", owner=msp.name)
+        step = tracer.span("recovery.anchor", owner=msp.name)
 
     # 1. Re-initialize from the most recent MSP checkpoint.
     anchor = log.read_anchor()
@@ -204,10 +209,16 @@ def recover_msp(msp: "MiddlewareServer"):
             f"truncation floor {log.store.truncate_lsn}"
         )
     msp.sim.probe("recovery.anchor-read", owner=msp.name)
+    if step is not None:
+        step.end(anchor=anchor, scan_start=scan_start, epoch=old_epoch)
+        step = tracer.span("recovery.scan", owner=msp.name, lsn=scan_start)
 
     # 2. Single-threaded analysis scan.
     records = yield from log.scan_durable(scan_start)
     msp.sim.probe("recovery.scanned", owner=msp.name)
+    if step is not None:
+        step.end(records=len(records))
+        step = tracer.span("recovery.analyze", owner=msp.name)
     yield from msp.cpu(len(records) * msp.config.costs.scan_record_cpu_ms)
 
     state = analyze_scan(msp, records)
@@ -226,6 +237,11 @@ def recover_msp(msp: "MiddlewareServer"):
             sv.expected_reads = dict(state.order_reads.get(name, {}))
 
     msp.sim.probe("recovery.analyzed", owner=msp.name)
+    if step is not None:
+        step.end(
+            sessions=len(state.positions) + len(state.session_ckpts),
+            ended=len(state.ended),
+        )
 
     # The largest persistent LSN is what we recovered to.
     recovered_lsn = msp.store.durable_end
@@ -249,12 +265,22 @@ def recover_msp(msp: "MiddlewareServer"):
     # 3. Broadcast the recovery message within the service domain.
     msp.broadcast_recovery(old_epoch, recovered_lsn)
     msp.sim.probe("recovery.announced", owner=msp.name)
+    if tracer is not None:
+        tracer.instant(
+            "recovery.announce",
+            owner=msp.name,
+            epoch=old_epoch,
+            lsn=recovered_lsn,
+        )
+        step = tracer.span("recovery.checkpoint", owner=msp.name)
 
     # 4. Make a fresh MSP checkpoint (so the next crash starts here).
     from repro.core.checkpoint import perform_msp_checkpoint
 
     yield from perform_msp_checkpoint(msp)
     msp.sim.probe("recovery.checkpointed", owner=msp.name)
+    if step is not None:
+        step.end()
 
     # 5. Recover sessions in parallel; the caller opens for business
     # immediately, so new sessions are accepted while these replay.
@@ -276,4 +302,11 @@ def recover_msp(msp: "MiddlewareServer"):
             _sequential(), name=f"{msp.name}.sessionrec.seq", group=msp.group
         )
     msp.stats.recovery_scan_ms += msp.sim.now - started_at
+    if span is not None:
+        span.end(
+            epoch=msp.epoch,
+            records=len(records),
+            sessions_to_recover=len(to_recover),
+        )
+        tracer.metrics.observe("recovery.total_ms", msp.sim.now - started_at)
     msp.sim.probe("recovery.end", owner=msp.name)

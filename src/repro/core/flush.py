@@ -46,6 +46,12 @@ def distributed_flush(msp: "MiddlewareServer", dv: DependencyVector, subject: st
         if msp.table.is_orphan_state(target, state):
             raise FlushFailed(f"{subject}: dependency on {target} {state} already lost")
 
+    tracer = msp.sim.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.span(
+            "flush.distributed", owner=msp.name, subject=subject, legs=len(entries)
+        )
     legs = [
         msp.sim.spawn(
             _flush_leg(msp, target, state),
@@ -62,10 +68,14 @@ def distributed_flush(msp: "MiddlewareServer", dv: DependencyVector, subject: st
             failures.append((target, state, exc))
     if failures:
         target, state, _ = failures[0]
+        if span is not None:
+            span.end(outcome="failed", lost=target)
         raise FlushFailed(f"{subject}: dependency on {target} {state} lost in a crash")
     for target, state in entries:
         dv.prune_covered(target, state)
     msp.stats.distributed_flushes += 1
+    if span is not None:
+        span.end(outcome="ok")
 
 
 def _flush_leg(msp: "MiddlewareServer", target: str, state: StateId):
@@ -77,6 +87,20 @@ def _flush_leg(msp: "MiddlewareServer", target: str, state: StateId):
 
 
 def _local_leg(msp: "MiddlewareServer", state: StateId):
+    tracer = msp.sim.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.span(
+            "flush.leg.local", owner=msp.name, lsn=state.lsn, epoch=state.epoch
+        )
+    try:
+        yield from _local_leg_body(msp, state)
+    finally:
+        if span is not None:
+            span.end()
+
+
+def _local_leg_body(msp: "MiddlewareServer", state: StateId):
     if state.epoch == msp.epoch:
         yield from msp.cpu(msp.config.costs.flush_issue_ms)
         # Flush the whole buffer, not only up to the DV entry (classical
@@ -94,6 +118,34 @@ def _local_leg(msp: "MiddlewareServer", state: StateId):
         raise FlushFailed(f"local state {state} lost")
 
 
+def _await_matching_ack(msp: "MiddlewareServer", inbox, request: FlushRequest):
+    """Wait for the :class:`FlushReply` matching ``request`` (generator).
+
+    A stale ack (a duplicate delivery of an earlier reply, or a reply
+    raced by our own timeout-driven resend) must *not* trigger another
+    FlushRequest round — it is discarded and the wait simply restarts.
+    Each discarded ack resets the timeout window; that is safe because a
+    stale ack proves the target is alive and responding.
+    """
+    while True:
+        envelope = yield from inbox.get_with_timeout(
+            msp.config.flush_retry_timeout_ms
+        )
+        reply: FlushReply = envelope.payload
+        if reply.req_id == request.req_id:
+            return reply
+        msp.stats.stale_flush_acks += 1
+        tracer = msp.sim.tracer
+        if tracer is not None:
+            tracer.metrics.inc("flush.stale_acks")
+            tracer.instant(
+                "flush.stale-ack",
+                owner=msp.name,
+                expected=request.req_id,
+                got=reply.req_id,
+            )
+
+
 def _remote_leg(msp: "MiddlewareServer", target: str, state: StateId):
     """Ask ``target`` to flush; retry while it is down."""
     port = f"flush-ack:{next(_port_ids)}"
@@ -101,14 +153,22 @@ def _remote_leg(msp: "MiddlewareServer", target: str, state: StateId):
     request = FlushRequest(
         epoch=state.epoch, lsn=state.lsn, reply_to=msp.name, reply_port=port
     )
+    tracer = msp.sim.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.span(
+            "flush.leg.remote",
+            owner=msp.name,
+            target=target,
+            lsn=state.lsn,
+            epoch=state.epoch,
+        )
     try:
-        while True:
+        while True:  # one iteration per (re)send
             yield from msp.cpu(msp.config.costs.message_stack_ms)
             msp.send(target, "flush", request)
             try:
-                envelope = yield from inbox.get_with_timeout(
-                    msp.config.flush_retry_timeout_ms
-                )
+                reply = yield from _await_matching_ack(msp, inbox, request)
             except SimTimeoutError:
                 # The target may have crashed.  If an announcement since
                 # resolved our dependency, we can decide locally.
@@ -116,20 +176,25 @@ def _remote_leg(msp: "MiddlewareServer", target: str, state: StateId):
                     raise FlushFailed(f"remote state {target} {state} lost") from None
                 recovered = msp.table.recovered_lsn(target, state.epoch)
                 if recovered is not None and state.lsn < recovered:
+                    if span is not None:
+                        span.end(outcome="resolved-by-announcement")
                     return  # durable: it survived the crash
-                continue  # still unknown: retry
-            reply: FlushReply = envelope.payload
-            if reply.req_id != request.req_id:
-                continue  # stale duplicate ack
+                continue  # still unknown: resend
             if reply.table_snapshot:
                 # Piggybacked recovery knowledge: after simultaneous
                 # crashes, this is how we learn about recoveries whose
                 # broadcast we slept through.
                 msp.learn_recovery_knowledge(reply.table_snapshot)
             if not reply.ok:
+                if span is not None:
+                    span.end(outcome="lost")
                 raise FlushFailed(f"remote {target} reports state {state} lost")
+            if span is not None:
+                span.end(outcome="ok")
             return
     finally:
+        if span is not None:
+            span.end(outcome="interrupted")
         msp.node.unbind(port)
 
 
@@ -147,6 +212,24 @@ def flush_service(msp: "MiddlewareServer"):
 
 
 def _serve_flush(msp: "MiddlewareServer", request: FlushRequest):
+    tracer = msp.sim.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.span(
+            "flush.serve",
+            owner=msp.name,
+            coordinator=request.reply_to,
+            lsn=request.lsn,
+            epoch=request.epoch,
+        )
+    try:
+        yield from _serve_flush_body(msp, request)
+    finally:
+        if span is not None:
+            span.end()
+
+
+def _serve_flush_body(msp: "MiddlewareServer", request: FlushRequest):
     yield from msp.cpu(msp.config.costs.message_stack_ms)
     if request.epoch == msp.epoch:
         ok = request.lsn < msp.log.end_lsn

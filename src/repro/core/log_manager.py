@@ -143,6 +143,12 @@ class LogManager:
             size += len(filler)
         self.stats.appended_records += 1
         self.stats.appended_bytes += size
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # Per-kind log-record volume (the §5.5 space accounting).
+            kind = record.__class__.__name__
+            tracer.metrics.inc(f"log.append.{kind}.records")
+            tracer.metrics.inc(f"log.append.{kind}.bytes", size)
         return lsn, size
 
     @property
@@ -216,9 +222,15 @@ class LogManager:
         self.stats.flush_requests += 1
         if target <= self.store.durable_end:
             return
+        tracer = self.sim.tracer
+        started_at = self.sim.now
         done = self.sim.event(name=f"{self.name}.flushed")
         self._flush_queue.put((target, done))
         yield done
+        if tracer is not None:
+            # Request-to-durable latency, including batch-window and
+            # group-commit queueing — the flush-latency histogram.
+            tracer.metrics.observe("log.flush.wait_ms", self.sim.now - started_at)
 
     def _flusher_loop(self):
         while True:
@@ -253,6 +265,10 @@ class LogManager:
         if goal <= start:
             return
         self.sim.probe("log.flush.begin", owner=self.owner)
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("log.write", owner=self.owner, bytes=goal - start)
         if self._cpu is not None and self.flush_cpu_ms > 0:
             yield from self._cpu(self.flush_cpu_ms)
         nbytes = goal - start
@@ -268,6 +284,8 @@ class LogManager:
             self.sim.probe("log.flush.block", owner=self.owner)
             remaining -= block
         self.store.mark_durable(goal)
+        if span is not None:
+            span.end(sectors=sectors)
         self.sim.probe("log.flush.end", owner=self.owner)
 
     # -- the log anchor ----------------------------------------------------------
@@ -422,6 +440,10 @@ class LogManager:
         """
         target = min(floor_lsn, self.store.durable_end)
         self.sim.probe("log.truncate.begin", owner=self.owner)
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span("log.truncate", owner=self.owner, floor=target)
         # Crash window: anchor durable, segments not yet recycled.
         yield 0.0
         before = self.store.truncate_lsn
@@ -439,6 +461,8 @@ class LogManager:
         self.stats.truncated_bytes = self.store.truncated_bytes
         self.stats.recycled_segments = self.store.recycled_segments
         self.stats.live_bytes = self.store.live_bytes
+        if span is not None:
+            span.end(recycled_segments=recycled, live_bytes=self.store.live_bytes)
         self.sim.probe("log.truncate.end", owner=self.owner)
         return recycled
 

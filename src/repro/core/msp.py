@@ -66,6 +66,9 @@ class MspStats:
     buffered_reply_resends: int = 0
     orphan_messages_discarded: int = 0
     distributed_flushes: int = 0
+    #: Flush acks discarded because their req_id did not match the
+    #: in-flight request (duplicate deliveries, timeout-raced replies).
+    stale_flush_acks: int = 0
     session_checkpoints: int = 0
     sv_checkpoints: int = 0
     msp_checkpoints: int = 0
@@ -250,6 +253,8 @@ class MiddlewareServer:
         if not self.running and self.group is None:
             return
         self.stats.crashes += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant("msp.crash", owner=self.name, epoch=self.epoch)
         if self.group is not None:
             self.group.kill_all()
         self.store.crash()
@@ -394,14 +399,28 @@ class MiddlewareServer:
     def _worker(self, inbox):
         while True:
             envelope = yield from inbox.get()
+            request = envelope.payload
+            tracer = self.sim.tracer
+            span = None
+            if tracer is not None:
+                span = tracer.span(
+                    "msp.request",
+                    owner=self.name,
+                    session=request.session_id,
+                    seq=request.seq,
+                    method=request.method,
+                )
             try:
-                yield from self._handle_request(envelope.payload)
+                yield from self._handle_request(request)
             except SessionProtocolError:
                 # A programming error in a service method (bad return
                 # type, replay divergence surfacing late).  Losing one
                 # request is bad; losing the worker thread forever is
                 # worse.
                 self.stats.protocol_errors += 1
+            finally:
+                if span is not None:
+                    span.end()
 
     def _handle_request(self, request: Request):
         costs = self.config.costs
@@ -602,6 +621,10 @@ class MiddlewareServer:
         if session.recovery_pending or session.status is SessionStatus.RECOVERING:
             return
         session.recovery_pending = True
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "session.orphan-detected", owner=self.name, session=session.id
+            )
         self.sim.spawn(
             run_session_recovery(self, session, orphan=True),
             name=f"{self.name}.orphanrec.{session.id}",
@@ -621,6 +644,14 @@ class MiddlewareServer:
 
     def _handle_announcement(self, ann: RecoveryAnnouncement):
         self.sim.probe("msp.announcement", owner=self.name)
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "msp.announcement",
+                owner=self.name,
+                peer=ann.msp,
+                epoch=ann.epoch,
+                lsn=ann.recovered_lsn,
+            )
         yield from self.cpu(self.config.costs.message_stack_ms)
         fresh = self.table.record(ann.msp, ann.epoch, ann.recovered_lsn)
         self.learn_recovery_knowledge(ann.table_snapshot)

@@ -47,14 +47,24 @@ def run_session_recovery(msp: "MiddlewareServer", session: Session, orphan: bool
     the recovery-independence property.
     """
     session.status = SessionStatus.RECOVERING
+    tracer = msp.sim.tracer
+    span = None
+    if tracer is not None:
+        span = tracer.span(
+            "recovery.session", owner=msp.name, session=session.id, orphan=orphan
+        )
+    passes = 0
     try:
         while True:
+            passes += 1
             try:
                 yield from _replay_pass(msp, session)
                 break
             except _RestartReplay:
                 continue
     finally:
+        if span is not None:
+            span.end(passes=passes)
         session.status = SessionStatus.NORMAL
         session.recovery_pending = False
     if orphan:

@@ -13,7 +13,10 @@ Modes:
 
 On failure the full ``(seed, schedule)`` list is written to ``--out``
 (JSON) so CI can upload it, each failure is optionally minimized with
-``--minimize``, and the exit status is 1.
+``--minimize``, and the exit status is 1.  The first failure is re-run
+with structured tracing (:mod:`repro.trace`) and its timeline dumped as
+``<out>.trace.json`` / ``.trace.jsonl``; a ``--replay`` that reproduces
+violations dumps the same pair.
 """
 
 from __future__ import annotations
@@ -153,6 +156,25 @@ def _minimize_failures(
             )
 
 
+def _trace_paths(out: str) -> tuple[str, str]:
+    stem = out[:-5] if out.endswith(".json") else out
+    return f"{stem}.trace.json", f"{stem}.trace.jsonl"
+
+
+def _dump_trace(tracer, out: str) -> None:
+    """Write a failing run's trace (Chrome + JSONL) next to ``out``."""
+    from repro.trace import write_chrome_trace, write_jsonl
+
+    chrome_path, jsonl_path = _trace_paths(out)
+    write_chrome_trace(tracer, chrome_path)
+    write_jsonl(tracer, jsonl_path)
+    print(
+        f"wrote failure trace {chrome_path} (chrome://tracing) "
+        f"and {jsonl_path}",
+        file=sys.stderr,
+    )
+
+
 def _finish(report: FuzzReport, args: argparse.Namespace, wall_s: float) -> int:
     total_sites = sum(report.sites_discovered.values())
     print(
@@ -169,6 +191,17 @@ def _finish(report: FuzzReport, args: argparse.Namespace, wall_s: float) -> int:
     print(f"wrote failure artifact {args.out}", file=sys.stderr)
     for failure in report.failures:
         print(f"  failure: {failure.to_dict()['replay']}", file=sys.stderr)
+    # Re-run the first failure with structured tracing on and dump its
+    # timeline, so the artifact upload carries not just the replayable
+    # schedule but the trace of what the failing run actually did.
+    first = report.failures[0]
+    try:
+        schedule = CrashSchedule.from_dict(first.schedule)
+        result = run_schedule(schedule, _params(args), trace=True)
+        if result.tracer is not None:
+            _dump_trace(result.tracer, args.out)
+    except Exception as exc:  # tracing must never mask the failure exit
+        print(f"trace dump failed: {exc}", file=sys.stderr)
     return 1
 
 
@@ -176,7 +209,7 @@ def _run_replay(args: argparse.Namespace, params: FuzzParams) -> int:
     if args.replay is not None:
         schedule = schedule_from_seed(args.replay, params)
         print(f"replaying case seed {args.replay}: {schedule.to_dict()}")
-        result = run_random_case(args.replay, params)
+        result = run_random_case(args.replay, params, trace=True)
     else:
         with open(args.replay_file) as fh:
             artifact = json.load(fh)
@@ -193,11 +226,15 @@ def _run_replay(args: argparse.Namespace, params: FuzzParams) -> int:
             return 2
         schedule = CrashSchedule.from_dict(failures[args.index]["schedule"])
         print(f"replaying recorded schedule: {schedule.to_dict()}")
-        result = run_schedule(schedule, params)
+        result = run_schedule(schedule, params, trace=True)
     if result.violations:
         print("reproduced violations:")
         for violation in result.violations:
             print(f"  - {violation}")
+        # The replay ran traced: dump the failing schedule's timeline so
+        # the violation can be read step by step in chrome://tracing.
+        if result.tracer is not None:
+            _dump_trace(result.tracer, args.out)
         return 1
     print("schedule ran clean (no invariant violations)")
     return 0

@@ -162,6 +162,10 @@ class ScheduleResult:
     sites_in_trace: int
     completed_requests: int
     elapsed_sim_ms: float
+    #: The structured tracer of the run, present only when the schedule
+    #: was executed with ``trace=True`` (replay/diagnosis paths).  Not
+    #: part of the fingerprint: tracing must never affect outcomes.
+    tracer: Optional[object] = None
 
     @property
     def failed(self) -> bool:
@@ -286,9 +290,22 @@ def discover_sites(params: FuzzParams, seed: int = 0) -> TraceRecorder:
     return recorder
 
 
-def run_schedule(schedule: CrashSchedule, params: FuzzParams) -> ScheduleResult:
-    """Execute one schedule in a fresh world and check every invariant."""
+def run_schedule(
+    schedule: CrashSchedule, params: FuzzParams, trace: bool = False
+) -> ScheduleResult:
+    """Execute one schedule in a fresh world and check every invariant.
+
+    ``trace=True`` attaches a structured tracer (:mod:`repro.trace`) to
+    the run's simulator and returns it on the result — the artifact a
+    failure replay dumps so the failing schedule's timeline can be read
+    in ``chrome://tracing``.
+    """
     workload = build_world(params, schedule.seed, schedule.faults)
+    tracer = None
+    if trace:
+        from repro.trace import Tracer
+
+        tracer = Tracer(workload.sim).attach()
     recorder = TraceRecorder(workload.sim).attach()
     injector = CrashInjector(
         workload.sim,
@@ -310,6 +327,15 @@ def run_schedule(schedule: CrashSchedule, params: FuzzParams) -> ScheduleResult:
     injector.detach()
     recorder.detach()
     violations = check_world(workload, [workload.msp1, workload.msp2])
+    if tracer is not None:
+        tracer.finalize()
+        from repro.trace import collect_component_metrics
+
+        collect_component_metrics(
+            tracer.metrics,
+            msps=(workload.msp1, workload.msp2),
+            network=workload.network,
+        )
     return ScheduleResult(
         schedule=schedule,
         violations=violations,
@@ -317,6 +343,7 @@ def run_schedule(schedule: CrashSchedule, params: FuzzParams) -> ScheduleResult:
         sites_in_trace=len(recorder.events),
         completed_requests=result.completed_requests,
         elapsed_sim_ms=result.elapsed_ms,
+        tracer=tracer,
     )
 
 
@@ -518,10 +545,12 @@ def schedule_from_seed(case_seed: int, params: FuzzParams) -> CrashSchedule:
     return CrashSchedule(target=target, kills=kills, seed=case_seed, faults=faults)
 
 
-def run_random_case(case_seed: int, params: Optional[FuzzParams] = None) -> ScheduleResult:
+def run_random_case(
+    case_seed: int, params: Optional[FuzzParams] = None, trace: bool = False
+) -> ScheduleResult:
     """Execute (or replay) the case identified by ``case_seed``."""
     params = params or FuzzParams()
-    return run_schedule(schedule_from_seed(case_seed, params), params)
+    return run_schedule(schedule_from_seed(case_seed, params), params, trace=trace)
 
 
 def fuzz_random(

@@ -17,7 +17,10 @@ quiesced world.  Each checker returns a list of violation strings (empty
   boundary, and the durable anchor points at a complete, durable MSP
   checkpoint record;
 - **recovered and serving** — every MSP is back up (a crash during
-  recovery must itself be recoverable).
+  recovery must itself be recoverable);
+- **network counter ledger** — every copy the fabric created is exactly
+  one of delivered, dropped, or in flight (under loss and duplication
+  faults alike).
 """
 
 from __future__ import annotations
@@ -259,9 +262,20 @@ def check_msp(msp: "MiddlewareServer") -> list[str]:
     return violations
 
 
+def check_network_ledger(workload) -> list[str]:
+    """The fabric's counter ledger must balance at all times:
+    ``sent + duplicated == delivered + dropped + in_flight``."""
+    try:
+        workload.network.check_ledger()
+    except AssertionError as exc:
+        return [f"network-ledger: {exc}"]
+    return []
+
+
 def check_world(workload, msps: Iterable["MiddlewareServer"]) -> list[str]:
     """The full battery over a quiesced workload run."""
     violations = check_exactly_once(workload)
+    violations += check_network_ledger(workload)
     for msp in msps:
         violations += check_msp(msp)
     return violations

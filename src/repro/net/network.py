@@ -39,6 +39,11 @@ class Envelope:
     size_bytes: int
     sent_at: float = 0.0
     delivered_at: float = 0.0
+    #: The destination node's incarnation when this copy was sent; a
+    #: delivery into a later incarnation (the process crashed and
+    #: restarted in flight) is dropped — port *names* are reused across
+    #: restarts, port *bindings* are not.
+    dest_incarnation: int = 0
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,10 @@ class Node:
         self.network = network
         self.name = name
         self._ports: dict[str, Store] = {}
+        #: Bumped by :meth:`unbind_all` (process crash): envelopes sent
+        #: toward an earlier incarnation are dropped at delivery even if
+        #: a restarted process has re-bound the same port name.
+        self.incarnation = 0
 
     def bind(self, port: str) -> Store:
         """Create (or return) the inbox store for ``port``."""
@@ -71,8 +80,14 @@ class Node:
         self._ports.pop(port, None)
 
     def unbind_all(self) -> None:
-        """Drop every port (used when the hosted process crashes)."""
+        """Drop every port (used when the hosted process crashes).
+
+        Also advances the node's incarnation: in-flight messages
+        addressed to the pre-crash process must not land in a
+        post-restart inbox that merely reuses the port name.
+        """
         self._ports.clear()
+        self.incarnation += 1
 
     def inbox(self, port: str) -> Optional[Store]:
         return self._ports.get(port)
@@ -91,10 +106,23 @@ class Network:
         self._nodes: dict[str, Node] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self._default_link = Link()
-        #: Counters for experiment reporting.
+        #: Counters for experiment reporting — an honest ledger: every
+        #: copy the fabric ever created is exactly one of delivered,
+        #: dropped or still in flight, so
+        #: ``sent + duplicated == delivered + dropped + in_flight``
+        #: holds at every instant (see :meth:`ledger`).
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: Extra copies created by duplication faults (a duplicated send
+        #: is one ``sent`` plus N-1 ``duplicated`` copies).
+        self.messages_duplicated = 0
+        #: Copies created but not yet delivered or dropped.
+        self.messages_in_flight = 0
+        #: Why drops happened: ``fault`` (the link's delivery plan),
+        #: ``unbound`` (no node, port unbound or inbox closed),
+        #: ``stale`` (destination crashed and restarted in flight).
+        self.drops_by_reason = {"fault": 0, "unbound": 0, "stale": 0}
         self.bytes_sent = 0
 
     # -- topology ---------------------------------------------------------
@@ -141,8 +169,13 @@ class Network:
 
         extra_delays = link.faults.delivery_plan(rng)
         if not extra_delays:
-            self.messages_dropped += 1
+            self._drop("fault")
+            return
+        if len(extra_delays) > 1:
+            self.messages_duplicated += len(extra_delays) - 1
 
+        dest_node = self._nodes.get(destination)
+        dest_incarnation = dest_node.incarnation if dest_node is not None else 0
         for extra in extra_delays:
             delay = (
                 link.latency_ms
@@ -156,26 +189,87 @@ class Network:
                 payload=payload,
                 size_bytes=size_bytes,
                 sent_at=self.sim.now,
+                dest_incarnation=dest_incarnation,
             )
+            self.messages_in_flight += 1
             self.sim.call_later(delay, lambda env=envelope: self._deliver(env))
+
+    def _drop(self, reason: str) -> None:
+        self.messages_dropped += 1
+        self.drops_by_reason[reason] += 1
 
     def _deliver(self, envelope: Envelope) -> None:
         # A crash site: the destination process can die exactly as a
-        # message reaches it (before any handler runs).
+        # message reaches it (before any handler runs).  The probe fires
+        # before any drop decision so fuzz crash-site ordinals do not
+        # depend on delivery outcomes.
         self.sim.probe("net.deliver", owner=envelope.destination)
+        self.messages_in_flight -= 1
+        tracer = self.sim.tracer
         node = self._nodes.get(envelope.destination)
         if node is None:
-            self.messages_dropped += 1
+            self._drop("unbound")
+            return
+        if node.incarnation != envelope.dest_incarnation:
+            # Sent toward a process incarnation that crashed while the
+            # message was in flight: the restarted process may have
+            # re-bound the same port name, but this envelope is not for
+            # it (cross-incarnation delivery bug).
+            self._drop("stale")
+            if tracer is not None:
+                tracer.instant(
+                    "net.stale-drop",
+                    owner=envelope.destination,
+                    port=envelope.port,
+                    source=envelope.source,
+                )
             return
         inbox = node.inbox(envelope.port)
         if inbox is None or inbox.closed:
             # Destination process is down (crashed or not yet started):
             # the message is lost, exactly like a TCP RST in production.
-            self.messages_dropped += 1
+            self._drop("unbound")
             return
         envelope.delivered_at = self.sim.now
         self.messages_delivered += 1
+        if tracer is not None:
+            tracer.metrics.observe(
+                "net.delivery_latency_ms", self.sim.now - envelope.sent_at
+            )
         inbox.put(envelope)
+
+    def ledger(self) -> dict:
+        """The counter ledger (all values non-negative ints)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "messages_in_flight": self.messages_in_flight,
+            "dropped_fault": self.drops_by_reason["fault"],
+            "dropped_unbound": self.drops_by_reason["unbound"],
+            "dropped_stale": self.drops_by_reason["stale"],
+            "bytes_sent": self.bytes_sent,
+        }
+
+    def check_ledger(self) -> None:
+        """Raise if the counter ledger does not balance."""
+        created = self.messages_sent + self.messages_duplicated
+        accounted = (
+            self.messages_delivered + self.messages_dropped + self.messages_in_flight
+        )
+        if created != accounted or self.messages_in_flight < 0:
+            raise AssertionError(
+                f"network ledger out of balance: sent {self.messages_sent} "
+                f"+ duplicated {self.messages_duplicated} != delivered "
+                f"{self.messages_delivered} + dropped {self.messages_dropped} "
+                f"+ in_flight {self.messages_in_flight}"
+            )
+        if self.messages_dropped != sum(self.drops_by_reason.values()):
+            raise AssertionError(
+                f"drop reasons {self.drops_by_reason} do not sum to "
+                f"messages_dropped {self.messages_dropped}"
+            )
 
     def round_trip_ms(self, a: str, b: str, size_bytes: int = 100) -> float:
         """Analytic round-trip estimate (no queueing, no faults)."""

@@ -12,7 +12,9 @@ bottlenecked on:
 - ``recovery_scan`` — per-record CPU of ``recover_msp``'s analysis
   pass (the type-dispatched loop of §4.3 step 2) against log length;
 - ``fig14`` — end-to-end wall seconds for a scaled-down Fig. 14
-  workload run (the paper's headline experiment).
+  workload run (the paper's headline experiment);
+- ``trace_overhead`` — the same workload with structured tracing off
+  vs on (the DESIGN.md §13 cost contract).
 
 ``run_benchmarks`` returns a machine-readable dict; ``write_report``
 emits it as JSON (``BENCH_PR1.json`` at the repo root by convention).
@@ -287,6 +289,61 @@ def bench_fig14(scale: float = 1.0) -> dict:
     }
 
 
+def bench_trace_overhead(scale: float = 1.0) -> dict:
+    """Wall-time cost of the structured tracer, on vs off.
+
+    Runs the same seeded Fig. 14-shaped workload twice: once plain
+    (``sim.tracer`` is ``None``, the guard branch every instrumentation
+    site takes) and once with a :class:`repro.trace.Tracer` attached.
+    ``overhead_ratio`` quotes traced/plain wall seconds — the
+    disabled-cost contract (DESIGN.md §13) says the *plain* run must
+    stay inside the existing fig14 perf band, and the gate additionally
+    bounds the ratio so enabling tracing stays affordable.
+    """
+    from repro.trace import Tracer
+    from repro.workloads import PaperWorkload, WorkloadParams
+
+    requests = max(10, int(200 * scale))
+
+    def build():
+        return PaperWorkload(
+            WorkloadParams(
+                configuration="LoOptimistic",
+                requests_per_client=requests,
+                num_clients=1,
+                calls_to_sm2=1,
+                seed=0,
+            )
+        )
+
+    start = time.perf_counter()
+    plain = build().run()
+    plain_seconds = time.perf_counter() - start
+
+    workload = build()
+    tracer = Tracer(workload.sim).attach()
+    start = time.perf_counter()
+    traced = workload.run()
+    traced_seconds = time.perf_counter() - start
+    tracer.finalize()
+
+    if traced.completed_requests != plain.completed_requests:
+        raise AssertionError(
+            "tracing changed the workload outcome: "
+            f"{traced.completed_requests} != {plain.completed_requests}"
+        )
+    return {
+        "requests": plain.completed_requests,
+        # Best-of-repeat keys off "seconds": keep the plain run there so
+        # the disabled cost (the contract under test) is what stabilises.
+        "seconds": plain_seconds,
+        "plain_seconds": plain_seconds,
+        "traced_seconds": traced_seconds,
+        "overhead_ratio": traced_seconds / max(plain_seconds, 1e-9),
+        "trace_events": len(tracer.events),
+    }
+
+
 def _log_space_run(
     n: int, truncation: bool, segment_bytes: int, ckpt_every: int
 ) -> dict:
@@ -382,6 +439,7 @@ BENCHMARKS: dict[str, Callable[[float], dict]] = {
     "recovery_scan": bench_recovery_scan,
     "fig14": bench_fig14,
     "log_space": bench_log_space,
+    "trace_overhead": bench_trace_overhead,
 }
 
 #: The headline metric of each benchmark, used for speedup reporting.
@@ -393,6 +451,7 @@ _HEADLINE = {
     "recovery_scan": "records_per_s",
     "fig14": "requests_per_wall_s",
     "log_space": "records_per_s",
+    "trace_overhead": "overhead_ratio",
 }
 
 
@@ -499,6 +558,7 @@ _COUNTER_KEYS = (
     "truncated_bytes",
     "recycled_segments",
     "live_bytes",
+    "trace_events",
 )
 
 

@@ -319,6 +319,12 @@ class Simulator:
         self._seq = itertools.count()
         self._process_count = itertools.count()
         self._probe_listeners: list[Callable[[str, Optional[str]], None]] = []
+        #: Optional structured tracer (see :mod:`repro.trace`).  ``None``
+        #: unless a harness attaches one; instrumentation sites guard
+        #: with ``if sim.tracer is not None`` so the disabled cost is a
+        #: single attribute load.  Typed loosely to keep the kernel free
+        #: of higher-layer imports.
+        self.tracer: Optional[object] = None
 
     @property
     def now(self) -> float:

@@ -1,0 +1,50 @@
+"""Structured sim-time tracing and metrics (the observability layer).
+
+The package has three pieces:
+
+- :mod:`repro.trace.tracer` — the :class:`Tracer` a :class:`Simulator`
+  optionally owns (``sim.tracer``), emitting typed span/instant records
+  with owner/session/LSN attribution as simulated time advances;
+- :mod:`repro.trace.metrics` — the :class:`MetricsRegistry` of counters
+  and histograms the tracer feeds, plus the collector that folds today's
+  component counters (``LogStats``, ``MspStats``, the network ledger)
+  into one namespaced view;
+- :mod:`repro.trace.export` — JSON-lines and Chrome ``trace_event``
+  exporters with the validators the CI trace-smoke job runs.
+
+Cost contract: tracing is **off by default** (``sim.tracer is None``)
+and every instrumentation site guards with that None check — one
+attribute load per site, the same near-free discipline as crash-site
+probes.  Instrumentation deliberately does *not* add ``sim.probe``
+call sites: probe ordinals are the fuzzer's crash-schedule coordinate
+system and must not shift when tracing lands.
+"""
+
+from repro.trace.export import (
+    JSONL_SCHEMA,
+    chrome_trace,
+    jsonl_lines,
+    validate_chrome_trace,
+    validate_jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.trace.metrics import Counter, Histogram, MetricsRegistry, collect_component_metrics
+from repro.trace.tracer import Span, TraceEvent, Tracer
+
+__all__ = [
+    "JSONL_SCHEMA",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "collect_component_metrics",
+    "jsonl_lines",
+    "validate_chrome_trace",
+    "validate_jsonl_lines",
+    "write_chrome_trace",
+    "write_jsonl",
+]

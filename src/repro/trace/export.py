@@ -1,0 +1,168 @@
+"""Trace exporters: JSON-lines and Chrome ``trace_event`` format.
+
+The JSONL file is the canonical artifact (one event object per line,
+header line first); the Chrome file is the same events converted to the
+``{"traceEvents": [...]}`` shape ``chrome://tracing`` and Perfetto load
+— spans become ``"X"`` complete events, instants ``"i"``, timestamps in
+microseconds of simulated time, one thread lane per owner.
+
+The ``validate_*`` functions are the schema checks the CI trace-smoke
+job runs (via ``scripts/check_trace.py``); they return a list of
+problems, empty when the artifact is well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.trace.tracer import Tracer
+
+#: JSONL header schema tag, bumped on breaking schema changes.
+JSONL_SCHEMA = "repro-trace-v1"
+
+#: Required keys per JSONL event line, by phase.
+_REQUIRED = {"name", "ph", "ts"}
+_PHASES = {"X", "i"}
+
+
+def jsonl_lines(tracer: Tracer) -> Iterable[str]:
+    """The JSONL artifact: a header line, then one line per event."""
+    header = {
+        "schema": JSONL_SCHEMA,
+        "clock": "sim-ms",
+        "events": len(tracer.events),
+        "dropped_events": tracer.dropped_events,
+    }
+    yield json.dumps(header, sort_keys=True)
+    for event in tracer.events:
+        yield json.dumps(event.to_dict(), sort_keys=True)
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as fh:
+        for line in jsonl_lines(tracer):
+            fh.write(line + "\n")
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Convert to the Chrome trace_event JSON object format.
+
+    Owners map to thread lanes (``tid``) in first-seen order, with
+    ``thread_name`` metadata events so the viewer labels them; sim-ms
+    timestamps become microseconds, the unit the format specifies.
+    """
+    lanes: dict[str, int] = {}
+
+    def tid(owner) -> int:
+        key = owner if owner is not None else "(sim)"
+        lane = lanes.get(key)
+        if lane is None:
+            lane = lanes[key] = len(lanes) + 1
+        return lane
+
+    trace_events = []
+    for event in tracer.events:
+        entry = {
+            "name": event.name,
+            "ph": event.ph,
+            "ts": round(event.ts * 1000.0, 3),  # sim ms -> "us"
+            "pid": 1,
+            "tid": tid(event.owner),
+            "args": dict(event.args),
+        }
+        if event.ph == "X":
+            entry["dur"] = round(event.dur * 1000.0, 3)
+        else:
+            entry["s"] = "t"  # thread-scoped instant
+        trace_events.append(entry)
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": lane,
+            "args": {"name": owner},
+        }
+        for owner, lane in lanes.items()
+    ]
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": JSONL_SCHEMA, "clock": "sim-ms"},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+# -- validators (the trace-smoke checks) ------------------------------------
+
+
+def validate_jsonl_lines(lines: Iterable[str]) -> list[str]:
+    """Schema-check a JSONL artifact; returns problems (empty = valid)."""
+    problems: list[str] = []
+    lines = list(lines)
+    if not lines:
+        return ["empty file"]
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"header is not JSON: {exc}"]
+    if header.get("schema") != JSONL_SCHEMA:
+        problems.append(f"header schema {header.get('schema')!r} != {JSONL_SCHEMA!r}")
+    if header.get("events") != len(lines) - 1:
+        problems.append(
+            f"header declares {header.get('events')} events, file has {len(lines) - 1}"
+        )
+    for i, line in enumerate(lines[1:], start=2):
+        if len(problems) >= 20:
+            problems.append("... (truncated)")
+            break
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {i}: not JSON: {exc}")
+            continue
+        missing = _REQUIRED - event.keys()
+        if missing:
+            problems.append(f"line {i}: missing keys {sorted(missing)}")
+            continue
+        if event["ph"] not in _PHASES:
+            problems.append(f"line {i}: unknown phase {event['ph']!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            problems.append(f"line {i}: bad ts {event['ts']!r}")
+        if event["ph"] == "X" and event.get("dur", -1) < 0:
+            problems.append(f"line {i}: span without a non-negative dur")
+    return problems
+
+
+def validate_chrome_trace(obj: dict) -> list[str]:
+    """Loadability check for the Chrome trace_event object format."""
+    problems: list[str] = []
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        if len(problems) >= 20:
+            problems.append("... (truncated)")
+            break
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {i}: missing {key!r}")
+        if ph not in ("X", "i"):
+            problems.append(f"event {i}: unexpected phase {ph!r}")
+        elif ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"event {i}: X event without numeric dur")
+    return problems

@@ -1,0 +1,167 @@
+"""Counters and histograms over *simulated* quantities.
+
+The registry subsumes the scattered per-component counters
+(``LogStats``, ``MspStats``, the network ledger): components keep their
+cheap plain-int counters on the hot path, and
+:func:`collect_component_metrics` folds a finished run's values into one
+namespaced view next to the tracer-fed histograms (flush latency,
+recovery-phase durations, per-kind log volume).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+#: Default histogram bucket bounds in simulated milliseconds: flush
+#: latencies sit around 5-20 ms (one disk write), recovery phases reach
+#: seconds on long logs.
+DEFAULT_BOUNDS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1_000.0, 2_500.0, 10_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Fixed-bound bucket histogram with exact count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[float] = DEFAULT_BOUNDS_MS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        # One bucket per bound plus the +inf overflow bucket.
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q`` quantile from the buckets."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, bound in enumerate(self.bounds):
+            seen += self.buckets[i]
+            if seen >= rank:
+                return bound
+        return self.max
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": round(self.min, 6) if self.count else None,
+            "max": round(self.max, 6) if self.count else None,
+            "mean": round(self.mean, 6),
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "buckets": {
+                **{f"le_{b:g}": n for b, n in zip(self.bounds, self.buckets)},
+                "le_inf": self.buckets[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first touch."""
+
+    def __init__(self):
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set(self, name: str, value: int) -> None:
+        """Overwrite a counter with an externally tracked value."""
+        self.counter(name).value = value
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BOUNDS_MS
+    ) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self.counters.items())
+            },
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+
+def collect_component_metrics(
+    registry: MetricsRegistry,
+    msps: Iterable = (),
+    network: Optional[object] = None,
+) -> MetricsRegistry:
+    """Fold component counters into ``registry`` under stable namespaces.
+
+    ``msp.<name>.<field>`` for :class:`MspStats`, ``log.<name>.<field>``
+    for :class:`LogStats`, ``net.<field>`` for the network ledger, plus
+    the aggregate ``flush.stale_acks``.  Call at the end of a run — the
+    sources are plain ints, so this is a snapshot, not a subscription.
+    """
+    stale_acks = 0
+    for msp in msps:
+        for field, value in vars(msp.stats).items():
+            if isinstance(value, (int, float)):
+                registry.set(f"msp.{msp.name}.{field}", value)
+        stale_acks += msp.stats.stale_flush_acks
+        if msp.log is not None:
+            for field, value in vars(msp.log.stats).items():
+                registry.set(f"log.{msp.name}.{field}", value)
+            registry.set(
+                f"log.{msp.name}.coalesced_flushes", msp.log.stats.coalesced_flushes
+            )
+    registry.set("flush.stale_acks", stale_acks)
+    if network is not None:
+        for field, value in network.ledger().items():
+            registry.set(f"net.{field}", value)
+    return registry

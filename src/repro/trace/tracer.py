@@ -1,0 +1,163 @@
+"""The sim-time tracer (`sim.tracer`, ``None`` unless enabled).
+
+Instrumented code emits two shapes:
+
+- **instants** — a point event at the current simulated time
+  (``tracer.instant("flush.stale-ack", owner="msp1", target="msp2")``);
+- **spans** — an interval opened now and closed by ``span.end(...)``,
+  whose duration lands in the ``span.<name>_ms`` histogram of the
+  attached :class:`~repro.trace.metrics.MetricsRegistry`.
+
+Every emission site in the tree guards with ``if sim.tracer is not
+None`` so the disabled cost is one attribute load — the same contract
+as crash-site probes (and, like probes, cheap enough for the log append
+path).  The event list is bounded: once ``max_events`` is reached new
+events are dropped and counted (``dropped_events``), never raised, so a
+runaway workload degrades the trace instead of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.trace.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class TraceEvent:
+    """One emitted event; ``ph`` follows Chrome trace phases
+    (``"X"`` complete span, ``"i"`` instant)."""
+
+    name: str
+    ph: str
+    ts: float  #: simulated ms at the event (span start for "X")
+    dur: float = 0.0  #: simulated ms, "X" only
+    owner: Optional[str] = None
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        data = {"name": self.name, "ph": self.ph, "ts": round(self.ts, 6)}
+        if self.ph == "X":
+            data["dur"] = round(self.dur, 6)
+        if self.owner is not None:
+            data["owner"] = self.owner
+        if self.args:
+            data["args"] = self.args
+        return data
+
+
+class Span:
+    """An open interval; close it with :meth:`end` (idempotent)."""
+
+    __slots__ = ("_tracer", "name", "owner", "start", "args", "closed")
+
+    def __init__(self, tracer: "Tracer", name: str, owner: Optional[str], args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.owner = owner
+        self.start = tracer.sim.now
+        self.args = args
+        self.closed = False
+
+    def end(self, **extra) -> None:
+        """Close the span at the current simulated time.
+
+        ``extra`` keys are merged into the span's args — the idiom for
+        attributes only known at completion (outcome, record counts).
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if extra:
+            self.args.update(extra)
+        self._tracer._finish(self)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records against one simulator clock."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        metrics: Optional[MetricsRegistry] = None,
+        max_events: int = 1_000_000,
+    ):
+        self.sim = sim
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped_events = 0
+        self._open: list[Span] = []
+
+    def attach(self) -> "Tracer":
+        """Install on the simulator (``sim.tracer = self``); returns self."""
+        self.sim.tracer = self
+        return self
+
+    # -- emission --------------------------------------------------------
+
+    def instant(self, name: str, owner: Optional[str] = None, **args) -> None:
+        self._emit(TraceEvent(name=name, ph="i", ts=self.sim.now, owner=owner, args=args))
+
+    def span(self, name: str, owner: Optional[str] = None, **args) -> Span:
+        span = Span(self, name, owner, args)
+        self._open.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        try:
+            self._open.remove(span)
+        except ValueError:
+            pass
+        duration = self.sim.now - span.start
+        self.metrics.observe(f"span.{span.name}_ms", duration)
+        self._emit(
+            TraceEvent(
+                name=span.name,
+                ph="X",
+                ts=span.start,
+                dur=duration,
+                owner=span.owner,
+                args=span.args,
+            )
+        )
+
+    def _emit(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(event)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def open_spans(self) -> list[Span]:
+        return list(self._open)
+
+    def finalize(self) -> None:
+        """Close spans left open (killed processes, truncated runs).
+
+        Crashes kill generator processes without unwinding them, so
+        spans opened inside a killed process never reach ``end()``;
+        closing them here (marked ``truncated``) keeps the export
+        complete without requiring every site to be crash-safe.
+        """
+        for span in list(self._open):
+            span.args.setdefault("truncated", True)
+            span.end()
+
+    def summary(self) -> dict:
+        """Machine-readable roll-up: event counts plus the metrics view."""
+        by_name: dict[str, int] = {}
+        for event in self.events:
+            by_name[event.name] = by_name.get(event.name, 0) + 1
+        return {
+            "events": len(self.events),
+            "dropped_events": self.dropped_events,
+            "open_spans": len(self._open),
+            "events_by_name": dict(sorted(by_name.items())),
+            "metrics": self.metrics.to_dict(),
+        }

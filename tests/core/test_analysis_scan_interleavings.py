@@ -1,0 +1,121 @@
+"""Analysis-scan interleavings the dispatch tests don't cover.
+
+These are the orderings crash timing actually produces: an EOS written
+before the crashed session ever logged a position record, sessions whose
+ids are reused across end/recreate cycles, and EOS pruning exactly at
+the ``orphan_lsn`` boundary.
+"""
+
+from repro.core.crash_recovery import analyze_scan
+from repro.core.dv import DependencyVector
+from repro.core.records import (
+    EosRecord,
+    ReplyRecord,
+    RequestRecord,
+    SessionCheckpointRecord,
+    SessionEndRecord,
+    SvReadRecord,
+)
+
+
+class _StubMsp:
+    shared: dict = {}
+
+
+def _request(session_id, seq):
+    return RequestRecord(session_id, seq, "m", b"x")
+
+
+def _session_ckpt(session_id):
+    return SessionCheckpointRecord(
+        session_id,
+        variables={},
+        buffered_reply=None,
+        buffered_reply_seq=0,
+        next_expected_seq=1,
+        outgoing_next_seq={},
+    )
+
+
+def test_eos_before_any_position_record_is_harmless():
+    # The orphan session crashed before logging anything; a peer's EOS
+    # for it still lands in our log.  There is nothing to prune and the
+    # session must not materialize out of the EOS itself.
+    records = [
+        (0, EosRecord("ghost", orphan_lsn=0)),
+        (10, _request("s1", 1)),
+    ]
+    state = analyze_scan(_StubMsp(), records)
+    assert state.positions == {"s1": [10]}
+    assert "ghost" not in state.positions
+    assert state.ended == set()
+
+
+def test_eos_prunes_exactly_at_the_orphan_lsn_boundary():
+    # Positions strictly below orphan_lsn survive; the orphan record
+    # itself (p == orphan_lsn) and everything after it are invisible.
+    records = [
+        (0, _request("s1", 1)),
+        (10, _request("s1", 2)),
+        (20, _request("s1", 3)),
+        (30, EosRecord("s1", orphan_lsn=10)),
+    ]
+    state = analyze_scan(_StubMsp(), records)
+    assert state.positions == {"s1": [0]}
+    # Boundary sweep: the kept set is always {p : p < orphan_lsn}.
+    for orphan_lsn, kept in ((0, []), (5, [0]), (20, [0, 10]), (25, [0, 10, 20])):
+        state = analyze_scan(
+            _StubMsp(),
+            records[:3] + [(30, EosRecord("s1", orphan_lsn=orphan_lsn))],
+        )
+        assert state.positions["s1"] == kept, f"orphan_lsn={orphan_lsn}"
+
+
+def test_eos_after_session_end_does_not_resurrect():
+    # End first, EOS for the same id later (a late-arriving peer EOS):
+    # the session stays ended, no empty position list reappears.
+    records = [
+        (0, _request("s1", 1)),
+        (10, SessionEndRecord("s1")),
+        (20, EosRecord("s1", orphan_lsn=0)),
+    ]
+    state = analyze_scan(_StubMsp(), records)
+    assert state.ended == {"s1"}
+    assert "s1" not in state.positions
+
+
+def test_session_id_reuse_after_end_starts_clean():
+    # End, then a later checkpoint for the *reused* id (a new client
+    # incarnation picked the same name): the id is no longer ended, its
+    # replay starts at the new checkpoint, and none of the first
+    # incarnation's positions leak into the second.
+    records = [
+        (0, _request("s1", 1)),
+        (10, ReplyRecord("s1", "out", 1, b"r")),
+        (20, SessionEndRecord("s1")),
+        (30, _session_ckpt("s1")),
+        (40, _request("s1", 1)),
+        (50, SvReadRecord("s1", "SV0", b"v", DependencyVector())),
+    ]
+    state = analyze_scan(_StubMsp(), records)
+    assert state.ended == set()
+    assert state.session_ckpts == {"s1": 30}
+    assert state.positions == {"s1": [40, 50]}
+
+
+def test_interleaved_end_and_reuse_across_sessions():
+    # Two sessions ending and one id reused, interleaved — membership
+    # in ended/positions/ckpts must track each id independently.
+    records = [
+        (0, _request("a", 1)),
+        (10, _request("b", 1)),
+        (20, SessionEndRecord("a")),
+        (30, _request("b", 2)),
+        (40, _session_ckpt("a")),  # id "a" reused
+        (50, SessionEndRecord("b")),
+        (60, _request("a", 1)),
+    ]
+    state = analyze_scan(_StubMsp(), records)
+    assert state.ended == {"b"}
+    assert state.positions == {"a": [60]}
+    assert state.session_ckpts == {"a": 40}

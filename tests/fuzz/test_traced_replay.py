@@ -1,0 +1,48 @@
+"""Traced fuzz replays: same verdicts, plus a dumpable timeline."""
+
+import json
+
+from repro.fuzz import CrashSchedule, FuzzParams, run_random_case, run_schedule
+from repro.fuzz.cli import _dump_trace, _trace_paths
+from repro.trace import validate_chrome_trace, validate_jsonl_lines
+
+
+def test_run_schedule_traced_matches_untraced_verdict():
+    schedule = CrashSchedule(target="msp2", kills=(25,), seed=0)
+    params = FuzzParams()
+    plain = run_schedule(schedule, params)
+    traced = run_schedule(schedule, params, trace=True)
+    assert plain.tracer is None
+    assert traced.tracer is not None
+    # Tracing must not perturb the seeded run: identical fingerprint.
+    assert traced.fingerprint() == plain.fingerprint()
+    assert traced.violations == plain.violations == []
+    # The trace carries the crash and its recovery.
+    names = {e.name for e in traced.tracer.events}
+    assert "msp.crash" in names
+    assert "recovery" in names
+    # Component counters were folded in at the end of the run.
+    counters = traced.tracer.metrics.to_dict()["counters"]
+    assert counters["msp.msp2.crashes"] >= 1
+    assert "net.messages_sent" in counters
+
+
+def test_run_random_case_traced_matches_untraced_verdict():
+    plain = run_random_case(12345, FuzzParams())
+    traced = run_random_case(12345, FuzzParams(), trace=True)
+    assert traced.fingerprint() == plain.fingerprint()
+    assert traced.tracer is not None and len(traced.tracer.events) > 0
+
+
+def test_dump_trace_writes_valid_artifacts(tmp_path, capsys):
+    schedule = CrashSchedule(target="msp2", kills=(25,), seed=0)
+    result = run_schedule(schedule, FuzzParams(), trace=True)
+    out = str(tmp_path / "fuzz-artifact.json")
+    _dump_trace(result.tracer, out)
+    chrome_path, jsonl_path = _trace_paths(out)
+    assert chrome_path == str(tmp_path / "fuzz-artifact.trace.json")
+    with open(chrome_path) as fh:
+        assert validate_chrome_trace(json.load(fh)) == []
+    with open(jsonl_path) as fh:
+        assert validate_jsonl_lines(fh.read().splitlines()) == []
+    assert "wrote failure trace" in capsys.readouterr().err

@@ -1,0 +1,119 @@
+"""Property tests for the network's honest counter ledger.
+
+Before the fix the fabric counted a *sent* for copies it silently
+discarded and never counted duplicates at all, so
+``sent != delivered + dropped`` under faults and nothing could audit a
+lost message.  The invariant now holds at every instant:
+``sent + duplicated == delivered + dropped + in_flight``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import FaultModel, Network
+from repro.sim import RngRegistry, Simulator
+
+
+def _chaos_run(seed, loss, dup, reorder, sends, crash_at):
+    """One randomized run; returns the network mid-run and quiesced."""
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(seed))
+    net.node("a")
+    b = net.node("b")
+    b.bind("in")
+    net.set_link(
+        "a", "b",
+        faults=FaultModel(loss_prob=loss, duplicate_prob=dup, reorder_prob=reorder),
+    )
+    for i in range(sends):
+        # A mix of bound, unbound and unknown-node targets.
+        if i % 7 == 3:
+            net.send("a", "b", "nowhere", i, size_bytes=10)
+        elif i % 11 == 5:
+            net.send("a", "ghost", "in", i, size_bytes=10)
+        else:
+            net.send("a", "b", "in", i, size_bytes=10)
+        if i == crash_at:
+            b.unbind_all()  # crash mid-stream: in-flight copies go stale
+            b.bind("in")  # restart re-binds the same port name
+    return net
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    loss=st.floats(min_value=0.0, max_value=0.6),
+    dup=st.floats(min_value=0.0, max_value=0.6),
+    reorder=st.floats(min_value=0.0, max_value=0.5),
+    sends=st.integers(min_value=1, max_value=80),
+)
+def test_ledger_balances_under_faults_and_crashes(seed, loss, dup, reorder, sends):
+    net = _chaos_run(seed, loss, dup, reorder, sends, crash_at=sends // 2)
+    # Mid-run: copies may still be in flight, the ledger must balance.
+    net.check_ledger()
+    assert net.messages_sent == sends
+    net.sim.run()
+    # Quiesced: nothing left in flight, every copy accounted for.
+    net.check_ledger()
+    ledger = net.ledger()
+    assert ledger["messages_in_flight"] == 0
+    assert (
+        ledger["messages_sent"] + ledger["messages_duplicated"]
+        == ledger["messages_delivered"] + ledger["messages_dropped"]
+    )
+    assert ledger["messages_dropped"] == (
+        ledger["dropped_fault"] + ledger["dropped_unbound"] + ledger["dropped_stale"]
+    )
+
+
+def test_duplication_can_deliver_more_than_sent():
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(4))
+    net.node("a")
+    b = net.node("b")
+    inbox = b.bind("in")
+    net.set_link("a", "b", faults=FaultModel(duplicate_prob=1.0))
+    for i in range(20):
+        net.send("a", "b", "in", i, size_bytes=10)
+    sim.run()
+    net.check_ledger()
+    assert net.messages_delivered == len(inbox) == 40
+    assert net.messages_sent == 20
+    assert net.messages_duplicated == 20
+
+
+def test_fault_drop_is_counted_by_reason():
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(0))
+    net.node("a")
+    b = net.node("b")
+    b.bind("in")
+    net.set_link("a", "b", faults=FaultModel(loss_prob=1.0))
+    net.send("a", "b", "in", "x", size_bytes=10)
+    sim.run()
+    net.check_ledger()
+    assert net.ledger()["dropped_fault"] == 1
+    assert net.messages_delivered == 0
+
+
+def test_in_flight_visible_before_delivery():
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(0))
+    net.node("a")
+    b = net.node("b")
+    b.bind("in")
+    net.send("a", "b", "in", "x", size_bytes=10)
+    assert net.messages_in_flight == 1
+    net.check_ledger()
+    sim.run()
+    assert net.messages_in_flight == 0
+    assert net.messages_delivered == 1
+
+
+def test_check_ledger_raises_on_imbalance():
+    import pytest
+
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(0))
+    net.messages_sent = 5  # cooked books
+    with pytest.raises(AssertionError):
+        net.check_ledger()

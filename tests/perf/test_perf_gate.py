@@ -155,3 +155,52 @@ def test_log_space_gate_rejects_too_short_runs():
     report["benchmarks"]["log_space"]["records"] = 600
     problems = perf_gate.gate_log_space(report)
     assert any("too short" in p for p in problems)
+
+
+# -- the tracing cost-contract gate over the trace_overhead cell -------------
+
+
+def _trace_overhead_report(plain=1.0, traced=1.5, events=5000):
+    return {
+        "benchmarks": {
+            "trace_overhead": {
+                "requests": 200,
+                "plain_seconds": plain,
+                "traced_seconds": traced,
+                "overhead_ratio": traced / plain if plain else 0.0,
+                "trace_events": events,
+            }
+        }
+    }
+
+
+def test_trace_overhead_gate_passes_within_ratio():
+    assert perf_gate.gate_trace_overhead(_trace_overhead_report(), 5.0) == []
+
+
+def test_trace_overhead_gate_fails_when_tracing_too_slow():
+    problems = perf_gate.gate_trace_overhead(
+        _trace_overhead_report(plain=1.0, traced=9.0), 5.0
+    )
+    assert any("exceeds 5x" in p for p in problems)
+
+
+def test_trace_overhead_gate_fails_on_dead_instrumentation():
+    problems = perf_gate.gate_trace_overhead(
+        _trace_overhead_report(events=0), 5.0
+    )
+    assert any("no events" in p for p in problems)
+
+
+def test_trace_overhead_gate_fails_on_degenerate_timings():
+    problems = perf_gate.gate_trace_overhead(
+        _trace_overhead_report(plain=0.0), 5.0
+    )
+    assert any("degenerate" in p for p in problems)
+
+
+def test_trace_overhead_gate_requires_the_cell():
+    problems = perf_gate.gate_trace_overhead({"benchmarks": {}}, 5.0)
+    assert problems == [
+        "trace-overhead: report has no trace_overhead benchmark cell"
+    ]

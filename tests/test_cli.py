@@ -138,6 +138,38 @@ def test_fuzz_replay_file_round_trip(capsys, tmp_path):
     assert "replaying recorded schedule" in out
 
 
+def test_trace_command_writes_valid_artifacts(capsys, tmp_path):
+    import json
+
+    from repro.trace import validate_chrome_trace, validate_jsonl_lines
+
+    chrome_path = tmp_path / "trace.json"
+    jsonl_path = tmp_path / "trace.jsonl"
+    code = main(
+        ["trace", "--requests", "30", "--crash-every", "12",
+         "--out", str(chrome_path), "--jsonl", str(jsonl_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "completed requests: 30" in out
+    assert "crashes:            2" in out
+    assert "recovery-time breakdown" in out
+    assert "recovery.scan" in out
+    assert "network ledger" in out
+    assert validate_chrome_trace(json.loads(chrome_path.read_text())) == []
+    assert validate_jsonl_lines(jsonl_path.read_text().splitlines()) == []
+
+
+def test_trace_command_without_crashes(capsys, tmp_path):
+    code = main(
+        ["trace", "--requests", "10", "--crash-every", "0",
+         "--out", str(tmp_path / "t.json")]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "crashes:            0" in out
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["run", "not-an-experiment"])

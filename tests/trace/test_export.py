@@ -1,0 +1,115 @@
+"""Tests for the JSONL and Chrome trace_event exporters and validators."""
+
+import json
+
+from repro.sim import Simulator
+from repro.trace import (
+    JSONL_SCHEMA,
+    Tracer,
+    chrome_trace,
+    jsonl_lines,
+    validate_chrome_trace,
+    validate_jsonl_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sleep(ms):
+    yield ms
+
+
+def traced_run():
+    sim = Simulator()
+    tracer = Tracer(sim).attach()
+    span = tracer.span("flush.distributed", owner="msp1", legs=2)
+    p = sim.spawn(_sleep(4.0))
+    sim.run_until_process(p, limit=10)
+    tracer.instant("msp.crash", owner="msp2", epoch=1)
+    span.end(outcome="ok")
+    return tracer
+
+
+def test_jsonl_round_trip_is_valid():
+    tracer = traced_run()
+    lines = list(jsonl_lines(tracer))
+    assert validate_jsonl_lines(lines) == []
+    header = json.loads(lines[0])
+    assert header["schema"] == JSONL_SCHEMA
+    assert header["clock"] == "sim-ms"
+    assert header["events"] == 2
+    events = [json.loads(line) for line in lines[1:]]
+    assert {e["name"] for e in events} == {"flush.distributed", "msp.crash"}
+
+
+def test_chrome_export_is_loadable():
+    tracer = traced_run()
+    doc = chrome_trace(tracer)
+    assert validate_chrome_trace(doc) == []
+    assert doc["displayTimeUnit"] == "ms"
+    by_ph = {}
+    for event in doc["traceEvents"]:
+        by_ph.setdefault(event["ph"], []).append(event)
+    # One thread_name metadata event per owner lane.
+    assert {m["args"]["name"] for m in by_ph["M"]} == {"msp1", "msp2"}
+    (span,) = by_ph["X"]
+    assert span["ts"] == 0.0
+    assert span["dur"] == 4000.0  # 4 sim-ms in microseconds
+    (instant,) = by_ph["i"]
+    assert instant["s"] == "t"
+    # Distinct owners land in distinct lanes under one process.
+    assert span["pid"] == instant["pid"] == 1
+    assert span["tid"] != instant["tid"]
+
+
+def test_writers_produce_checkable_files(tmp_path):
+    tracer = traced_run()
+    chrome_path = tmp_path / "t.json"
+    jsonl_path = tmp_path / "t.jsonl"
+    write_chrome_trace(tracer, str(chrome_path))
+    write_jsonl(tracer, str(jsonl_path))
+    assert validate_chrome_trace(json.loads(chrome_path.read_text())) == []
+    assert validate_jsonl_lines(jsonl_path.read_text().splitlines()) == []
+
+
+def test_jsonl_validator_rejects_bad_artifacts():
+    assert validate_jsonl_lines([]) == ["empty file"]
+    assert any(
+        "not JSON" in p for p in validate_jsonl_lines(["{nope"])
+    )
+    header = json.dumps({"schema": "other", "clock": "sim-ms", "events": 0})
+    assert any("schema" in p for p in validate_jsonl_lines([header]))
+    good_header = json.dumps(
+        {"schema": JSONL_SCHEMA, "clock": "sim-ms", "events": 1}
+    )
+    problems = validate_jsonl_lines(
+        [good_header, json.dumps({"name": "x", "ph": "Z", "ts": 0})]
+    )
+    assert any("unknown phase" in p for p in problems)
+    problems = validate_jsonl_lines(
+        [good_header, json.dumps({"name": "x", "ph": "X", "ts": -1})]
+    )
+    assert any("bad ts" in p for p in problems)
+    problems = validate_jsonl_lines([good_header, good_header, good_header])
+    assert any("declares 1 events" in p for p in problems)
+
+
+def test_chrome_validator_rejects_bad_documents():
+    assert validate_chrome_trace({}) == ["traceEvents is missing or not a list"]
+    assert any(
+        "empty" in p for p in validate_chrome_trace({"traceEvents": []})
+    )
+    problems = validate_chrome_trace(
+        {"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}]}
+    )
+    assert any("without numeric dur" in p for p in problems)
+    problems = validate_chrome_trace({"traceEvents": [["not", "an", "object"]]})
+    assert any("not an object" in p for p in problems)
+
+
+def test_validator_output_truncates():
+    header = json.dumps({"schema": JSONL_SCHEMA, "clock": "sim-ms", "events": 50})
+    bad = ["{nope"] * 50
+    problems = validate_jsonl_lines([header] + bad)
+    assert problems[-1] == "... (truncated)"
+    assert len(problems) <= 21

@@ -1,0 +1,97 @@
+"""End-to-end tracing over the paper workload.
+
+Two contracts: a traced crash run yields the recovery timeline (every
+numbered step of ``recover_msp`` as spans, with attribution), and
+attaching the tracer does not perturb the seeded simulation — same
+outcomes, same message ledger, same simulated clock.
+"""
+
+from repro.trace import (
+    Tracer,
+    collect_component_metrics,
+    validate_chrome_trace,
+    chrome_trace,
+)
+from repro.workloads import PaperWorkload, WorkloadParams
+
+
+def _params(**overrides):
+    base = dict(
+        configuration="LoOptimistic",
+        requests_per_client=40,
+        num_clients=1,
+        calls_to_sm2=1,
+        seed=0,
+        crash_every_n=15,
+    )
+    base.update(overrides)
+    return WorkloadParams(**base)
+
+
+def _run(traced):
+    workload = PaperWorkload(_params())
+    tracer = Tracer(workload.sim).attach() if traced else None
+    result = workload.run()
+    if tracer is not None:
+        tracer.finalize()
+    return workload, result, tracer
+
+
+def test_crash_run_emits_recovery_timeline():
+    workload, result, tracer = _run(traced=True)
+    assert result.crashes >= 1
+    names = {event.name for event in tracer.events}
+    # The crash itself, then every numbered recovery step (§4.3).
+    assert "msp.crash" in names
+    for step in (
+        "recovery",
+        "recovery.anchor",
+        "recovery.scan",
+        "recovery.analyze",
+        "recovery.checkpoint",
+    ):
+        assert step in names, f"missing span {step}"
+    # Request lifecycle and flush legs with owner attribution.
+    spans = [e for e in tracer.events if e.ph == "X"]
+    assert any(e.name == "msp.request" and e.owner == "msp1" for e in spans)
+    assert any(e.name == "flush.distributed" for e in spans)
+    assert any(e.name == "log.write" for e in spans)
+    # Phase durations landed in the metrics histograms.
+    recovery = tracer.metrics.histograms["span.recovery_ms"]
+    assert recovery.count == result.crashes
+    assert tracer.metrics.histograms["recovery.total_ms"].count == result.crashes
+    # Finalize left nothing open, and the export is loadable.
+    assert tracer.open_spans() == []
+    assert validate_chrome_trace(chrome_trace(tracer)) == []
+
+
+def test_tracing_does_not_change_the_simulation():
+    workload_plain, plain, _ = _run(traced=False)
+    workload_traced, traced, _ = _run(traced=True)
+    assert traced.completed_requests == plain.completed_requests
+    assert traced.crashes == plain.crashes
+    assert traced.mean_response_ms == plain.mean_response_ms
+    assert workload_traced.sim.now == workload_plain.sim.now
+    assert workload_traced.network.ledger() == workload_plain.network.ledger()
+
+
+def test_collect_component_metrics_folds_counters():
+    workload, result, tracer = _run(traced=True)
+    registry = collect_component_metrics(
+        tracer.metrics,
+        msps=(workload.msp1, workload.msp2),
+        network=workload.network,
+    )
+    counters = registry.to_dict()["counters"]
+    assert counters["msp.msp2.crashes"] == result.crashes
+    assert counters["net.messages_sent"] == workload.network.messages_sent
+    assert counters["log.msp1.flush_requests"] > 0
+    assert "flush.stale_acks" in counters
+    ledger = workload.network.ledger()
+    assert (
+        counters["net.messages_sent"] + counters["net.messages_duplicated"]
+        == counters["net.messages_delivered"]
+        + counters["net.messages_dropped"]
+        + counters["net.messages_in_flight"]
+    )
+    assert counters["net.messages_dropped"] == ledger["messages_dropped"]
