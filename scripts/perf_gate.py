@@ -34,6 +34,15 @@ must produce events (the instrumentation is alive) and must not exceed
 ``max-ratio`` times the tracing-off run of the *same cell* (a relative
 bound, so runner speed cancels out).  The tracing-*off* cost itself is
 covered by the fan-out gate's wall-time band on the existing sections.
+
+A fourth mode gates the PR 6 partitioned log:
+``python scripts/perf_gate.py --partition-scaling BENCH.json
+[--p1-baseline BENCH_PR1.json] [--min-speedup 1.8]`` checks the
+``log_partitions`` cell — simulated append throughput at P=4 must be
+at least ``min-speedup`` times P=1 (exact: a property of the seeded
+simulation), and the P=1 cell's wall throughput must stay within
+``band`` of the committed PR 1 ``append_flush`` number (the partition
+plumbing must not tax the classical single-log path).
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import Optional
 
 
 #: Absolute allowance for fixed pool start-up (spawned interpreters
@@ -224,6 +234,107 @@ def _run_trace_overhead_gate(path: str, max_ratio: float) -> int:
     return 0
 
 
+#: Default floor on simulated append-throughput scaling at 4 partitions.
+PARTITION_MIN_SPEEDUP = 1.8
+
+
+def gate_partition_scaling(
+    report: dict,
+    baseline: Optional[dict],
+    band: float,
+    min_speedup: float,
+) -> list[str]:
+    """Gate the ``log_partitions`` cell of a fresh bench report.
+
+    Two claims: the partitioned log must *scale* — simulated append
+    throughput at P=4 at least ``min_speedup`` times P=1 (a property of
+    the seeded simulation, gated exactly) — and it must not *tax* the
+    classical path: the P=1 cell's wall-clock records/s must stay
+    within ``band`` of the committed PR 1 ``append_flush`` number
+    (runners are slower than dev boxes; beyond the band the partition
+    plumbing slowed the single-log hot path).
+    """
+    cell = report.get("benchmarks", {}).get("log_partitions")
+    if cell is None:
+        return ["partition-scaling: report has no log_partitions benchmark cell"]
+    problems: list[str] = []
+    cells = cell.get("cells", {})
+    missing = sorted({"1", "2", "4", "8"} - set(cells))
+    if missing:
+        problems.append(
+            f"partition-scaling: cells missing for P in {{{', '.join(missing)}}}"
+        )
+        return problems
+    speedup = cell.get("speedup_p4_sim", 0.0)
+    if speedup < min_speedup:
+        problems.append(
+            f"partition-scaling: simulated P=4 speedup {speedup:.2f}x is "
+            f"below the {min_speedup:g}x floor (P=1 "
+            f"{cell.get('p1_sim_records_per_s', 0.0):,.0f} rec/s vs P=4 "
+            f"{cell.get('p4_sim_records_per_s', 0.0):,.0f} rec/s)"
+        )
+    for P, run in sorted(cells.items(), key=lambda kv: int(kv[0])):
+        appends = run.get("partition_appends", {})
+        if len(appends) != int(P):
+            problems.append(
+                f"partition-scaling: P={P} cell touched {len(appends)} "
+                f"partitions — the session streams did not spread"
+            )
+    if baseline is not None:
+        # Byte throughput, not record throughput: the scaling cell
+        # appends 1 KB values where append_flush appends 64 B ones, so
+        # MB/s is the unit in which the two runs are comparable.
+        base = baseline.get("benchmarks", {}).get("append_flush", {})
+        base_mbps = base.get("mb_per_s", 0.0)
+        p1_mbps = cells["1"].get("mb_per_s", 0.0)
+        if base_mbps > 0.0 and p1_mbps * band < base_mbps:
+            problems.append(
+                f"partition-scaling: P=1 wall throughput {p1_mbps:,.1f} MB/s "
+                f"fell below 1/{band:g} of the committed append_flush "
+                f"baseline {base_mbps:,.1f} MB/s — the partition plumbing "
+                "slowed the classical single-log path"
+            )
+    return problems
+
+
+def _run_partition_scaling_gate(
+    path: str, baseline_path: Optional[str], band: float, min_speedup: float
+) -> int:
+    with open(path) as fh:
+        report = json.load(fh)
+    baseline = None
+    if baseline_path is not None:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    problems = gate_partition_scaling(report, baseline, band, min_speedup)
+    cell = report.get("benchmarks", {}).get("log_partitions", {})
+    if cell:
+        print(
+            f"partition-scaling gate: {cell.get('records')} records per cell, "
+            f"floor {min_speedup:g}x, band {band:g}x"
+        )
+        for P, run in sorted(
+            cell.get("cells", {}).items(), key=lambda kv: int(kv[0])
+        ):
+            print(
+                f"  P={P}: sim {run.get('sim_records_per_s', 0.0):10,.0f} rec/s  "
+                f"wall {run.get('mb_per_s', 0.0):6.1f} MB/s  "
+                f"flush wait mean {run.get('flush_wait_mean_ms', 0.0):6.2f} ms  "
+                f"p99 {run.get('flush_wait_p99_ms', 0.0):6.2f} ms"
+            )
+        print(
+            f"  speedup (sim): p2 {cell.get('speedup_p2_sim', 0.0):.2f}x  "
+            f"p4 {cell.get('speedup_p4_sim', 0.0):.2f}x  "
+            f"p8 {cell.get('speedup_p8_sim', 0.0):.2f}x"
+        )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("partition-scaling gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -249,11 +360,31 @@ def main(argv=None) -> int:
         help="--trace-overhead: max traced/plain wall-time ratio "
         "(default 5.0)",
     )
+    parser.add_argument(
+        "--partition-scaling", metavar="PATH", default=None,
+        help="gate the log_partitions cell of a bench report instead of "
+        "comparing fan-out reports",
+    )
+    parser.add_argument(
+        "--p1-baseline", metavar="PATH", default=None,
+        help="--partition-scaling: committed bench report whose "
+        "append_flush cell bands the P=1 wall throughput "
+        "(e.g. BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=PARTITION_MIN_SPEEDUP,
+        help="--partition-scaling: floor on the simulated P=4/P=1 "
+        f"append-throughput ratio (default {PARTITION_MIN_SPEEDUP:g})",
+    )
     args = parser.parse_args(argv)
     if args.log_space is not None:
         return _run_log_space_gate(args.log_space)
     if args.trace_overhead is not None:
         return _run_trace_overhead_gate(args.trace_overhead, args.max_ratio)
+    if args.partition_scaling is not None:
+        return _run_partition_scaling_gate(
+            args.partition_scaling, args.p1_baseline, args.band, args.min_speedup
+        )
     if args.fresh is None or args.baseline is None:
         parser.error("fresh and baseline reports are required without --log-space")
     with open(args.fresh) as fh:

@@ -116,6 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="log segment size in bytes (default 64 KiB); truncation "
         "recycles whole segments below the checkpoint floor",
     )
+    workload.add_argument(
+        "--partitions", type=int, default=1,
+        help="log partitions (default 1 = classical single log); sessions "
+        "hash to partitions, each with its own group-commit flusher",
+    )
     workload.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser("bench", help="run the log-pipeline perf benchmarks")
@@ -261,6 +266,7 @@ def _run_workload(args: argparse.Namespace) -> int:
         atomic_sv_updates=args.atomic_sv,
         log_truncation=not args.no_truncation,
         log_segment_bytes=args.segment_bytes,
+        log_partitions=args.partitions,
         seed=args.seed,
     )
     workload = PaperWorkload(params)
@@ -275,10 +281,10 @@ def _run_workload(args: argparse.Namespace) -> int:
     print(f"replayed requests:  {result.replayed_requests}")
     print(f"MSP1 cpu/disk util: {result.msp1_cpu_utilization:.2f} / "
           f"{result.msp1_disk_utilization:.2f}")
-    store = workload.msp1.store
-    print(f"MSP1 log space:     {store.live_bytes} live bytes, "
-          f"{store.truncated_bytes} truncated "
-          f"({store.recycled_segments} segments recycled)")
+    stores = workload.msp1.stores
+    print(f"MSP1 log space:     {sum(s.live_bytes for s in stores)} live bytes, "
+          f"{sum(s.truncated_bytes for s in stores)} truncated "
+          f"({sum(s.recycled_segments for s in stores)} segments recycled)")
     if args.configuration in ("LoOptimistic", "Pessimistic"):
         workload.verify_exactly_once()
         print("exactly-once:       verified")

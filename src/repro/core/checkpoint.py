@@ -98,7 +98,16 @@ def sv_checkpoint(msp: "MiddlewareServer", sv: SharedVariable):
             yield from sv.roll_back(msp.log, msp.table)
             return
         msp.sim.probe("ckpt.sv.flushed", owner=msp.name)
-        record = SvCheckpointRecord(variable=sv.name, value=sv.value, version=sv.write_seq)
+        # Partitioned logs record which write this checkpoint seals: the
+        # ckpt lands on the control partition while the writes live in
+        # session partitions, so the recovery merge needs this edge to
+        # order them.  The single-partition log's scan order already
+        # does, and omitting the field keeps its bytes identical.
+        prev_write = sv.last_write_lsn if msp.log.nparts > 1 else None
+        record = SvCheckpointRecord(
+            variable=sv.name, value=sv.value, version=sv.write_seq,
+            prev_write_lsn=prev_write,
+        )
         yield from msp.cpu(msp.config.costs.log_append_ms)
         lsn, _size = msp.log.append(record)
         sv.apply_checkpoint(lsn)
@@ -148,6 +157,7 @@ def perform_msp_checkpoint(msp: "MiddlewareServer"):
             yield from sv_checkpoint(msp, sv)
 
     msp.sim.probe("ckpt.msp.forced", owner=msp.name)
+    partitioned = msp.log.nparts > 1
     record = MspCheckpointRecord(
         recovered_snapshot=msp.table.snapshot(),
         session_start_lsns={
@@ -158,9 +168,14 @@ def perform_msp_checkpoint(msp: "MiddlewareServer"):
         sv_start_lsns={
             name: start
             for name, v in msp.shared.items()
-            if (start := v.scan_start_lsn()) is not None
+            if (start := v.scan_start_frontier(msp.log.nparts)) is not None
         },
         epoch=msp.epoch,
+        # Captured in the same no-yield step as the start lsns: every
+        # partition's end bounds (from above) all start lsns that hash
+        # to it, so a partition nothing names still gets a valid scan
+        # start and truncation floor.
+        partition_ends=msp.log.partition_ends() if partitioned else (),
     )
     yield from msp.cpu(msp.config.costs.log_append_ms)
     lsn, _size = msp.log.append(record)
@@ -171,7 +186,13 @@ def perform_msp_checkpoint(msp: "MiddlewareServer"):
     msp.sim.probe("ckpt.msp.logged", owner=msp.name)
     # The anchor must point at a durable checkpoint.
     yield from msp.cpu(msp.config.costs.flush_issue_ms)
-    yield from msp.log.flush(lsn)
+    if partitioned:
+        # Every partition must be durable through its captured end
+        # before the anchor moves: analysis scans start at the captured
+        # floors, so bytes below them can never be re-read.
+        yield from msp.log.flush(None)
+    else:
+        yield from msp.log.flush(lsn)
     msp.sim.probe("ckpt.msp.flushed", owner=msp.name)
     yield from msp.log.write_anchor(lsn)
     msp.stats.msp_checkpoints += 1
@@ -185,4 +206,7 @@ def perform_msp_checkpoint(msp: "MiddlewareServer"):
         # anchor-durable and segment-recycle must recover exactly like
         # one after the recycle (the floor is rebuilt by the next
         # checkpoint, not recovered).
-        yield from msp.log.truncate_to(record.min_lsn(lsn))
+        if partitioned:
+            yield from msp.log.truncate_to(record.partition_floors(lsn))
+        else:
+            yield from msp.log.truncate_to(record.min_lsn(lsn))

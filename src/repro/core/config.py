@@ -119,6 +119,17 @@ class RecoveryConfig:
     #: segments reclaim space at a finer grain; larger ones make frame
     #: straddling (the only non-zero-copy reads) rarer.
     log_segment_bytes: int = 64 * 1024
+    #: Number of log partitions (DESIGN.md §14).  1 keeps the historical
+    #: single log, bit-identical bytes included; N>1 hashes each
+    #: session's stream to one of N stores with independent group-commit
+    #: flushers, control records on partition 0, and recovery merging
+    #: the per-partition durable prefixes in dependency order.
+    log_partitions: int = 1
+    #: Verify, while merging partitioned recovery scans, that every
+    #: record's intra-MSP dependencies were applied before it (the
+    #: DV-merge correctness assertion).  Costs a dependency re-check per
+    #: scanned record during recovery; no effect at log_partitions=1.
+    recovery_merge_assert: bool = True
 
     # -- server sizing -----------------------------------------------------
     thread_pool_size: int = 16

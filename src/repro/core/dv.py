@@ -19,20 +19,37 @@ dropped (LSN covered, hence durable and never orphanable).  This matches
 the incarnation-number treatment in the classical optimistic-recovery
 protocols the paper cites (Strom & Yemini; Damani & Garg).
 
+With the partitioned log (DESIGN.md §14) LSNs are plsns — packed
+``(partition, offset)`` pairs — and per-partition offsets are not
+comparable across partitions.  Entries are therefore kept per
+``(epoch, partition)``: maximization, covering and resolution all
+happen within one partition's offset order.  At ``partitions=1`` every
+plsn has partition 0 and the structure (and its wire encoding)
+degenerates to exactly the per-epoch form above.
+
 Orphan detection works against a :class:`RecoveryTable`: when an MSP
 finishes crash recovery it announces ``(msp, epoch, recovered_lsn)`` —
-any dependency on that epoch with an LSN beyond ``recovered_lsn`` refers
-to log records that were lost in the crash, so the depending state is an
-orphan.
+a per-partition durable frontier packed by
+:func:`repro.core.plsn.encode_frontier` (a raw scalar at one
+partition).  Any dependency on that epoch with an LSN beyond its
+partition's frontier refers to log records that were lost in the
+crash, so the depending state is an orphan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Optional
+from typing import Iterator, Mapping, Optional, Sequence, Union
 
+from repro.core.plsn import OFFSET_BITS, OFFSET_MASK, decode_frontier, encode_frontier
 from repro.wire import Decoder, Encoder
 from repro.wire.codec import Buffer, encode_uvarint, read_text_interned, read_uvarint
+
+#: Bits of the internal DV entry key reserved for the partition index:
+#: ``key = (epoch << PKEY_BITS) | partition``.  Sorting keys sorts by
+#: (epoch, partition); at partitions=1 the key is just ``epoch << 10``.
+PKEY_BITS = 10
+MAX_PARTITIONS = 1 << PKEY_BITS
 
 
 @dataclass(frozen=True, order=True)
@@ -50,21 +67,34 @@ class StateId:
         return StateId(epoch=dec.uint(), lsn=dec.uint())
 
 
+def _entry_key(epoch: int, lsn: int) -> int:
+    return (epoch << PKEY_BITS) | (lsn >> OFFSET_BITS)
+
+
 class DependencyVector:
-    """``msp name -> {epoch -> max LSN}`` with lattice merge.
+    """``msp name -> {(epoch, partition) -> max LSN}`` with lattice merge.
 
     DVs mutate in place; ``copy()`` gives the snapshot the paper needs
     where a shared-variable write *replaces* the variable's DV with the
-    writer session's DV.
+    writer session's DV.  The inner dict is keyed by
+    ``(epoch << PKEY_BITS) | partition`` so the single-partition case
+    keeps one flat int key per epoch.
     """
 
     __slots__ = ("_entries",)
 
     def __init__(self, entries: Optional[Mapping[str, Mapping[int, int]]] = None):
+        # External constructor input is epoch-keyed (the historical
+        # shape); the partition half of the key comes from the lsn.
         self._entries: dict[str, dict[int, int]] = {}
         if entries:
             for msp, epochs in entries.items():
-                self._entries[msp] = dict(epochs)
+                inner = self._entries[msp] = {}
+                for epoch, lsn in epochs.items():
+                    key = _entry_key(epoch, lsn)
+                    current = inner.get(key)
+                    if current is None or lsn > current:
+                        inner[key] = lsn
 
     # -- access ----------------------------------------------------------
 
@@ -72,21 +102,22 @@ class DependencyVector:
         return bool(self._entries)
 
     def entry_count(self) -> int:
-        return sum(len(epochs) for epochs in self._entries.values())
+        return sum(len(keys) for keys in self._entries.values())
 
     def __iter__(self) -> Iterator[tuple[str, StateId]]:
         """Iterate all (msp, StateId) entries in deterministic order."""
         for msp in sorted(self._entries):
-            for epoch in sorted(self._entries[msp]):
-                yield msp, StateId(epoch, self._entries[msp][epoch])
+            keys = self._entries[msp]
+            for key in sorted(keys):
+                yield msp, StateId(key >> PKEY_BITS, keys[key])
 
     def get(self, msp: str) -> Optional[StateId]:
         """The most recent (highest-epoch) dependency on ``msp``."""
-        epochs = self._entries.get(msp)
-        if not epochs:
+        keys = self._entries.get(msp)
+        if not keys:
             return None
-        epoch = max(epochs)
-        return StateId(epoch, epochs[epoch])
+        key = max(keys)
+        return StateId(key >> PKEY_BITS, keys[key])
 
     def msps(self) -> list[str]:
         return sorted(self._entries)
@@ -101,25 +132,32 @@ class DependencyVector:
         return f"DV[{inner}]"
 
     def copy(self) -> "DependencyVector":
-        return DependencyVector(self._entries)
+        dv = DependencyVector()
+        dv._entries = {msp: dict(keys) for msp, keys in self._entries.items()}
+        return dv
 
     # -- updates -----------------------------------------------------------
 
     def observe(self, msp: str, state: StateId) -> None:
-        """Record a direct dependency (per-epoch item-wise maximization)."""
-        epochs = self._entries.setdefault(msp, {})
-        current = epochs.get(state.epoch)
+        """Record a direct dependency (per-epoch, per-partition max)."""
+        keys = self._entries.setdefault(msp, {})
+        key = _entry_key(state.epoch, state.lsn)
+        current = keys.get(key)
         if current is None or state.lsn > current:
-            epochs[state.epoch] = state.lsn
+            keys[key] = state.lsn
 
     def merge(self, other: "DependencyVector") -> None:
         """Item-wise maximization with ``other`` (paper Fig. 5)."""
-        for msp, state in other:
-            self.observe(msp, state)
+        for msp, keys in other._entries.items():
+            mine = self._entries.setdefault(msp, {})
+            for key, lsn in keys.items():
+                current = mine.get(key)
+                if current is None or lsn > current:
+                    mine[key] = lsn
 
     def replace_with(self, other: "DependencyVector") -> None:
         """Become a copy of ``other`` (shared-variable write semantics)."""
-        self._entries = {msp: dict(epochs) for msp, epochs in other._entries.items()}
+        self._entries = {msp: dict(keys) for msp, keys in other._entries.items()}
 
     def clear(self) -> None:
         self._entries.clear()
@@ -132,27 +170,31 @@ class DependencyVector:
         survived its crash.  A durable dependency can never become an
         orphan, so carrying it is pure overhead — this is why the paper
         can drop the DV from cross-domain messages after the flush.
-        Entries for *later* epochs, or for LSNs beyond ``state.lsn``
-        within the same epoch, are kept.
+        Entries for *later* epochs, for other partitions, or for LSNs
+        beyond ``state.lsn`` within the same epoch and partition, are
+        kept.
         """
-        epochs = self._entries.get(msp)
-        if not epochs:
+        keys = self._entries.get(msp)
+        if not keys:
             return
-        for epoch in list(epochs):
-            if epoch < state.epoch or (epoch == state.epoch and epochs[epoch] <= state.lsn):
-                del epochs[epoch]
-        if not epochs:
+        state_key = _entry_key(state.epoch, state.lsn)
+        state_epoch = state.epoch
+        for key in list(keys):
+            if (key >> PKEY_BITS) < state_epoch or (
+                key == state_key and keys[key] <= state.lsn
+            ):
+                del keys[key]
+        if not keys:
             del self._entries[msp]
 
     def prune_resolved(self, table: "RecoveryTable") -> None:
         """Drop entries that recovery knowledge proves can never orphan."""
         for msp in list(self._entries):
-            epochs = self._entries[msp]
-            for epoch in list(epochs):
-                recovered = table.recovered_lsn(msp, epoch)
-                if recovered is not None and epochs[epoch] < recovered:
-                    del epochs[epoch]
-            if not epochs:
+            keys = self._entries[msp]
+            for key in list(keys):
+                if table.covers(msp, key >> PKEY_BITS, keys[key]):
+                    del keys[key]
+            if not keys:
                 del self._entries[msp]
 
     # -- serialization -------------------------------------------------------
@@ -161,15 +203,18 @@ class DependencyVector:
         enc.uint(len(self._entries))
         for msp in sorted(self._entries):
             enc.text(msp)
-            epochs = self._entries[msp]
-            enc.uint(len(epochs))
-            for epoch in sorted(epochs):
-                enc.uint(epoch).uint(epochs[epoch])
+            keys = self._entries[msp]
+            enc.uint(len(keys))
+            for key in sorted(keys):
+                enc.uint(key >> PKEY_BITS).uint(keys[key])
 
     def encode_bytes(self) -> bytes:
         """Byte-identical to :meth:`encode_into`, without Encoder chaining.
 
         Used by the compiled record codecs on the logging hot path.
+        The partition index is never written — it is recoverable from
+        the lsn — so the wire format is unchanged from the flat
+        per-epoch encoding.
         """
         entries = self._entries
         parts = [encode_uvarint(len(entries))]
@@ -177,11 +222,11 @@ class DependencyVector:
             name = msp.encode("utf-8")
             parts.append(encode_uvarint(len(name)))
             parts.append(name)
-            epochs = entries[msp]
-            parts.append(encode_uvarint(len(epochs)))
-            for epoch in sorted(epochs):
-                parts.append(encode_uvarint(epoch))
-                parts.append(encode_uvarint(epochs[epoch]))
+            keys = entries[msp]
+            parts.append(encode_uvarint(len(keys)))
+            for key in sorted(keys):
+                parts.append(encode_uvarint(key >> PKEY_BITS))
+                parts.append(encode_uvarint(keys[key]))
         return b"".join(parts)
 
     @staticmethod
@@ -215,7 +260,7 @@ class DependencyVector:
             pos += 1
             if nepochs > 0x7F:
                 nepochs, pos = read_uvarint(buf, pos - 1)
-            epochs = entries.setdefault(msp, {})
+            keys = entries.setdefault(msp, {})
             for _ in range(nepochs):
                 epoch = buf[pos]
                 pos += 1
@@ -225,9 +270,10 @@ class DependencyVector:
                 pos += 1
                 if lsn > 0x7F:
                     lsn, pos = read_uvarint(buf, pos - 1)
-                current = epochs.get(epoch)
+                key = (epoch << PKEY_BITS) | (lsn >> OFFSET_BITS)
+                current = keys.get(key)
                 if current is None or lsn > current:
-                    epochs[epoch] = lsn
+                    keys[key] = lsn
         return dv, pos
 
     def wire_size(self) -> int:
@@ -235,55 +281,105 @@ class DependencyVector:
         return 4 + 20 * self.entry_count()
 
 
+#: A recovered-state frontier as stored locally: per-partition end
+#: offsets.  On the wire it travels as one packed int.
+Frontier = tuple[int, ...]
+
+
 class RecoveryTable:
     """Knowledge of recovered state numbers (paper §3.1, §4.3).
 
-    Maps ``msp -> {epoch -> recovered_end}``: after MSP ``p`` crashes in
-    epoch ``e`` and recovers, ``recovered_end`` is the offset just past
-    the last durable byte (the largest persistent LSN boundary).  Every
-    log record of epoch ``e`` that *starts* at or beyond it — i.e.
-    ``lsn >= recovered_end`` — is lost forever; dependencies on such
-    records are orphans.
+    Maps ``msp -> {epoch -> frontier}``: after MSP ``p`` crashes in
+    epoch ``e`` and recovers, the frontier holds, per log partition,
+    the offset just past the last byte the recovery kept (the largest
+    persistent LSN boundary, lowered to the consistent cut at
+    partitions>1).  Every log record of epoch ``e`` that *starts* at or
+    beyond its partition's frontier is lost forever; dependencies on
+    such records are orphans.  Frontiers cross the wire as packed ints
+    (:func:`repro.core.plsn.encode_frontier`) — a raw scalar offset in
+    the single-partition case, keeping old announcement and checkpoint
+    bytes valid.
     """
 
     def __init__(self) -> None:
-        self._recovered: dict[str, dict[int, int]] = {}
+        self._recovered: dict[str, dict[int, Frontier]] = {}
 
-    def record(self, msp: str, epoch: int, recovered_lsn: int) -> bool:
+    def record(
+        self, msp: str, epoch: int, recovered_lsn: Union[int, Sequence[int]]
+    ) -> bool:
         """Learn that ``msp`` recovered epoch ``epoch`` up to ``recovered_lsn``.
 
-        Returns True if this was new knowledge.
+        Accepts either the packed wire int or a per-partition frontier
+        sequence.  Returns True if this was new knowledge.
         """
+        if isinstance(recovered_lsn, int):
+            frontier = decode_frontier(recovered_lsn)
+        else:
+            frontier = tuple(recovered_lsn)
         epochs = self._recovered.setdefault(msp, {})
-        if epoch in epochs:
-            epochs[epoch] = max(epochs[epoch], recovered_lsn)
+        current = epochs.get(epoch)
+        if current is not None:
+            if len(current) != len(frontier):
+                width = max(len(current), len(frontier))
+                current = current + (0,) * (width - len(current))
+                frontier = frontier + (0,) * (width - len(frontier))
+            epochs[epoch] = tuple(
+                max(a, b) for a, b in zip(current, frontier)
+            )
             return False
-        epochs[epoch] = recovered_lsn
+        epochs[epoch] = frontier
         return True
 
     def merge(self, other: "RecoveryTable") -> bool:
         """Merge ``other``'s knowledge; True if anything was new."""
         fresh = False
         for msp, epochs in other._recovered.items():
-            for epoch, lsn in epochs.items():
-                if self.record(msp, epoch, lsn):
+            for epoch, frontier in epochs.items():
+                if self.record(msp, epoch, frontier):
                     fresh = True
         return fresh
 
     def recovered_lsn(self, msp: str, epoch: int) -> Optional[int]:
+        """The packed wire form of the recovered frontier, if known."""
+        epochs = self._recovered.get(msp)
+        if not epochs:
+            return None
+        frontier = epochs.get(epoch)
+        if frontier is None:
+            return None
+        return encode_frontier(frontier)
+
+    def frontier(self, msp: str, epoch: int) -> Optional[Frontier]:
+        """The per-partition recovered frontier, if known."""
         epochs = self._recovered.get(msp)
         if not epochs:
             return None
         return epochs.get(epoch)
 
+    def covers(self, msp: str, epoch: int, lsn: int) -> Optional[bool]:
+        """Did the record at ``lsn`` survive ``msp``'s epoch-``epoch`` crash?
+
+        None when the epoch's recovery outcome is not yet known; True
+        when the record is below the recovered frontier (durable, never
+        orphanable); False when it is beyond it (lost).
+        """
+        frontier = self.frontier(msp, epoch)
+        if frontier is None:
+            return None
+        partition = lsn >> OFFSET_BITS
+        return (
+            partition < len(frontier)
+            and (lsn & OFFSET_MASK) < frontier[partition]
+        )
+
     def is_orphan_state(self, msp: str, state: StateId) -> bool:
         """Is a dependency on ``(msp, state)`` known to be lost?
 
-        ``recovered`` is an end offset; the record starting at
-        ``state.lsn`` survived iff ``state.lsn < recovered``.
+        The frontier is an end offset per partition; the record
+        starting at ``state.lsn`` survived iff its offset is below its
+        partition's frontier.
         """
-        recovered = self.recovered_lsn(msp, state.epoch)
-        return recovered is not None and state.lsn >= recovered
+        return self.covers(msp, state.epoch, state.lsn) is False
 
     def is_orphan(self, dv: DependencyVector) -> bool:
         """Does any entry of ``dv`` depend on lost state?"""
@@ -297,8 +393,11 @@ class RecoveryTable:
         return None
 
     def snapshot(self) -> dict[str, dict[int, int]]:
-        """A deep copy, for inclusion in MSP checkpoints."""
-        return {msp: dict(epochs) for msp, epochs in self._recovered.items()}
+        """A deep copy in wire form, for inclusion in MSP checkpoints."""
+        return {
+            msp: {epoch: encode_frontier(fr) for epoch, fr in epochs.items()}
+            for msp, epochs in self._recovered.items()
+        }
 
     @staticmethod
     def from_snapshot(snapshot: Mapping[str, Mapping[int, int]]) -> "RecoveryTable":
@@ -315,7 +414,7 @@ class RecoveryTable:
             epochs = self._recovered[msp]
             enc.uint(len(epochs))
             for epoch in sorted(epochs):
-                enc.uint(epoch).uint(epochs[epoch])
+                enc.uint(epoch).uint(encode_frontier(epochs[epoch]))
 
     @staticmethod
     def decode_from(dec: Decoder) -> "RecoveryTable":

@@ -16,6 +16,7 @@ __all__ = [
     "SessionProtocolError",
     "FlushFailed",
     "LogTruncatedError",
+    "RecoveryMergeError",
 ]
 
 
@@ -51,3 +52,13 @@ class SessionProtocolError(RecoveryError):
 class FlushFailed(RecoveryError):
     """A distributed log flush could not cover a dependency — the
     requesting state is an orphan."""
+
+
+class RecoveryMergeError(RecoveryError):
+    """The DV-ordered merge of per-partition recovery scans could not
+    order a record after all of its intra-MSP dependencies.
+
+    Raised by the partitioned analysis pass (DESIGN.md §14) when either
+    no scanned record has all dependencies applied (a cycle — impossible
+    for logs written by correct code) or the post-merge assertion finds
+    a record ordered before one of its dependencies."""

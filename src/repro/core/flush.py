@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 from repro.core.dv import DependencyVector, StateId
 from repro.core.errors import FlushFailed
 from repro.core.messages import FlushReply, FlushRequest
+from repro.core.plsn import plsn_offset, plsn_partition
 from repro.sim import SimTimeoutError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -103,18 +104,21 @@ def _local_leg(msp: "MiddlewareServer", state: StateId):
 def _local_leg_body(msp: "MiddlewareServer", state: StateId):
     if state.epoch == msp.epoch:
         yield from msp.cpu(msp.config.costs.flush_issue_ms)
-        # Flush the whole buffer, not only up to the DV entry (classical
-        # pessimistic logging "flushes the buffer").  Covering the tail
-        # matters: a shared-variable *write* record does not advance the
-        # session's state number (Fig. 8), so a flush cut exactly at the
-        # DV could leave the request's last write volatile — the reply
-        # would survive a crash while the write it derived from did not.
-        yield from msp.log.flush(None)
+        # Flush the whole buffer of the partition the DV entry names,
+        # not only up to the entry (classical pessimistic logging
+        # "flushes the buffer").  Covering the tail matters: a
+        # shared-variable *write* record does not advance the session's
+        # state number (Fig. 8), so a flush cut exactly at the DV could
+        # leave the request's last write volatile — the reply would
+        # survive a crash while the write it derived from did not.
+        # Other partitions stay untouched: per-partition DV entries
+        # spawn one leg per partition, so a distributed flush awaits
+        # only the partitions its DV actually names.
+        yield from msp.log.flush_partition(plsn_partition(state.lsn))
         return
     # A dependency on our own previous epoch: it survived iff our own
-    # recovery covered it (recovered is an end offset).
-    recovered = msp.table.recovered_lsn(msp.name, state.epoch)
-    if recovered is None or state.lsn >= recovered:
+    # recovery covered it (the frontier is an end offset per partition).
+    if not msp.table.covers(msp.name, state.epoch, state.lsn):
         raise FlushFailed(f"local state {state} lost")
 
 
@@ -174,8 +178,7 @@ def _remote_leg(msp: "MiddlewareServer", target: str, state: StateId):
                 # resolved our dependency, we can decide locally.
                 if msp.table.is_orphan_state(target, state):
                     raise FlushFailed(f"remote state {target} {state} lost") from None
-                recovered = msp.table.recovered_lsn(target, state.epoch)
-                if recovered is not None and state.lsn < recovered:
+                if msp.table.covers(target, state.epoch, state.lsn):
                     if span is not None:
                         span.end(outcome="resolved-by-announcement")
                     return  # durable: it survived the crash
@@ -232,15 +235,16 @@ def _serve_flush(msp: "MiddlewareServer", request: FlushRequest):
 def _serve_flush_body(msp: "MiddlewareServer", request: FlushRequest):
     yield from msp.cpu(msp.config.costs.message_stack_ms)
     if request.epoch == msp.epoch:
-        ok = request.lsn < msp.log.end_lsn
+        partition = plsn_partition(request.lsn)
+        ok = plsn_offset(request.lsn) < msp.log.partition_end(partition)
         if ok:
             yield from msp.cpu(msp.config.costs.flush_issue_ms)
-            # Flush the whole buffer (see _local_leg): a strict superset
-            # of the requested range at essentially the same disk cost.
-            yield from msp.log.flush(None)
+            # Flush the whole buffer of the named partition (see
+            # _local_leg): a strict superset of the requested range at
+            # essentially the same disk cost.
+            yield from msp.log.flush_partition(partition)
     elif request.epoch < msp.epoch:
-        recovered = msp.table.recovered_lsn(msp.name, request.epoch)
-        ok = recovered is not None and request.lsn < recovered
+        ok = bool(msp.table.covers(msp.name, request.epoch, request.lsn))
     else:
         ok = False
     yield from msp.cpu(msp.config.costs.message_stack_ms)

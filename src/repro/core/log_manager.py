@@ -1,18 +1,28 @@
-"""The MSP's single shared physical log (paper §1.3, §3.1, §5.5).
+"""The MSP's shared physical log (paper §1.3, §3.1, §5.5; DESIGN.md §14).
 
-All sessions of an MSP write to one physical log, which lowers amortized
+All sessions of an MSP write to one logical log, which lowers amortized
 flush overhead but requires position streams for per-session extraction
 (see :mod:`repro.core.position_stream`).  The log manager owns:
 
-- appending framed, byte-encoded records (LSN = logical byte offset of
-  the record's frame);
-- the flush pipeline — a single flusher daemon serializes disk writes;
-  with *batch flushing* enabled (paper §5.5), a flush request waits a
-  timeout window so several requests are served with a single write;
-- the log anchor (paper §3.4), a dedicated block holding the LSN of the
-  most recent MSP checkpoint;
+- appending framed, byte-encoded records (LSN = a plsn: the partition
+  index packed above the logical byte offset of the record's frame —
+  see :mod:`repro.core.plsn`);
+- the flush pipeline — one flusher daemon per partition serializes that
+  partition's disk writes; with *batch flushing* enabled (paper §5.5),
+  a flush request waits a timeout window so several requests are served
+  with a single write;
+- the log anchor (paper §3.4), a dedicated block on the control
+  partition holding the LSN of the most recent MSP checkpoint;
 - timed reads for recovery (64 KB chunks, paper §5.4) and for normal-
   execution rollbacks.
+
+With ``partitions > 1`` the log is split across N segmented stores,
+each with its own disk and group-commit flusher: session streams hash
+to a partition by session id, control records (checkpoints, recovery
+announcements) go to partition 0, and appends on different partitions
+never serialize against each other.  At ``partitions=1`` every plsn is
+a raw offset and the behaviour (bytes, probes, counters) is identical
+to the historical single-log manager.
 
 Sector accounting follows §5.2: each flush writes whole sectors and the
 next flush starts at a fresh sector boundary, wasting on average half a
@@ -22,16 +32,30 @@ sector per flush — fewer flushes therefore also waste less log space.
 from __future__ import annotations
 
 import math
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence, Union
 
+from repro.core.plsn import make_plsn, plsn_offset, plsn_partition
 from repro.core.records import KIND_FILLER, FillerRecord, LogRecord, decode_record
 from repro.sim import ProcessGroup, Simulator, Store
 from repro.storage import Disk, LogTruncatedError, StableStore
 from repro.storage.disk import SECTOR_BYTES
 from repro.wire import frame, unframe
 from repro.wire.framing import _HEADER
+
+#: The per-partition counter names tracked in ``LogStats.partitions``.
+PARTITION_STAT_FIELDS = (
+    "appends",
+    "appended_bytes",
+    "flush_requests",
+    "physical_flushes",
+    "flushed_bytes",
+    "truncations",
+    "truncated_bytes",
+    "live_bytes",
+)
 
 
 @dataclass
@@ -56,14 +80,46 @@ class LogStats:
     #: the quantity the ``log_space`` benchmark shows stays
     #: O(checkpoint interval) instead of O(run length).
     live_bytes: int = 0
+    #: Per-partition counter breakdown, ``partition -> {field -> n}``.
+    partitions: dict = field(default_factory=dict)
 
     def snapshot(self) -> "LogStats":
-        return LogStats(**vars(self))
+        data = dict(vars(self))
+        data["partitions"] = {
+            index: dict(counters) for index, counters in self.partitions.items()
+        }
+        return LogStats(**data)
+
+    def partition(self, index: int) -> dict:
+        """The (lazily created) counter dict for one partition."""
+        counters = self.partitions.get(index)
+        if counters is None:
+            counters = self.partitions[index] = {
+                name: 0 for name in PARTITION_STAT_FIELDS
+            }
+        return counters
 
     @property
     def coalesced_flushes(self) -> int:
         """Flush requests served by another request's physical write."""
         return max(0, self.flush_requests - self.physical_flushes)
+
+
+class _LogPartition:
+    """One partition's store, disk, flush queue and decode-cache shard."""
+
+    __slots__ = ("index", "store", "disk", "queue", "cache", "cache_crash_count")
+
+    def __init__(self, index: int, store: StableStore, disk: Disk, queue: Store):
+        self.index = index
+        self.store = store
+        self.disk = disk
+        self.queue = queue
+        #: Bounded LRU shard of decoded records: ``plsn -> (record,
+        #: next_plsn)``.  Shards are per partition so one hot
+        #: partition's scan cannot evict another partition's entries.
+        self.cache: OrderedDict[int, tuple[LogRecord, int]] = OrderedDict()
+        self.cache_crash_count = store.crash_count
 
 
 class LogManager:
@@ -72,8 +128,8 @@ class LogManager:
     def __init__(
         self,
         sim: Simulator,
-        store: StableStore,
-        disk: Disk,
+        store: Union[StableStore, Sequence[StableStore]],
+        disk: Union[Disk, Sequence[Disk]],
         name: str = "log",
         batch_flush_timeout_ms: float = 0.0,
         max_block_sectors: int = 128,
@@ -85,8 +141,12 @@ class LogManager:
         owner: Optional[str] = None,
     ):
         self.sim = sim
-        self.store = store
-        self.disk = disk
+        stores = [store] if isinstance(store, StableStore) else list(store)
+        disks = [disk] if isinstance(disk, Disk) else list(disk)
+        if len(stores) != len(disks):
+            raise ValueError(
+                f"{name}: {len(stores)} stores but {len(disks)} disks"
+            )
         self.name = name
         #: Crash-site probe attribution: the name of the MSP whose log
         #: this is (``repro.fuzz`` kills that MSP at probe firings).
@@ -104,25 +164,61 @@ class LogManager:
         self.flush_cpu_ms = flush_cpu_ms
         self.record_overhead_bytes = record_overhead_bytes
         self.stats = LogStats()
-        self._flush_queue: Store = Store(sim, name=f"{name}.flush")
-        self._flusher: Optional[object] = None
-        #: Bounded LRU of decoded records: ``lsn -> (record, next_lsn)``.
-        #: The log is append-only and immutable below the durable
-        #: boundary, so entries never go stale within a crash epoch; a
-        #: crash truncates the volatile tail (new bytes may reuse those
-        #: LSNs), so the cache is dropped whenever ``store.crash_count``
-        #: moves.  Populated by the analysis scan and ``record_at``, hit
-        #: by per-session replay fetches — recovery decodes each record
-        #: once instead of twice.
+        self.partitions = [
+            _LogPartition(
+                i,
+                stores[i],
+                disks[i],
+                Store(sim, name=f"{name}.flush" if i == 0 else f"{name}.flush.p{i}"),
+            )
+            for i in range(len(stores))
+        ]
+        self.nparts = len(self.partitions)
+        # Aliases for the control partition — the historical
+        # single-store surface most callers and tests use.
+        self.store = stores[0]
+        self.disk = disks[0]
+        self._flushers: list = []
+        #: Total decode-cache budget, split evenly across the shards.
         self.decode_cache_records = decode_cache_records
-        self._decode_cache: OrderedDict[int, tuple[LogRecord, int]] = OrderedDict()
-        self._cache_crash_count = store.crash_count
 
     def start(self, group: Optional[ProcessGroup] = None) -> None:
-        """Spawn the flusher daemon (kill it via ``group`` on crash)."""
-        self._flusher = self.sim.spawn(
-            self._flusher_loop(), name=f"{self.name}.flusher", group=group
-        )
+        """Spawn the flusher daemons (kill them via ``group`` on crash)."""
+        self._flushers = [
+            self.sim.spawn(
+                self._flusher_loop(unit),
+                name=(
+                    f"{self.name}.flusher"
+                    if unit.index == 0
+                    else f"{self.name}.flusher.p{unit.index}"
+                ),
+                group=group,
+            )
+            for unit in self.partitions
+        ]
+
+    # -- routing -------------------------------------------------------------
+
+    def partition_of_session(self, session_id: str) -> int:
+        """The partition a session's stream records hash to."""
+        if self.nparts == 1:
+            return 0
+        return zlib.crc32(session_id.encode("utf-8")) % self.nparts
+
+    def route(self, record: LogRecord) -> int:
+        """The partition ``record`` is appended to.
+
+        Session-stream records hash by session id (a session's whole
+        stream shares one partition, so position-stream offsets stay
+        comparable); everything else — MSP/SV checkpoints, recovery
+        announcements — is control state on partition 0.
+        """
+        if self.nparts == 1:
+            return 0
+        session_id = getattr(record, "session_id", None)
+        if session_id is None:
+            return 0
+        return zlib.crc32(session_id.encode("utf-8")) % self.nparts
 
     # -- appending -----------------------------------------------------------
 
@@ -133,67 +229,100 @@ class LogManager:
         flush covers it.
         """
         self.sim.probe("log.append", owner=self.owner)
+        unit = self.partitions[self.route(record)]
         payload = record.encode()
         framed = frame(payload)
-        lsn = self.store.append(framed)
+        offset = unit.store.append(framed)
         size = len(framed)
         if self.record_overhead_bytes > 0 and not isinstance(record, FillerRecord):
             filler = frame(FillerRecord(self.record_overhead_bytes).encode())
-            self.store.append(filler)
+            unit.store.append(filler)
             size += len(filler)
         self.stats.appended_records += 1
         self.stats.appended_bytes += size
+        pstats = self.stats.partition(unit.index)
+        pstats["appends"] += 1
+        pstats["appended_bytes"] += size
         tracer = self.sim.tracer
         if tracer is not None:
             # Per-kind log-record volume (the §5.5 space accounting).
             kind = record.__class__.__name__
             tracer.metrics.inc(f"log.append.{kind}.records")
             tracer.metrics.inc(f"log.append.{kind}.bytes", size)
-        return lsn, size
+        return make_plsn(unit.index, offset), size
 
     @property
     def end_lsn(self) -> int:
-        """Offset just past the last appended byte."""
+        """Offset just past the last appended control-partition byte."""
         return self.store.end
 
     @property
     def durable_lsn(self) -> int:
         return self.store.durable_end
 
+    def partition_end(self, index: int) -> int:
+        """Offset just past the last appended byte of one partition."""
+        return self.partitions[index].store.end
+
+    def partition_ends(self) -> tuple[int, ...]:
+        """Every partition's current end offset."""
+        return tuple(unit.store.end for unit in self.partitions)
+
     def is_durable(self, lsn: int) -> bool:
         """Is the *whole record* at ``lsn`` on disk?"""
-        return self._frame_end(lsn) <= self.store.durable_end
+        unit = self.partitions[plsn_partition(lsn)]
+        return self._frame_end_off(unit, plsn_offset(lsn)) <= unit.store.durable_end
+
+    def _frame_end_off(self, unit: _LogPartition, offset: int) -> int:
+        (length, _crc) = _HEADER.unpack_from(unit.store.view(offset, _HEADER.size))
+        return offset + _HEADER.size + length
 
     def _frame_end(self, lsn: int) -> int:
-        (length, _crc) = _HEADER.unpack_from(self.store.view(lsn, _HEADER.size))
-        return lsn + _HEADER.size + length
+        unit = self.partitions[plsn_partition(lsn)]
+        return make_plsn(
+            unit.index, self._frame_end_off(unit, plsn_offset(lsn))
+        )
 
     # -- the decode cache ------------------------------------------------------
 
-    def _cache_sync(self) -> None:
-        if self._cache_crash_count != self.store.crash_count:
-            self._decode_cache.clear()
-            self._cache_crash_count = self.store.crash_count
+    @property
+    def _decode_cache(self) -> OrderedDict:
+        """The control partition's cache shard (single-partition compat)."""
+        return self.partitions[0].cache
 
-    def _cache_get(self, lsn: int) -> Optional[tuple[LogRecord, int]]:
-        self._cache_sync()
-        entry = self._decode_cache.get(lsn)
+    @property
+    def _cache_shard_records(self) -> int:
+        """Per-shard LRU capacity: the total budget split evenly."""
+        if self.nparts == 1:
+            return self.decode_cache_records
+        return max(1, self.decode_cache_records // self.nparts)
+
+    def _cache_sync(self, unit: _LogPartition) -> None:
+        if unit.cache_crash_count != unit.store.crash_count:
+            unit.cache.clear()
+            unit.cache_crash_count = unit.store.crash_count
+
+    def _cache_get(self, unit: _LogPartition, lsn: int) -> Optional[tuple[LogRecord, int]]:
+        self._cache_sync(unit)
+        entry = unit.cache.get(lsn)
         if entry is not None:
-            self._decode_cache.move_to_end(lsn)
+            unit.cache.move_to_end(lsn)
         return entry
 
-    def _cache_put(self, lsn: int, record: LogRecord, next_lsn: int) -> None:
-        self._cache_sync()
-        cache = self._decode_cache
+    def _cache_put(
+        self, unit: _LogPartition, lsn: int, record: LogRecord, next_lsn: int
+    ) -> None:
+        self._cache_sync(unit)
+        cache = unit.cache
         cache[lsn] = (record, next_lsn)
         cache.move_to_end(lsn)
-        while len(cache) > self.decode_cache_records:
+        while len(cache) > self._cache_shard_records:
             cache.popitem(last=False)
 
     # -- flushing --------------------------------------------------------------
 
-    def _flush_target(self, upto_lsn: int) -> int:
-        """The durable boundary a flush of ``upto_lsn`` must reach.
+    def _flush_target(self, unit: _LogPartition, offset: int) -> int:
+        """The durable boundary a flush of the record at ``offset`` must reach.
 
         With per-record overhead modeled, every non-filler record is
         immediately followed by its filler frame; flushing through the
@@ -201,40 +330,61 @@ class LogManager:
         in agreement (sector accounting would otherwise undercount the
         final record's footprint).
         """
-        target = self._frame_end(upto_lsn)
-        if self.record_overhead_bytes > 0 and target + _HEADER.size <= self.store.end:
-            view = self.store.view(target, _HEADER.size + 1)
+        target = self._frame_end_off(unit, offset)
+        if self.record_overhead_bytes > 0 and target + _HEADER.size <= unit.store.end:
+            view = unit.store.view(target, _HEADER.size + 1)
             length, _crc = _HEADER.unpack_from(view)
             filler_end = target + _HEADER.size + length
-            if length > 0 and view[_HEADER.size] == KIND_FILLER and filler_end <= self.store.end:
+            if length > 0 and view[_HEADER.size] == KIND_FILLER and filler_end <= unit.store.end:
                 target = filler_end
         return target
 
     def flush(self, upto_lsn: Optional[int] = None):
         """Make the log durable at least through ``upto_lsn`` (generator).
 
-        ``None`` flushes everything appended so far.  Returns once the
-        target is durable; several callers may be satisfied by a single
-        physical write (group commit), and with batch flushing enabled
-        the flusher waits a timeout window first.
+        ``None`` flushes everything appended so far on *every*
+        partition; an lsn flushes its own partition through the record.
+        Returns once the target is durable; several callers may be
+        satisfied by a single physical write (group commit), and with
+        batch flushing enabled the flusher waits a timeout window first.
         """
-        target = self.store.end if upto_lsn is None else self._flush_target(upto_lsn)
         self.stats.flush_requests += 1
-        if target <= self.store.durable_end:
+        if upto_lsn is None:
+            for unit in self.partitions:
+                yield from self._flush_unit(unit, unit.store.end)
+            return
+        unit = self.partitions[plsn_partition(upto_lsn)]
+        target = self._flush_target(unit, plsn_offset(upto_lsn))
+        yield from self._flush_unit(unit, target)
+
+    def flush_partition(self, index: int):
+        """Make one partition durable through its current end (generator).
+
+        This is the distributed-flush leg primitive: a leg needs only
+        the partition its DV entry names, not the whole log.
+        """
+        self.stats.flush_requests += 1
+        unit = self.partitions[index]
+        yield from self._flush_unit(unit, unit.store.end)
+
+    def _flush_unit(self, unit: _LogPartition, target: int):
+        pstats = self.stats.partition(unit.index)
+        pstats["flush_requests"] += 1
+        if target <= unit.store.durable_end:
             return
         tracer = self.sim.tracer
         started_at = self.sim.now
         done = self.sim.event(name=f"{self.name}.flushed")
-        self._flush_queue.put((target, done))
+        unit.queue.put((target, done))
         yield done
         if tracer is not None:
             # Request-to-durable latency, including batch-window and
             # group-commit queueing — the flush-latency histogram.
             tracer.metrics.observe("log.flush.wait_ms", self.sim.now - started_at)
 
-    def _flusher_loop(self):
+    def _flusher_loop(self, unit: _LogPartition):
         while True:
-            target, done = yield from self._flush_queue.get()
+            target, done = yield from unit.queue.get()
             waiters = [(target, done)]
             if self.batch_flush_timeout_ms > 0:
                 # Batch flushing (paper §5.5): "a request to flush the
@@ -249,26 +399,31 @@ class LogManager:
             # the contention the paper's Fig. 17 measures — without
             # delaying a lone request the way the timeout window does.
             while True:
-                available, extra = self._flush_queue.try_get()
+                available, extra = unit.queue.try_get()
                 if not available:
                     break
                 waiters.append(extra)
             goal = max(t for t, _ in waiters)
-            if goal > self.store.durable_end:
-                yield from self._write_out(goal)
+            if goal > unit.store.durable_end:
+                yield from self._write_out(unit, goal)
             for _t, event in waiters:
                 event.trigger(None)
 
-    def _write_out(self, goal: int):
+    def _write_out(self, unit: _LogPartition, goal: int):
         """Physically write [durable_end, goal) in <=128-sector blocks."""
-        start = self.store.durable_end
+        start = unit.store.durable_end
         if goal <= start:
             return
         self.sim.probe("log.flush.begin", owner=self.owner)
         tracer = self.sim.tracer
         span = None
         if tracer is not None:
-            span = tracer.span("log.write", owner=self.owner, bytes=goal - start)
+            span = tracer.span(
+                "log.write",
+                owner=self.owner,
+                bytes=goal - start,
+                partition=unit.index,
+            )
         if self._cpu is not None and self.flush_cpu_ms > 0:
             yield from self._cpu(self.flush_cpu_ms)
         nbytes = goal - start
@@ -277,13 +432,16 @@ class LogManager:
         self.stats.flushed_bytes += nbytes
         self.stats.flushed_sectors += sectors
         self.stats.wasted_bytes += sectors * SECTOR_BYTES - nbytes
+        pstats = self.stats.partition(unit.index)
+        pstats["physical_flushes"] += 1
+        pstats["flushed_bytes"] += nbytes
         remaining = sectors
         while remaining > 0:
             block = min(remaining, self.max_block_sectors)
-            yield from self.disk.write(block)
+            yield from unit.disk.write(block)
             self.sim.probe("log.flush.block", owner=self.owner)
             remaining -= block
-        self.store.mark_durable(goal)
+        unit.store.mark_durable(goal)
         if span is not None:
             span.end(sectors=sectors)
         self.sim.probe("log.flush.end", owner=self.owner)
@@ -291,7 +449,12 @@ class LogManager:
     # -- the log anchor ----------------------------------------------------------
 
     def write_anchor(self, msp_checkpoint_lsn: int):
-        """Durably record the most recent MSP checkpoint LSN (generator)."""
+        """Durably record the most recent MSP checkpoint LSN (generator).
+
+        The anchor lives on the control partition's store — checkpoint
+        records are control records, so the anchored lsn is always a
+        partition-0 plsn.
+        """
         self.store.write_anchor(msp_checkpoint_lsn.to_bytes(8, "big"))
         # Crash between staging and the disk write completing must leave
         # the previous durable anchor in effect (never a torn anchor).
@@ -319,29 +482,34 @@ class LogManager:
         Decoded records come from the bounded LRU cache when the LSN was
         already parsed this crash epoch (e.g. by the analysis scan).
         Callers that already parsed the frame header (the window reader
-        does, for its window check) pass ``frame_end`` so the header is
-        unpacked once per fetch, not twice.
+        does, for its window check) pass ``frame_end`` — the *offset*
+        just past the frame within the lsn's partition — so the header
+        is unpacked once per fetch, not twice.
         """
-        cached = self._cache_get(lsn)
+        unit = self.partitions[plsn_partition(lsn)]
+        cached = self._cache_get(unit, lsn)
         if cached is not None:
             self.stats.decode_cache_hits += 1
             return cached
         self.stats.decode_cache_misses += 1
-        end = frame_end if frame_end is not None else self._frame_end(lsn)
-        payload, consumed = unframe(self.store.view(lsn, end - lsn), 0)
+        offset = plsn_offset(lsn)
+        end = frame_end if frame_end is not None else self._frame_end_off(unit, offset)
+        payload, consumed = unframe(unit.store.view(offset, end - offset), 0)
         if payload is None:
             raise ValueError(f"{self.name}: no complete record at LSN {lsn}")
         record = decode_record(payload)
-        next_lsn = lsn + consumed
-        self._cache_put(lsn, record, next_lsn)
+        next_lsn = make_plsn(unit.index, offset + consumed)
+        self._cache_put(unit, lsn, record, next_lsn)
         return record, next_lsn
 
     def scan_durable(self, start: int):
-        """Timed sequential scan of the durable log (generator).
+        """Timed sequential scan of one partition's durable log (generator).
 
-        Reads [start, durable_end) in ``read_chunk_sectors`` chunks,
-        charging disk time, then returns the parsed ``(lsn, record)``
-        list.  This is the single-threaded analysis scan of §4.3.
+        Reads [start, durable_end) of the partition ``start`` addresses
+        in ``read_chunk_sectors`` chunks, charging disk time, then
+        returns the parsed ``(lsn, record)`` list.  This is the
+        single-threaded analysis scan of §4.3; partitioned recovery
+        calls it once per partition and merges by dependency order.
 
         Parsing is zero-copy per segment: one view over each contiguous
         span of the segmented store, frames and payloads sliced out of
@@ -357,34 +525,37 @@ class LogManager:
         value the floor advances to, so the scan can never legitimately
         begin in recycled space.
         """
-        floor = self.store.truncate_lsn
-        if start < floor:
+        unit = self.partitions[plsn_partition(start)]
+        store = unit.store
+        start_off = plsn_offset(start)
+        floor = store.truncate_lsn
+        if start_off < floor:
             raise LogTruncatedError(
-                f"{self.name}: scan start {start} below the truncation "
+                f"{self.name}: scan start {start_off} below the truncation "
                 f"floor {floor}"
             )
-        end = self.store.durable_end
+        end = store.durable_end
         chunk_bytes = self.read_chunk_sectors * SECTOR_BYTES
-        position = start
+        position = start_off
         while position < end:
             size = min(chunk_bytes, end - position)
-            yield from self.disk.read_bytes(size, sequential=True)
+            yield from unit.disk.read_bytes(size, sequential=True)
             self.stats.read_chunks += 1
             position += size
         records: list[tuple[int, LogRecord]] = []
         # No simulation yields below this point: the views must not be
         # held across an append (see StableStore.view).
-        position = start
+        position = start_off
         while position < end:
-            span_end = min(end, self.store.contiguous_end(position))
-            view = self.store.view(position, span_end - position)
+            span_end = min(end, store.contiguous_end(position))
+            view = store.view(position, span_end - position)
             span = span_end - position
             offset = 0
             while offset < span:
                 payload, next_offset = unframe(view, offset)
                 if payload is None:
                     break
-                self._scan_emit(records, position + offset, payload)
+                self._scan_emit(records, unit, position + offset, payload)
                 offset = next_offset
             position += offset
             del view
@@ -395,25 +566,31 @@ class LogManager:
             # durable prefix ends mid-frame (the torn tail — stop).
             if position + _HEADER.size > end:
                 break
-            (length, _crc) = _HEADER.unpack_from(self.store.view(position, _HEADER.size))
+            (length, _crc) = _HEADER.unpack_from(store.view(position, _HEADER.size))
             frame_end = position + _HEADER.size + length
             if frame_end > end:
                 break
-            payload, _next = unframe(self.store.view(position, frame_end - position), 0)
-            self._scan_emit(records, position, payload)
+            payload, _next = unframe(store.view(position, frame_end - position), 0)
+            self._scan_emit(records, unit, position, payload)
             position = frame_end
         return records
 
-    def _scan_emit(self, records: list, lsn: int, payload) -> None:
+    def _scan_emit(
+        self, records: list, unit: _LogPartition, offset: int, payload
+    ) -> None:
         """Decode (or cache-hit) one scanned frame payload into ``records``."""
-        cached = self._cache_get(lsn)
+        lsn = make_plsn(unit.index, offset)
+        cached = self._cache_get(unit, lsn)
         if cached is not None:
             self.stats.decode_cache_hits += 1
             record = cached[0]
         else:
             self.stats.decode_cache_misses += 1
             record = decode_record(payload)
-            self._cache_put(lsn, record, lsn + _HEADER.size + len(payload))
+            self._cache_put(
+                unit, lsn, record,
+                make_plsn(unit.index, offset + _HEADER.size + len(payload)),
+            )
         records.append((lsn, record))
 
     # -- truncation ---------------------------------------------------------
@@ -422,47 +599,95 @@ class LogManager:
     def truncate_lsn(self) -> int:
         return self.store.truncate_lsn
 
-    def truncate_to(self, floor_lsn: int):
-        """Advance the log's truncation floor to ``floor_lsn`` (generator).
+    def rewind(self, cuts: Sequence[int]) -> None:
+        """Discard per-partition suffixes beyond recovery's consistent cut.
+
+        Only partitioned recovery calls this: a durable record whose
+        cross-partition dependency was lost is excluded from the
+        recovered state, and its bytes must go with it — left on disk,
+        a later recovery would rediscover the record after the offsets
+        its dependencies named have been reused by new appends.
+        """
+        for unit, cut in zip(self.partitions, cuts):
+            store = unit.store
+            if cut < store.end:
+                store.rewind(cut)
+                self._cache_sync(unit)
+                cache = unit.cache
+                for lsn in [k for k in cache if plsn_offset(k) >= cut]:
+                    del cache[lsn]
+        self.stats.live_bytes = sum(u.store.live_bytes for u in self.partitions)
+        for unit in self.partitions:
+            self.stats.partition(unit.index)["live_bytes"] = unit.store.live_bytes
+
+    def truncate_to(self, floor_lsn: Union[int, Sequence[int]]):
+        """Advance the log's truncation floor(s) (generator).
 
         Called by the MSP checkpoint daemon once the log anchor is
-        durable, with the anchored checkpoint's minimal LSN.  Safety:
-        ``min_lsn`` lower-bounds every LSN recovery can touch — session
-        scan starts, shared-variable scan starts (backward write chains
-        break at sv checkpoints at or above them), EOS back-pointers are
-        only compared, never read — so no read below the new floor can
-        ever be issued by correct code.
+        durable, with the anchored checkpoint's minimal LSN — or, for a
+        partitioned log, the per-partition floor vector from
+        ``MspCheckpointRecord.partition_floors``.  Safety: the floors
+        lower-bound every LSN recovery can touch — session scan starts,
+        shared-variable scan starts (backward write chains break at sv
+        checkpoints at or above them), EOS back-pointers are only
+        compared, never read — so no read below a new floor can ever be
+        issued by correct code.
 
         The yield between the probes is a real crash window: a crash
         after the anchor is durable but before segments are recycled
         must recover exactly like one after recycling (the floor is not
         recovery state — the next checkpoint simply re-truncates).
         """
-        target = min(floor_lsn, self.store.durable_end)
+        if isinstance(floor_lsn, int):
+            floors = [(plsn_partition(floor_lsn), plsn_offset(floor_lsn))]
+        else:
+            floors = list(enumerate(floor_lsn))
+        recycled_total = 0
+        for index, floor_off in floors:
+            recycled_total += yield from self._truncate_unit(
+                self.partitions[index], floor_off
+            )
+        return recycled_total
+
+    def _truncate_unit(self, unit: _LogPartition, floor_off: int):
+        store = unit.store
+        target = min(floor_off, store.durable_end)
         self.sim.probe("log.truncate.begin", owner=self.owner)
         tracer = self.sim.tracer
         span = None
         if tracer is not None:
-            span = tracer.span("log.truncate", owner=self.owner, floor=target)
+            span = tracer.span(
+                "log.truncate", owner=self.owner, floor=target,
+                partition=unit.index,
+            )
         # Crash window: anchor durable, segments not yet recycled.
         yield 0.0
-        before = self.store.truncate_lsn
-        recycled = self.store.truncate(target)
+        before = store.truncate_lsn
+        recycled = store.truncate(target)
         if recycled:
-            self.disk.trim(recycled * self.store.segment_bytes)
-        floor = self.store.truncate_lsn
+            unit.disk.trim(recycled * store.segment_bytes)
+        floor = store.truncate_lsn
         if floor > before:
             # Evict truncated entries: a cached decode below the floor
             # must not outlive the bytes it was decoded from.
-            self._cache_sync()
-            for lsn in [k for k in self._decode_cache if k < floor]:
-                del self._decode_cache[lsn]
+            self._cache_sync(unit)
+            cache = unit.cache
+            for lsn in [k for k in cache if plsn_offset(k) < floor]:
+                del cache[lsn]
         self.stats.truncations += 1
-        self.stats.truncated_bytes = self.store.truncated_bytes
-        self.stats.recycled_segments = self.store.recycled_segments
-        self.stats.live_bytes = self.store.live_bytes
+        self.stats.truncated_bytes = sum(
+            u.store.truncated_bytes for u in self.partitions
+        )
+        self.stats.recycled_segments = sum(
+            u.store.recycled_segments for u in self.partitions
+        )
+        self.stats.live_bytes = sum(u.store.live_bytes for u in self.partitions)
+        pstats = self.stats.partition(unit.index)
+        pstats["truncations"] += 1
+        pstats["truncated_bytes"] = store.truncated_bytes
+        pstats["live_bytes"] = store.live_bytes
         if span is not None:
-            span.end(recycled_segments=recycled, live_bytes=self.store.live_bytes)
+            span.end(recycled_segments=recycled, live_bytes=store.live_bytes)
         self.sim.probe("log.truncate.end", owner=self.owner)
         return recycled
 
@@ -473,43 +698,51 @@ class LogWindowReader:
     Session recovery follows the position stream; records are pulled
     through a 64 KB window so "log reads during recovery are larger and
     more efficient than log flushes" (paper §5.4).  A fetch outside the
-    current window costs one sequential chunk read.
+    current window costs one sequential chunk read.  The window tracks
+    one partition at a time — a session's stream lives entirely in its
+    own partition, so session replay never thrashes between partitions.
     """
 
     def __init__(self, log: LogManager, durable_only: bool = True):
         self.log = log
         self.durable_only = durable_only
+        self._window_partition = -1
         self._window_start = -1
         self._window_end = -1
 
     def fetch(self, lsn: int):
         """Return the record at ``lsn`` (generator, charges disk time)."""
-        limit = self.log.store.durable_end if self.durable_only else self.log.store.end
-        if lsn >= limit:
+        unit = self.log.partitions[plsn_partition(lsn)]
+        offset = plsn_offset(lsn)
+        limit = unit.store.durable_end if self.durable_only else unit.store.end
+        if offset >= limit:
             raise ValueError(f"fetch at {lsn} beyond readable end {limit}")
-        floor = self.log.store.truncate_lsn
-        if lsn < floor:
+        floor = unit.store.truncate_lsn
+        if offset < floor:
             raise LogTruncatedError(
                 f"{self.log.name}: fetch at {lsn} below the truncation "
                 f"floor {floor}"
             )
+        if self._window_partition != unit.index:
+            self._window_partition = unit.index
+            self._window_start = self._window_end = -1
         if -1 < self._window_start < floor:
             # The window's low end was recycled by a truncation; its
             # accounting must not pretend those bytes are still readable.
             self._window_start = self._window_end = -1
-        frame_end = self.log._frame_end(lsn)
+        frame_end = self.log._frame_end_off(unit, offset)
         # The window is invalid if the record *starts* outside it, or if
         # it starts inside but its frame straddles the window's end — a
         # window capped at an earlier durable limit does not magically
         # cover bytes appended since, so re-read at the current limit
         # rather than parse from a short read.
-        if not (self._window_start <= lsn and frame_end <= self._window_end):
+        if not (self._window_start <= offset and frame_end <= self._window_end):
             chunk = self.log.read_chunk_sectors * SECTOR_BYTES
-            size = min(chunk, limit - lsn)
-            yield from self.log.disk.read_bytes(size, sequential=True)
+            size = min(chunk, limit - offset)
+            yield from unit.disk.read_bytes(size, sequential=True)
             self.log.stats.read_chunks += 1
-            self._window_start = lsn
-            self._window_end = lsn + size
+            self._window_start = offset
+            self._window_end = offset + size
         # The frame end is already known from the window check above;
         # threading it through saves the second header unpack per fetch.
         record, _next = self.log.record_at(lsn, frame_end=frame_end)

@@ -103,15 +103,28 @@ class MiddlewareServer:
         self.config = config or RecoveryConfig()
         self.node = network.node(name)
         rng = rng or RngRegistry(0)
-        self.disk = Disk(
-            sim,
-            model=disk_model or DiskModel(),
-            rng=rng.stream(f"disk.{name}"),
-            name=f"disk.{name}",
-        )
-        self.store = StableStore(
-            name=f"log.{name}", segment_bytes=self.config.log_segment_bytes
-        )
+        # One store+disk pair per log partition (DESIGN.md §14); element
+        # 0 is the control partition and keeps the historical names so
+        # a partitions=1 run is indistinguishable from the old layout.
+        nparts = max(1, self.config.log_partitions)
+        self.disks = [
+            Disk(
+                sim,
+                model=disk_model or DiskModel(),
+                rng=rng.stream(f"disk.{name}" if i == 0 else f"disk.{name}.p{i}"),
+                name=f"disk.{name}" if i == 0 else f"disk.{name}.p{i}",
+            )
+            for i in range(nparts)
+        ]
+        self.stores = [
+            StableStore(
+                name=f"log.{name}" if i == 0 else f"log.{name}.p{i}",
+                segment_bytes=self.config.log_segment_bytes,
+            )
+            for i in range(nparts)
+        ]
+        self.disk = self.disks[0]
+        self.store = self.stores[0]
         self._cpu = Resource(sim, capacity=self.config.cpu_cores, name=f"cpu.{name}")
         self.table = RecoveryTable()
         self.epoch = 0
@@ -179,8 +192,8 @@ class MiddlewareServer:
             self.group = ProcessGroup(self.name)
         self.log = LogManager(
             self.sim,
-            self.store,
-            self.disk,
+            self.stores,
+            self.disks,
             name=f"log.{self.name}",
             batch_flush_timeout_ms=self.config.batch_flush_timeout_ms,
             max_block_sectors=self.config.max_block_sectors,
@@ -197,7 +210,8 @@ class MiddlewareServer:
             for name, value in self._shared_registry.items()
         }
         needs_recovery = self.recoverable and (
-            self.store.durable_end > 0 or self.log.read_anchor() is not None
+            any(store.durable_end > 0 for store in self.stores)
+            or self.log.read_anchor() is not None
         )
         if needs_recovery:
             self.stats.recoveries += 1
@@ -257,7 +271,8 @@ class MiddlewareServer:
             self.sim.tracer.instant("msp.crash", owner=self.name, epoch=self.epoch)
         if self.group is not None:
             self.group.kill_all()
-        self.store.crash()
+        for store in self.stores:
+            store.crash()
         self.node.unbind_all()
         self.sessions = {}
         self.shared = {}

@@ -1,0 +1,86 @@
+"""Partitioned log sequence numbers (``Plsn``).
+
+The partitioned log addresses records with a ``(partition, offset)``
+pair packed into a single int::
+
+    plsn = (partition << OFFSET_BITS) | offset
+
+Partition 0 plsns are numerically identical to raw byte offsets, which
+is what keeps a ``--partitions 1`` run bit-identical to the historical
+single-log format: every lsn the codec ever wrote was a partition-0
+plsn all along.  ``NO_LSN`` (``2**48 - 1``) decodes as partition 0 and
+stays a safe sentinel — all code checks for it before treating an lsn
+as an address.
+
+Recovered-state *frontiers* generalise the scalar ``recovered_lsn`` of
+the single-log design to a per-partition vector of end offsets.  The
+encoding is self-describing and backward compatible on the wire:
+
+* a single-partition frontier is the raw offset int (offsets are far
+  below ``2**59``), so partitions=1 announcements are byte-identical
+  to the historical scalar;
+* a multi-partition frontier packs the per-partition ends into one
+  int above a tag bit at ``2**59`` so old scalars and new vectors
+  never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Bits reserved for the byte offset within one partition's store.
+OFFSET_BITS = 48
+OFFSET_MASK = (1 << OFFSET_BITS) - 1
+
+#: Frontier values below this are plain single-partition offsets.
+_FRONTIER_TAG = 1 << 59
+
+
+def make_plsn(partition: int, offset: int) -> int:
+    """Pack ``(partition, offset)`` into a plsn int."""
+    if partition == 0:
+        return offset
+    return (partition << OFFSET_BITS) | offset
+
+
+def plsn_partition(plsn: int) -> int:
+    """The partition index a plsn addresses."""
+    return plsn >> OFFSET_BITS
+
+
+def plsn_offset(plsn: int) -> int:
+    """The byte offset within the partition's store."""
+    return plsn & OFFSET_MASK
+
+
+def encode_frontier(ends: Sequence[int]) -> int:
+    """Pack per-partition end offsets into one wire int.
+
+    Single-partition frontiers stay raw scalars for backward
+    compatibility; vectors are tagged above ``2**59``.
+    """
+    if len(ends) == 1:
+        return ends[0]
+    packed = 0
+    for i, end in enumerate(ends):
+        packed |= end << (OFFSET_BITS * i)
+    payload = (packed << 8) | len(ends)
+    return _FRONTIER_TAG | (payload << 60)
+
+
+def is_frontier(value: int) -> bool:
+    """True when ``value`` is a tagged multi-partition frontier (as
+    opposed to a scalar offset or plsn, which stay below the tag)."""
+    return value >= _FRONTIER_TAG
+
+
+def decode_frontier(value: int) -> tuple[int, ...]:
+    """Inverse of :func:`encode_frontier`."""
+    if value < _FRONTIER_TAG:
+        return (value,)
+    payload = value >> 60
+    count = payload & 0xFF
+    packed = payload >> 8
+    return tuple(
+        (packed >> (OFFSET_BITS * i)) & OFFSET_MASK for i in range(count)
+    )

@@ -255,22 +255,32 @@ class SvCheckpointRecord:
     ``version`` is the variable's write-version counter at checkpoint
     time; it is only consumed by the access-order-logging ablation,
     whose recovery replays accesses in version order from here.
+
+    ``prev_write_lsn`` is an optional trailing field written only by
+    partitioned logs (DESIGN.md §14): the lsn of the write this
+    checkpoint seals.  The recovery merge needs that edge to order the
+    checkpoint (control partition) after the writes it covers (session
+    partitions); in a single-partition log the scan order already says
+    so and the field is omitted, keeping the bytes identical.
     """
 
     variable: str
     value: bytes
     version: int = 0
+    prev_write_lsn: Optional[int] = None
     kind: int = field(default=KIND_SV_CHECKPOINT, init=False)
 
     def encode(self) -> bytes:
-        return (
+        enc = (
             Encoder()
             .uint(self.kind)
             .text(self.variable)
             .raw(self.value)
             .uint(self.version)
-            .finish()
         )
+        if self.prev_write_lsn is not None:
+            enc.uint(self.prev_write_lsn)
+        return enc.finish()
 
 
 @dataclass
@@ -351,12 +361,19 @@ class MspCheckpointRecord:
     and variables that have never been checkpointed we record the LSN of
     their first log record instead, so the minimal LSN still bounds the
     recovery scan.
+
+    ``partition_ends`` is an optional trailing field written only by
+    partitioned logs: the end offset of every partition at checkpoint
+    time.  A partition none of the start-lsns name still needs a scan
+    start and truncation floor — its end at the anchor point.  The
+    single-partition log omits it (byte-identical encoding).
     """
 
     recovered_snapshot: dict[str, dict[int, int]]
     session_start_lsns: dict[str, int]  #: session id -> scan-start LSN
     sv_start_lsns: dict[str, int]  #: variable -> scan-start LSN
     epoch: int = 0
+    partition_ends: tuple[int, ...] = ()
     kind: int = field(default=KIND_MSP_CHECKPOINT, init=False)
 
     def min_lsn(self, own_lsn: int) -> int:
@@ -365,6 +382,35 @@ class MspCheckpointRecord:
         candidates.extend(self.session_start_lsns.values())
         candidates.extend(self.sv_start_lsns.values())
         return min(candidates)
+
+    def partition_floors(self, own_lsn: int) -> list[int]:
+        """Per-partition scan starts / truncation floors (partitions>1).
+
+        For each partition, the minimum offset among the start lsns
+        that live in it; partitions nothing names default to their end
+        at checkpoint time.  ``own_lsn`` is the checkpoint record's own
+        (control-partition) lsn.  Session starts are scalar plsns (one
+        session, one partition); shared-variable starts are packed
+        frontiers (the chain spans the writers' partitions — see
+        ``SharedVariable.scan_start_frontier``).
+        """
+        from repro.core.plsn import decode_frontier, is_frontier
+
+        floors = list(self.partition_ends)
+        candidates = [own_lsn]
+        candidates.extend(self.session_start_lsns.values())
+        candidates.extend(self.sv_start_lsns.values())
+        for lsn in candidates:
+            if is_frontier(lsn):
+                for partition, offset in enumerate(decode_frontier(lsn)):
+                    if partition < len(floors) and offset < floors[partition]:
+                        floors[partition] = offset
+                continue
+            partition = lsn >> 48
+            offset = lsn & ((1 << 48) - 1)
+            if partition < len(floors) and offset < floors[partition]:
+                floors[partition] = offset
+        return floors
 
     def encode(self) -> bytes:
         enc = Encoder().uint(self.kind).uint(self.epoch)
@@ -381,6 +427,10 @@ class MspCheckpointRecord:
         enc.uint(len(self.sv_start_lsns))
         for name in sorted(self.sv_start_lsns):
             enc.text(name).uint(self.sv_start_lsns[name])
+        if self.partition_ends:
+            enc.uint(len(self.partition_ends))
+            for end in self.partition_ends:
+                enc.uint(end)
         return enc.finish()
 
 
@@ -618,6 +668,8 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
         )
     elif kind == KIND_SV_CHECKPOINT:
         record = SvCheckpointRecord(variable=dec.text(), value=dec.raw(), version=dec.uint())
+        if not dec.exhausted:
+            record.prev_write_lsn = dec.uint()
     elif kind == KIND_SESSION_CHECKPOINT:
         session_id = dec.text()
         variables = {}
@@ -642,11 +694,15 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
             recovered[msp] = {dec.uint(): dec.uint() for _ in range(dec.uint())}
         session_start = {dec.text(): dec.uint() for _ in range(dec.uint())}
         sv_start = {dec.text(): dec.uint() for _ in range(dec.uint())}
+        ends: tuple[int, ...] = ()
+        if not dec.exhausted:
+            ends = tuple(dec.uint() for _ in range(dec.uint()))
         record = MspCheckpointRecord(
             recovered_snapshot=recovered,
             session_start_lsns=session_start,
             sv_start_lsns=sv_start,
             epoch=epoch,
+            partition_ends=ends,
         )
     elif kind == KIND_EOS:
         record = EosRecord(session_id=dec.text(), orphan_lsn=dec.uint())

@@ -23,6 +23,12 @@ from typing import Optional
 
 from repro.core.dv import DependencyVector, RecoveryTable
 from repro.core.log_manager import LogManager, LogWindowReader
+from repro.core.plsn import (
+    OFFSET_MASK,
+    encode_frontier,
+    plsn_offset,
+    plsn_partition,
+)
 from repro.core.records import NO_LSN, SvCheckpointRecord, SvUpdateRecord, SvWriteRecord
 from repro.sim import RWLock, Simulator
 
@@ -49,6 +55,15 @@ class SharedVariable:
         self.last_ckpt_lsn: Optional[int] = None
         #: LSN of the first write ever (scan start when no checkpoint).
         self.first_write_lsn: Optional[int] = None
+        #: Partitioned logs: the lowest live chain offset per partition.
+        #: A single log orders the chain by LSN, so "everything at or
+        #: above the scan start" covers it; split across partitions, the
+        #: chain hops between the writers' session partitions and the
+        #: checkpoints' control partition, and truncation must keep each
+        #: partition's piece of it.  Offsets only grow within one
+        #: partition, so the first chain record per partition since the
+        #: last checkpoint is that partition's floor.
+        self.live_chain_floors: dict[int, int] = {}
         #: Checkpoint-staleness counter for forced checkpoints (§3.4).
         self.msp_ckpts_since_own_ckpt = 0
         #: Access-order ablation state (paper §3.3's rejected
@@ -75,6 +90,7 @@ class SharedVariable:
         self.writes_since_ckpt += 1
         if self.first_write_lsn is None:
             self.first_write_lsn = lsn
+        self.live_chain_floors.setdefault(plsn_partition(lsn), plsn_offset(lsn))
 
     def apply_checkpoint(self, lsn: int) -> None:
         """Account a just-logged checkpoint of the current value."""
@@ -84,12 +100,33 @@ class SharedVariable:
         self.writes_since_ckpt = 0
         self.last_ckpt_lsn = lsn
         self.msp_ckpts_since_own_ckpt = 0
+        # The checkpoint seals the chain: it is the only record below
+        # the new head that rollback or a recovery scan can still need.
+        self.live_chain_floors = {plsn_partition(lsn): plsn_offset(lsn)}
 
     def scan_start_lsn(self) -> Optional[int]:
         """Where the crash-recovery scan must start for this variable."""
         if self.last_ckpt_lsn is not None:
             return self.last_ckpt_lsn
         return self.first_write_lsn
+
+    def scan_start_frontier(self, nparts: int) -> Optional[int]:
+        """The scan start as recorded in MSP checkpoints.
+
+        Single log: the scalar LSN (byte-identical to the classical
+        format).  Partitioned: the per-partition chain floors packed as
+        a frontier, with unconstrained partitions pinned at the offset
+        maximum so they do not hold truncation back.
+        """
+        if nparts == 1:
+            return self.scan_start_lsn()
+        if not self.live_chain_floors:
+            return None
+        starts = [OFFSET_MASK] * nparts
+        for partition, offset in self.live_chain_floors.items():
+            if partition < nparts:
+                starts[partition] = min(starts[partition], offset)
+        return encode_frontier(tuple(starts))
 
     @property
     def reconstructing(self) -> bool:
@@ -123,6 +160,9 @@ class SharedVariable:
                 self.dv.clear()
                 self.state_lsn = cursor
                 self.last_write_lsn = cursor
+                self.live_chain_floors = {
+                    plsn_partition(cursor): plsn_offset(cursor)
+                }
                 return hops
             if (
                 not isinstance(record, (SvWriteRecord, SvUpdateRecord))
@@ -151,4 +191,5 @@ class SharedVariable:
         self.dv = DependencyVector()
         self.state_lsn = None
         self.last_write_lsn = NO_LSN
+        self.live_chain_floors = {}
         return hops

@@ -84,6 +84,10 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--requests", type=int, default=None)
     parser.add_argument("--clients", type=int, default=None)
     parser.add_argument(
+        "--partitions", type=int, default=None, metavar="N",
+        help="log partitions (default 1 = classical single log)",
+    )
+    parser.add_argument(
         "--minimize", action="store_true", help="shrink failures before reporting"
     )
     parser.add_argument(
@@ -100,6 +104,8 @@ def _params(args: argparse.Namespace) -> FuzzParams:
         params.requests_per_client = args.requests
     if args.clients is not None:
         params.num_clients = args.clients
+    if getattr(args, "partitions", None) is not None:
+        params.log_partitions = args.partitions
     return params
 
 

@@ -130,6 +130,9 @@ class FuzzParams:
     log_segment_bytes: int = 2048
     sv_ckpt_write_threshold: int = 6
     forced_ckpt_msp_count: int = 2
+    #: Log partition count (1 = classical single log); >1 exercises the
+    #: per-partition group commit and DV-ordered recovery merge.
+    log_partitions: int = 1
 
     def workload_params(self, seed: int) -> WorkloadParams:
         return WorkloadParams(
@@ -143,6 +146,7 @@ class FuzzParams:
             log_segment_bytes=self.log_segment_bytes,
             sv_ckpt_write_threshold=self.sv_ckpt_write_threshold,
             forced_ckpt_msp_count=self.forced_ckpt_msp_count,
+            log_partitions=self.log_partitions,
             # Atomic RMW counters: with the paper's separate read + write
             # accesses, two concurrent clients can interleave and lose an
             # increment with no crash at all (the fuzzer's first find),

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+from repro.core.plsn import plsn_offset, plsn_partition
 from repro.core.records import (
     NO_LSN,
     MspCheckpointRecord,
@@ -99,19 +100,30 @@ def check_no_orphans(msp: "MiddlewareServer") -> list[str]:
 
 
 def check_sv_chains(msp: "MiddlewareServer", max_hops: int = 100_000) -> list[str]:
-    """Undo chains must be type-correct and strictly backward."""
+    """Undo chains must be type-correct and strictly backward.
+
+    "Backward" is per partition: a partitioned chain hops between the
+    writes' session partitions and the checkpoints' control partition,
+    whose offsets are mutually unordered — but within any one partition
+    the walk must strictly descend (that is what makes it terminate and
+    what roll-back relies on).
+    """
     violations: list[str] = []
     if not msp.running or msp.log is None:
         return violations
     for sv in msp.shared.values():
         cursor = sv.last_write_lsn
-        previous = None
+        previous_offsets: dict[int, int] = {}
         hops = 0
         while cursor != NO_LSN:
-            if previous is not None and cursor >= previous:
+            partition = plsn_partition(cursor)
+            offset = plsn_offset(cursor)
+            previous = previous_offsets.get(partition)
+            if previous is not None and offset >= previous:
                 violations.append(
                     f"sv-chain: {msp.name}.{sv.name} chain not strictly "
-                    f"decreasing ({previous} -> {cursor})"
+                    f"decreasing ({previous} -> {offset} in partition "
+                    f"{partition})"
                 )
                 break
             if hops > max_hops:
@@ -146,7 +158,7 @@ def check_sv_chains(msp: "MiddlewareServer", max_hops: int = 100_000) -> list[st
                     f"{record.variable!r} at LSN {cursor}"
                 )
                 break
-            previous = cursor
+            previous_offsets[partition] = offset
             cursor = record.prev_write_lsn
             hops += 1
     return violations
@@ -162,47 +174,52 @@ def check_durable_log(msp: "MiddlewareServer") -> list[str]:
     """
     violations: list[str] = []
     store = msp.store
+    stores = getattr(msp, "stores", None) or [store]
+    for partition, pstore in enumerate(stores):
+        label = msp.name if partition == 0 else f"{msp.name}.p{partition}"
+        durable = pstore.durable_end
+        floor = pstore.truncate_lsn
+        if floor > durable:
+            violations.append(
+                f"durable-log: {label} truncation floor {floor} ahead of the "
+                f"durable boundary {durable}"
+            )
+            return violations
+        offset = floor
+        count = 0
+        view = pstore.view(floor, durable - floor)
+        try:
+            while offset < durable:
+                payload, next_offset = unframe(view, offset - floor)
+                if payload is None:
+                    violations.append(
+                        f"durable-log: {label} torn frame at offset {offset} "
+                        f"inside the durable prefix (durable_end={durable})"
+                    )
+                    break
+                try:
+                    decode_record(payload)
+                except Exception as exc:  # noqa: BLE001 - report, don't crash
+                    violations.append(
+                        f"durable-log: {label} undecodable record at "
+                        f"LSN {offset}: {exc}"
+                    )
+                    break
+                offset = floor + next_offset
+                count += 1
+            else:
+                if offset != durable:
+                    violations.append(
+                        f"durable-log: {label} frame at {offset} straddles "
+                        f"the durable boundary {durable}"
+                    )
+        except CorruptRecordError as exc:
+            violations.append(f"durable-log: {label} {exc}")
+        finally:
+            del view  # release the memoryview before any append can run
+
     durable = store.durable_end
     floor = store.truncate_lsn
-    if floor > durable:
-        violations.append(
-            f"durable-log: {msp.name} truncation floor {floor} ahead of the "
-            f"durable boundary {durable}"
-        )
-        return violations
-    offset = floor
-    count = 0
-    view = store.view(floor, durable - floor)
-    try:
-        while offset < durable:
-            payload, next_offset = unframe(view, offset - floor)
-            if payload is None:
-                violations.append(
-                    f"durable-log: {msp.name} torn frame at offset {offset} "
-                    f"inside the durable prefix (durable_end={durable})"
-                )
-                break
-            try:
-                decode_record(payload)
-            except Exception as exc:  # noqa: BLE001 - report, don't crash
-                violations.append(
-                    f"durable-log: {msp.name} undecodable record at "
-                    f"LSN {offset}: {exc}"
-                )
-                break
-            offset = floor + next_offset
-            count += 1
-        else:
-            if offset != durable:
-                violations.append(
-                    f"durable-log: {msp.name} frame at {offset} straddles the "
-                    f"durable boundary {durable}"
-                )
-    except CorruptRecordError as exc:
-        violations.append(f"durable-log: {msp.name} {exc}")
-    finally:
-        del view  # release the memoryview before any append can run
-
     anchor_raw = store.read_anchor()
     if anchor_raw is not None:
         anchor = int.from_bytes(anchor_raw, "big")
@@ -234,7 +251,7 @@ def check_durable_log(msp: "MiddlewareServer") -> list[str]:
                         f"durable-log: {msp.name} anchor {anchor} points at a "
                         "non-durable checkpoint record"
                     )
-                elif record.min_lsn(anchor) < floor:
+                elif len(stores) == 1 and record.min_lsn(anchor) < floor:
                     # Truncation safety itself: a floor above the
                     # anchored checkpoint's minimal LSN means recovery
                     # would need recycled bytes.
@@ -243,6 +260,19 @@ def check_durable_log(msp: "MiddlewareServer") -> list[str]:
                         f"{record.min_lsn(anchor)} below the truncation "
                         f"floor {floor}"
                     )
+                elif len(stores) > 1 and record.partition_ends:
+                    # Partitioned truncation safety: every partition's
+                    # floor must sit at or below the scan start this
+                    # anchored checkpoint implies for it.
+                    scan_floors = record.partition_floors(anchor)
+                    for partition, pstore in enumerate(stores):
+                        if scan_floors[partition] < pstore.truncate_lsn:
+                            violations.append(
+                                f"durable-log: {msp.name} anchored checkpoint "
+                                f"scan start {scan_floors[partition]} of "
+                                f"partition {partition} below its truncation "
+                                f"floor {pstore.truncate_lsn}"
+                            )
     return violations
 
 

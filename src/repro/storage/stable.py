@@ -287,6 +287,42 @@ class StableStore:
         """Return the durable anchor contents (``None`` if never flushed)."""
         return self._anchor_durable
 
+    def rewind(self, boundary: int) -> None:
+        """Discard everything past ``boundary`` — durable bytes included.
+
+        Partitioned crash recovery's consistent cut can exclude a
+        *durable* suffix: a record survives its own partition's flush
+        while a cross-partition dependency is lost.  Excluded records
+        must leave the disk too, not just the replay — a later recovery
+        would otherwise rediscover them after the offsets their
+        dependencies named have been reused by the new incarnation's
+        appends, and accept them against aliased records.
+        """
+        if boundary > self._end:
+            raise StableStoreError(
+                f"{self.name}: cannot rewind past the end "
+                f"({boundary} > {self._end})"
+            )
+        if boundary < self._floor:
+            raise StableStoreError(
+                f"{self.name}: cannot rewind below the truncation floor "
+                f"({boundary} < {self._floor})"
+            )
+        size = self.segment_bytes
+        first_dead, keep = divmod(boundary, size)
+        for index in [i for i in self._segments if i > first_dead]:
+            del self._segments[index]
+        tail = self._segments.get(first_dead)
+        if tail is not None:
+            if keep == 0:
+                del self._segments[first_dead]
+            else:
+                del tail[keep:]
+        self._end = boundary
+        if self._durable_end > boundary:
+            self._durable_end = boundary
+        self._reset_tail()
+
     # -- crashes ----------------------------------------------------------
 
     def crash(self) -> None:

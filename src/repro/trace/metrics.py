@@ -156,10 +156,16 @@ def collect_component_metrics(
         stale_acks += msp.stats.stale_flush_acks
         if msp.log is not None:
             for field, value in vars(msp.log.stats).items():
-                registry.set(f"log.{msp.name}.{field}", value)
+                if isinstance(value, (int, float)):
+                    registry.set(f"log.{msp.name}.{field}", value)
             registry.set(
                 f"log.{msp.name}.coalesced_flushes", msp.log.stats.coalesced_flushes
             )
+            for index, counters in sorted(msp.log.stats.partitions.items()):
+                for field, value in counters.items():
+                    registry.set(
+                        f"log.{msp.name}.partition.{index}.{field}", value
+                    )
     registry.set("flush.stale_acks", stale_acks)
     if network is not None:
         for field, value in network.ledger().items():

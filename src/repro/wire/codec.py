@@ -33,6 +33,13 @@ class CodecError(Exception):
 #: (kinds, flags, lengths and seqs below 128).
 _UVARINT_1BYTE = tuple(bytes((i,)) for i in range(0x80))
 
+#: Corruption guard on varint length.  Most fields fit in 64 bits, but
+#: recovery frontiers of a partitioned log pack one 48-bit end offset
+#: per partition into a single uint (see :mod:`repro.core.plsn`), so the
+#: bound must admit a frontier for the maximum partition count (1024)
+#: plus tag/count overhead — anything longer is garbage, not data.
+_UVARINT_MAX_SHIFT = 68 + 48 * 1024
+
 
 def encode_uvarint(value: int) -> bytes:
     """Encode an unsigned LEB128 varint (fast path for values < 128)."""
@@ -71,7 +78,7 @@ def read_uvarint(buf: Buffer, pos: int) -> tuple[int, int]:
         if not byte & 0x80:
             return value, pos
         shift += 7
-        if shift > 70:
+        if shift > _UVARINT_MAX_SHIFT:
             raise CodecError("varint too long")
 
 

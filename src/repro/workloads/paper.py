@@ -83,6 +83,9 @@ class WorkloadParams:
     log_truncation: bool = True
     #: Physical log segment size override (None = RecoveryConfig default).
     log_segment_bytes: Optional[int] = None
+    #: Log partition count (1 = the classical single log).  Sessions
+    #: hash to partitions; each partition group-commits independently.
+    log_partitions: int = 1
     #: Shared-variable checkpoint threshold override (None = default).
     #: The fuzzer lowers it so sv scan starts stop pinning the minimal
     #: LSN and truncation advances within short runs.
@@ -217,6 +220,7 @@ class PaperWorkload:
         config.log_truncation = params.log_truncation
         if params.log_segment_bytes is not None:
             config.log_segment_bytes = params.log_segment_bytes
+        config.log_partitions = params.log_partitions
         if params.sv_ckpt_write_threshold is not None:
             config.sv_ckpt_write_threshold = params.sv_ckpt_write_threshold
         if params.forced_ckpt_msp_count is not None:
@@ -354,7 +358,12 @@ class PaperWorkload:
             response_times_ms=list(self.client.stats.response_times),
             crashes=self.crash_controller.crashes,
             msp1_cpu_utilization=self.msp1.cpu_utilization(since=start_ms),
-            msp1_disk_utilization=self.msp1.disk.utilization(since=start_ms),
+            msp1_disk_utilization=(
+                # Mean across the partition disks (identical to the
+                # single disk at partitions=1).
+                sum(d.utilization(since=start_ms) for d in self.msp1.disks)
+                / len(self.msp1.disks)
+            ),
             msp1_flushes=self.msp1.log.stats.physical_flushes if self.msp1.log else 0,
             msp2_flushes=self.msp2.log.stats.physical_flushes if self.msp2.log else 0,
             msp1_flushed_sectors=self.msp1.log.stats.flushed_sectors if self.msp1.log else 0,

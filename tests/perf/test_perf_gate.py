@@ -204,3 +204,69 @@ def test_trace_overhead_gate_requires_the_cell():
     assert problems == [
         "trace-overhead: report has no trace_overhead benchmark cell"
     ]
+
+
+def _partition_report(
+    speedup=3.2, p1_mbps=100.0, spread=True, with_cells=True
+):
+    cells = {}
+    for P in (1, 2, 4, 8):
+        cells[str(P)] = {
+            "records_per_s": 100_000.0,
+            "mb_per_s": p1_mbps,
+            "sim_records_per_s": 1_000.0 * (speedup if P == 4 else max(1, P)),
+            "partition_appends": {
+                str(i): 10 for i in range(P if spread else 1)
+            },
+        }
+    cell = {
+        "records": 8000,
+        "speedup_p4_sim": speedup,
+        "p1_sim_records_per_s": 1_000.0,
+        "p4_sim_records_per_s": 1_000.0 * speedup,
+    }
+    if with_cells:
+        cell["cells"] = cells
+    return {"benchmarks": {"log_partitions": cell}}
+
+
+def _append_baseline(mb_per_s=21.0):
+    return {"benchmarks": {"append_flush": {"mb_per_s": mb_per_s}}}
+
+
+def test_partition_scaling_gate_passes():
+    problems = perf_gate.gate_partition_scaling(
+        _partition_report(), _append_baseline(), band=4.0, min_speedup=1.8
+    )
+    assert problems == []
+
+
+def test_partition_scaling_gate_fails_below_speedup_floor():
+    problems = perf_gate.gate_partition_scaling(
+        _partition_report(speedup=1.3), None, band=4.0, min_speedup=1.8
+    )
+    assert any("below the 1.8x floor" in p for p in problems)
+
+
+def test_partition_scaling_gate_fails_on_slowed_single_log_path():
+    problems = perf_gate.gate_partition_scaling(
+        _partition_report(p1_mbps=2.0),
+        _append_baseline(mb_per_s=21.0),
+        band=4.0,
+        min_speedup=1.8,
+    )
+    assert any("slowed the classical single-log path" in p for p in problems)
+
+
+def test_partition_scaling_gate_fails_when_streams_do_not_spread():
+    problems = perf_gate.gate_partition_scaling(
+        _partition_report(spread=False), None, band=4.0, min_speedup=1.8
+    )
+    assert any("did not spread" in p for p in problems)
+
+
+def test_partition_scaling_gate_requires_all_cells():
+    problems = perf_gate.gate_partition_scaling(
+        _partition_report(with_cells=False), None, band=4.0, min_speedup=1.8
+    )
+    assert any("cells missing" in p for p in problems)
