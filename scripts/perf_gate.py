@@ -35,6 +35,19 @@ must produce events (the instrumentation is alive) and must not exceed
 bound, so runner speed cancels out).  The tracing-*off* cost itself is
 covered by the fan-out gate's wall-time band on the existing sections.
 
+A fifth mode gates the PR 7 lazy-restart claim:
+``python scripts/perf_gate.py --instant-restart BENCH.json
+[--max-ttfr-ratio 0.2] [--min-sessions 10000]`` checks the
+``instant_restart`` cell — at every partition count measured, the lazy
+time-to-first-reply after a crash must be at most ``max-ttfr-ratio``
+times the eager one (a >= 5x opening-time win by default), the cell
+must carry at least ``min-sessions`` live sessions for the claim to
+mean anything, and the per-mode invariants must hold: no session was
+ever served before its chain replay, lazy cells recovered every
+session exactly once (inline + pump), eager cells recovered none
+lazily.  All of these are properties of the seeded simulation, gated
+exactly.
+
 A fourth mode gates the PR 6 partitioned log:
 ``python scripts/perf_gate.py --partition-scaling BENCH.json
 [--p1-baseline BENCH_PR1.json] [--min-speedup 1.8]`` checks the
@@ -335,6 +348,119 @@ def _run_partition_scaling_gate(
     return 0
 
 
+#: Default ceiling on lazy/eager TTFR: lazy must open at least 5x sooner.
+INSTANT_RESTART_MAX_TTFR_RATIO = 0.2
+#: The claim is about wide servers; below this the scan tail is noise.
+INSTANT_RESTART_MIN_SESSIONS = 10_000
+
+
+def gate_instant_restart(
+    report: dict, max_ttfr_ratio: float, min_sessions: int
+) -> list[str]:
+    """Gate the ``instant_restart`` cell of a fresh bench report.
+
+    The headline claim — a lazily recovering MSP serves its first reply
+    at most ``max_ttfr_ratio`` times the eager restart's TTFR — is a
+    property of the seeded simulation (sim-clock milliseconds, not wall
+    time), so it is gated exactly, at every partition count the cell
+    measured.  The correctness invariants ride along: served-before-
+    recovery must be zero everywhere, lazy cells must account for every
+    session exactly once across inline + pump recoveries, and eager
+    cells must not have recovered anything lazily.
+    """
+    cell = report.get("benchmarks", {}).get("instant_restart")
+    if cell is None:
+        return ["instant-restart: report has no instant_restart benchmark cell"]
+    problems: list[str] = []
+    sessions = cell.get("sessions", 0)
+    if sessions < min_sessions:
+        problems.append(
+            f"instant-restart: only {sessions} sessions — the TTFR claim "
+            f"is about wide servers (need >= {min_sessions}; regenerate "
+            "with --scale 1.0)"
+        )
+    modes = cell.get("modes", {})
+    partitions = sorted(
+        {run.get("partitions") for run in modes.values() if "partitions" in run}
+    )
+    if not partitions:
+        return problems + ["instant-restart: cell has no per-mode runs"]
+    for P in partitions:
+        eager = cell.get(f"ttfr_eager_p{P}_ms", 0.0)
+        lazy = cell.get(f"ttfr_lazy_p{P}_ms", 0.0)
+        if eager <= 0.0 or lazy <= 0.0:
+            problems.append(
+                f"instant-restart: degenerate TTFR at P={P} "
+                f"(eager {eager} ms, lazy {lazy} ms)"
+            )
+            continue
+        if lazy > max_ttfr_ratio * eager:
+            problems.append(
+                f"instant-restart: P={P} lazy TTFR {lazy:,.0f} ms exceeds "
+                f"{max_ttfr_ratio:g}x eager {eager:,.0f} ms "
+                f"(ratio {lazy / eager:.3f})"
+            )
+    for key, run in sorted(modes.items()):
+        if run.get("served_before_recovery", 0):
+            problems.append(
+                f"instant-restart: {key} served {run['served_before_recovery']} "
+                "requests before the session chain was replayed"
+            )
+        n = run.get("sessions", 0)
+        lazy_n = run.get("lazy_recoveries", 0)
+        if run.get("mode") == "lazy":
+            if lazy_n != n:
+                problems.append(
+                    f"instant-restart: {key} lazily recovered {lazy_n} of "
+                    f"{n} sessions — the pump did not drain"
+                )
+            split = run.get("inline_recoveries", 0) + run.get("pump_recoveries", 0)
+            if split != lazy_n:
+                problems.append(
+                    f"instant-restart: {key} inline+pump {split} != "
+                    f"lazy total {lazy_n}"
+                )
+        elif lazy_n:
+            problems.append(
+                f"instant-restart: {key} is eager yet counted {lazy_n} "
+                "lazy recoveries — mode plumbing leaked"
+            )
+    return problems
+
+
+def _run_instant_restart_gate(
+    path: str, max_ttfr_ratio: float, min_sessions: int
+) -> int:
+    with open(path) as fh:
+        report = json.load(fh)
+    problems = gate_instant_restart(report, max_ttfr_ratio, min_sessions)
+    cell = report.get("benchmarks", {}).get("instant_restart", {})
+    if cell:
+        print(
+            f"instant-restart gate: {cell.get('sessions')} sessions, "
+            f"max ratio {max_ttfr_ratio:g} (>= {1 / max_ttfr_ratio:g}x "
+            f"opening speedup), floor {min_sessions} sessions"
+        )
+        for key, run in sorted(cell.get("modes", {}).items()):
+            print(
+                f"  {key:9s} ttfr {run.get('ttfr_ms', 0.0):12,.1f} ms  "
+                f"full {run.get('full_recovery_ms', 0.0):12,.1f} ms  "
+                f"lazy {run.get('lazy_recoveries', 0)} "
+                f"({run.get('inline_recoveries', 0)} inline, "
+                f"{run.get('pump_recoveries', 0)} pump)"
+            )
+        print(
+            f"  speedup: p1 {cell.get('ttfr_speedup_p1', 0.0):,.1f}x  "
+            f"p4 {cell.get('ttfr_speedup_p4', 0.0):,.1f}x"
+        )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("instant-restart gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -376,7 +502,26 @@ def main(argv=None) -> int:
         help="--partition-scaling: floor on the simulated P=4/P=1 "
         f"append-throughput ratio (default {PARTITION_MIN_SPEEDUP:g})",
     )
+    parser.add_argument(
+        "--instant-restart", metavar="PATH", default=None,
+        help="gate the instant_restart cell of a bench report instead of "
+        "comparing fan-out reports",
+    )
+    parser.add_argument(
+        "--max-ttfr-ratio", type=float, default=INSTANT_RESTART_MAX_TTFR_RATIO,
+        help="--instant-restart: ceiling on the lazy/eager TTFR ratio "
+        f"(default {INSTANT_RESTART_MAX_TTFR_RATIO:g})",
+    )
+    parser.add_argument(
+        "--min-sessions", type=int, default=INSTANT_RESTART_MIN_SESSIONS,
+        help="--instant-restart: minimum live sessions for the TTFR "
+        f"claim to count (default {INSTANT_RESTART_MIN_SESSIONS})",
+    )
     args = parser.parse_args(argv)
+    if args.instant_restart is not None:
+        return _run_instant_restart_gate(
+            args.instant_restart, args.max_ttfr_ratio, args.min_sessions
+        )
     if args.log_space is not None:
         return _run_log_space_gate(args.log_space)
     if args.trace_overhead is not None:

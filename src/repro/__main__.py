@@ -121,6 +121,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="log partitions (default 1 = classical single log); sessions "
         "hash to partitions, each with its own group-commit flusher",
     )
+    workload.add_argument(
+        "--recovery-mode", choices=("eager", "lazy"), default="eager",
+        help="crash-recovery mode: eager replays every session before "
+        "serving (the paper's restart); lazy opens after the analysis "
+        "scan and replays each session's log chain on demand",
+    )
+    workload.add_argument(
+        "--pump-concurrency", type=int, default=4,
+        help="lazy mode: background recovery workers draining "
+        "not-yet-recovered sessions hot-first (default 4)",
+    )
     workload.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser("bench", help="run the log-pipeline perf benchmarks")
@@ -171,6 +182,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "timeline contains recoveries (0 disables crashes)",
     )
     trace.add_argument("--batch", type=float, default=0.0, help="batch flush ms")
+    trace.add_argument(
+        "--recovery-mode", choices=("eager", "lazy"), default="eager",
+        help="crash-recovery mode for the traced workload; lazy adds the "
+        "chain-walk and pump spans to the recovery breakdown",
+    )
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument(
         "--max-events", type=int, default=1_000_000,
@@ -267,6 +283,8 @@ def _run_workload(args: argparse.Namespace) -> int:
         log_truncation=not args.no_truncation,
         log_segment_bytes=args.segment_bytes,
         log_partitions=args.partitions,
+        recovery_mode=args.recovery_mode,
+        recovery_pump_concurrency=args.pump_concurrency,
         seed=args.seed,
     )
     workload = PaperWorkload(params)
@@ -277,6 +295,14 @@ def _run_workload(args: argparse.Namespace) -> int:
     print(f"max response:       {result.max_response_ms:.1f} ms")
     print(f"throughput:         {result.throughput_rps:.2f} req/s")
     print(f"crashes:            {result.crashes}")
+    if args.recovery_mode == "lazy":
+        stats = [workload.msp1.stats, workload.msp2.stats]
+        print(
+            f"lazy recoveries:    "
+            f"{sum(s.lazy_recoveries for s in stats)} "
+            f"({sum(s.inline_recoveries for s in stats)} inline, "
+            f"{sum(s.pump_recoveries for s in stats)} pump)"
+        )
     print(f"orphan recoveries:  {result.orphan_recoveries}")
     print(f"replayed requests:  {result.replayed_requests}")
     print(f"MSP1 cpu/disk util: {result.msp1_cpu_utilization:.2f} / "
@@ -310,6 +336,7 @@ def _run_trace(args: argparse.Namespace) -> int:
         calls_to_sm2=args.m,
         crash_every_n=args.crash_every or None,
         batch_flush_timeout_ms=args.batch,
+        recovery_mode=args.recovery_mode,
         seed=args.seed,
     )
     workload = PaperWorkload(params)
@@ -348,6 +375,7 @@ def _run_trace(args: argparse.Namespace) -> int:
             "recovery.analyze",
             "recovery.checkpoint",
             "recovery.session",
+            "recovery.session.chainwalk",
         )
     ]
     if any(h is not None and h.count for _name, h in rows):
@@ -355,7 +383,7 @@ def _run_trace(args: argparse.Namespace) -> int:
         for name, h in rows:
             if h is not None and h.count:
                 print(
-                    f"  {name:20s} n={h.count:<4d} mean={h.mean:10.3f} "
+                    f"  {name:26s} n={h.count:<4d} mean={h.mean:10.3f} "
                     f"max={h.max:10.3f}"
                 )
     flush_wait = histograms.get("log.flush.wait_ms")

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.errors import FlushFailed
-from repro.core.records import MspCheckpointRecord, SvCheckpointRecord
+from repro.core.records import NO_LSN, MspCheckpointRecord, SvCheckpointRecord
 from repro.core.session import Session, SessionStatus
 from repro.core.shared_variable import SharedVariable
 
@@ -176,6 +176,19 @@ def perform_msp_checkpoint(msp: "MiddlewareServer"):
         # to it, so a partition nothing names still gets a valid scan
         # start and truncation floor.
         partition_ends=msp.log.partition_ends() if partitioned else (),
+        # Lazy recovery (DESIGN.md §15): each live session's backward
+        # chain head, so a post-crash analysis can seed chains without
+        # rediscovering them.  Sessions with an empty chain are omitted
+        # (absent == NO_LSN).
+        session_chain_heads=(
+            {
+                sid: s.chain_lsn
+                for sid, s in msp.sessions.items()
+                if s.chain_lsn != NO_LSN
+            }
+            if msp.lazy_mode
+            else {}
+        ),
     )
     yield from msp.cpu(msp.config.costs.log_append_ms)
     lsn, _size = msp.log.append(record)

@@ -135,6 +135,17 @@ class RecoveryConfig:
     thread_pool_size: int = 16
     cpu_cores: int = 1
 
+    # -- lazy recovery (DESIGN.md §15) --------------------------------------
+    #: ``eager`` replays every session before the MSP opens for traffic
+    #: (the paper's §4 restart, byte-identical to previous releases).
+    #: ``lazy`` opens the MSP right after the analysis scan: each
+    #: session's chain is replayed on demand when its next request
+    #: arrives, with a background pump draining the rest hot-first.
+    recovery_mode: str = "eager"
+    #: How many sessions the background recovery pump replays
+    #: concurrently in lazy mode.
+    recovery_pump_concurrency: int = 4
+
     # -- ablations (paper design choices, for the ablation benches) ---------
     #: Recover sessions in parallel after a crash (paper Fig. 12) or one
     #: at a time ("replaying all activities sequentially in log order").

@@ -14,6 +14,14 @@ The sequence after a restart:
 4. take a fresh MSP checkpoint;
 5. recover all sessions **in parallel** along their reconstructed
    position streams while already accepting new sessions.
+
+Lazy mode (``recovery_mode: lazy``, DESIGN.md §15) replaces step 5: the
+MSP opens for traffic right after the analysis scan with every surviving
+session marked ``lazy_pending``; a session's chain is replayed on demand
+— inline when its next request arrives (:func:`recover_session`), or by
+a background pump draining the rest hot-first under a concurrency
+budget.  Time-to-first-served-request drops from O(total log replay) to
+O(analysis + one session chain).
 """
 
 from __future__ import annotations
@@ -67,6 +75,20 @@ class AnalysisState:
     order_writes: dict[str, int] = field(default_factory=dict)
     #: access-order logging: variable -> {version: read count}.
     order_reads: dict[str, dict[int, int]] = field(default_factory=dict)
+
+    def chain_heads(self) -> dict[str, int]:
+        """Per-session backward-chain heads (lazy recovery, DESIGN.md §15).
+
+        The chain and the position stream cover exactly the same
+        records and are pruned identically (reset at session
+        checkpoints, filtered at EOS, dropped at session end), so the
+        head is simply each stream's most recent position — NO_LSN for
+        a session whose stream is empty (just checkpointed).
+        """
+        return {
+            sid: (stream[-1] if stream else NO_LSN)
+            for sid, stream in self.positions.items()
+        }
 
 
 # -- per-record-kind handlers of the analysis scan ---------------------------
@@ -388,6 +410,7 @@ def recover_msp(msp: "MiddlewareServer"):
     old_epoch = 0
     scan_start = 0
     scan_starts = [0] * nparts
+    ckpt_chain_heads: dict[str, int] = {}
     if anchor is not None:
         # One random read to pull the checkpoint record itself.
         yield from msp.disk.read(1, sequential=False)
@@ -397,6 +420,7 @@ def recover_msp(msp: "MiddlewareServer"):
         msp.table = RecoveryTable.from_snapshot(ckpt.recovered_snapshot)
         old_epoch = ckpt.epoch
         scan_start = ckpt.min_lsn(anchor)
+        ckpt_chain_heads = dict(ckpt.session_chain_heads)
         if nparts > 1:
             if len(ckpt.partition_ends) != nparts:
                 raise ValueError(
@@ -512,6 +536,14 @@ def recover_msp(msp: "MiddlewareServer"):
     msp.epoch = old_epoch + 1
 
     # Rebuild the session objects (state itself is rebuilt by replay).
+    # Lazy mode: each session keeps its scan-derived position stream
+    # (the chain walk's fallback and cross-check oracle) plus its chain
+    # head — seeded from the anchored checkpoint, overridden by anything
+    # the scan observed since.
+    lazy = msp.lazy_mode
+    if lazy:
+        heads = ckpt_chain_heads
+        heads.update(state.chain_heads())
     to_recover = []
     for session_id in sorted(positions.keys() | session_ckpts.keys()):
         if session_id in ended:
@@ -523,6 +555,9 @@ def recover_msp(msp: "MiddlewareServer"):
         stream = positions.get(session_id, [])
         session.position_stream.replace(stream)
         session.first_lsn = stream[0] if stream else session.last_ckpt_lsn
+        if lazy:
+            session.chain_lsn = heads.get(session_id, NO_LSN)
+            session.lazy_pending = True
         to_recover.append(session)
 
     # 3. Broadcast the recovery message within the service domain.
@@ -549,7 +584,13 @@ def recover_msp(msp: "MiddlewareServer"):
     # immediately, so new sessions are accepted while these replay.
     # (The sequential mode exists only for the ablation benchmark — the
     # paper's design point is that parallel recovery shortens outages.)
-    if msp.config.parallel_recovery:
+    # Lazy mode replaces this step entirely: no session is replayed
+    # here — requests trigger their session's replay inline, and a
+    # background pump drains the rest hot-first (DESIGN.md §15).
+    if msp.lazy_mode:
+        msp.sim.probe("recovery.lazy.analyze", owner=msp.name)
+        spawn_recovery_pump(msp)
+    elif msp.config.parallel_recovery:
         for session in to_recover:
             msp.sim.spawn(
                 run_session_recovery(msp, session, orphan=False),
@@ -573,3 +614,144 @@ def recover_msp(msp: "MiddlewareServer"):
         )
         tracer.metrics.observe("recovery.total_ms", msp.sim.now - started_at)
     msp.sim.probe("recovery.end", owner=msp.name)
+
+
+# -- lazy on-demand session recovery (DESIGN.md §15) --------------------------
+
+
+def walk_session_chain(msp: "MiddlewareServer", session, head: int):
+    """Walk one session's backward chain from ``head`` (generator).
+
+    Returns the chained record lsns in forward (replay) order, or
+    ``None`` if a visited record carries no chain link — a log written
+    in eager mode, where the caller must fall back to the scan-derived
+    position stream.  Raises :class:`LogTruncatedError` (from the
+    window reader) if the chain reaches below the truncation floor, and
+    :class:`SessionProtocolError` if a link leaves the session or fails
+    to move strictly backward — either means a corrupt chain, and
+    serving state reconstructed from it would violate exactly-once.
+    """
+    from repro.core.errors import SessionProtocolError
+    from repro.core.log_manager import LogWindowReader
+    from repro.core.records import session_of
+
+    reader = LogWindowReader(msp.log, durable_only=False)
+    positions: list[int] = []
+    cursor = head
+    prev_offset: int | None = None
+    while cursor != NO_LSN:
+        record = yield from reader.fetch(cursor)
+        if session_of(record) != session.id:
+            raise SessionProtocolError(
+                f"{msp.name}: chain of session {session.id} reached foreign "
+                f"record {record!r} at {cursor}"
+            )
+        offset = plsn_offset(cursor)
+        if prev_offset is not None and offset >= prev_offset:
+            raise SessionProtocolError(
+                f"{msp.name}: chain of session {session.id} does not move "
+                f"strictly backward at {cursor}"
+            )
+        prev_offset = offset
+        positions.append(cursor)
+        if record.prev_lsn is None:
+            return None
+        cursor = record.prev_lsn
+    positions.reverse()
+    return positions
+
+
+def recover_session(msp: "MiddlewareServer", session):
+    """Replay one lazy-pending session's chain on demand (generator).
+
+    Idempotent under races: the claim (clearing ``lazy_pending``) is
+    synchronous, so of an arriving request and a pump worker targeting
+    the same session, exactly one replays it and the other sees status
+    RECOVERING (busy reply / next pump pick).
+    """
+    if not session.lazy_pending:
+        return
+    session.lazy_pending = False
+    session.status = SessionStatus.RECOVERING
+    msp.stats.lazy_recoveries += 1
+    msp.sim.probe("recovery.session.begin", owner=msp.name)
+    tracer = msp.sim.tracer
+    step = None
+    if tracer is not None:
+        step = tracer.span(
+            "recovery.session.chainwalk", owner=msp.name, session=session.id
+        )
+    walked = None
+    if session.chain_lsn != NO_LSN:
+        walked = yield from walk_session_chain(msp, session, session.chain_lsn)
+    if step is not None:
+        step.end(
+            records=len(walked) if walked is not None else 0,
+            fallback=walked is None and session.chain_lsn != NO_LSN,
+        )
+    if walked is not None:
+        if msp.config.recovery_merge_assert:
+            # The chain walk must visit exactly the records the analysis
+            # scan attributed to this session (the §15 safety argument's
+            # executable form).
+            scanned = list(session.position_stream.positions())
+            if walked != scanned:
+                from repro.core.errors import SessionProtocolError
+
+                raise SessionProtocolError(
+                    f"{msp.name}: chain walk of session {session.id} visited "
+                    f"{walked}, scan attributed {scanned}"
+                )
+        session.position_stream.replace(walked)
+    # A chainless (eager-written) log replays along the scan-derived
+    # stream already installed on the session.
+    yield from run_session_recovery(msp, session, orphan=False)
+    msp.sim.probe("recovery.session.end", owner=msp.name)
+
+
+def _session_heat(msp: "MiddlewareServer", session_id: str) -> int:
+    """Trace-derived request heat (PR 5 metrics registry); 0 untraced."""
+    tracer = msp.sim.tracer
+    if tracer is None:
+        return 0
+    counter = tracer.metrics.counters.get(f"heat.session.{session_id}")
+    return counter.value if counter is not None else 0
+
+
+def _next_lazy_session(msp: "MiddlewareServer"):
+    """The hottest unclaimed lazy-pending session (deterministic:
+    strictly greater heat wins, ties break to the smallest id)."""
+    best = None
+    best_heat = -1
+    for session_id in sorted(msp.sessions):
+        session = msp.sessions[session_id]
+        if not session.lazy_pending:
+            continue
+        heat = _session_heat(msp, session_id)
+        if heat > best_heat:
+            best, best_heat = session, heat
+    return best
+
+
+def _recovery_pump(msp: "MiddlewareServer"):
+    """One background pump worker: claim and replay sessions until none
+    remain.  Picking and claiming are synchronous (no yield between
+    them), so concurrent workers never double-replay a session."""
+    while True:
+        session = _next_lazy_session(msp)
+        if session is None:
+            return
+        msp.stats.pump_recoveries += 1
+        msp.sim.probe("recovery.pump.step", owner=msp.name)
+        yield from recover_session(msp, session)
+
+
+def spawn_recovery_pump(msp: "MiddlewareServer") -> None:
+    """Start the background drain under the configured concurrency
+    budget (lazy mode step 5)."""
+    pending = sum(1 for s in msp.sessions.values() if s.lazy_pending)
+    workers = min(max(1, msp.config.recovery_pump_concurrency), pending)
+    for i in range(workers):
+        msp.sim.spawn(
+            _recovery_pump(msp), name=f"{msp.name}.recpump{i}", group=msp.group
+        )

@@ -27,7 +27,7 @@ from repro.core.checkpoint import (
 )
 from repro.core.config import LoggingMode, RecoveryConfig
 from repro.core.context import NormalContext
-from repro.core.crash_recovery import recover_msp
+from repro.core.crash_recovery import recover_msp, recover_session
 from repro.core.domain import ServiceDomainConfig
 from repro.core.dv import RecoveryTable
 from repro.core.errors import FlushFailed, OrphanDetected, SessionProtocolError
@@ -81,6 +81,14 @@ class MspStats:
     replayed_requests: int = 0
     recovery_scan_records: int = 0
     recovery_scan_ms: float = 0.0
+    #: Lazy recovery (DESIGN.md §15): chains replayed on demand, split
+    #: by trigger (an arriving request vs the background pump).
+    lazy_recoveries: int = 0
+    inline_recoveries: int = 0
+    pump_recoveries: int = 0
+    #: Invariant counter — a request entering normal processing while
+    #: its session's chain was still unreplayed.  Must stay 0.
+    served_before_recovery: int = 0
 
 
 class MiddlewareServer:
@@ -136,6 +144,10 @@ class MiddlewareServer:
         self.group: Optional[ProcessGroup] = None
         self.running = False
         self.stats = MspStats()
+        #: Lazy recovery mode (DESIGN.md §15): thread per-session
+        #: backward-chain links through the log and recover sessions on
+        #: demand after a crash.  Cached — the mode is fixed per run.
+        self.lazy_mode = self.config.recovery_mode == "lazy"
         # Ablation support: the single MSP-wide DV (see session_for).
         from repro.core.dv import DependencyVector
 
@@ -172,6 +184,18 @@ class MiddlewareServer:
         """
         if self.running:
             raise SessionProtocolError(f"{self.name} already running")
+        if self.config.recovery_mode not in ("eager", "lazy"):
+            raise SessionProtocolError(
+                f"unknown recovery_mode {self.config.recovery_mode!r}; "
+                "choose 'eager' or 'lazy'"
+            )
+        if self.lazy_mode and self.config.sv_logging != "value":
+            # Access-order recovery couples every session's replay
+            # through the per-variable access sequence — the opposite of
+            # the independent per-chain replays lazy mode relies on.
+            raise SessionProtocolError(
+                "lazy recovery requires value logging (sv_logging='value')"
+            )
         if self.recoverable and self.config.sv_logging == "access-order":
             # The ablation supports crash recovery of standalone MSPs
             # only: checkpoints would cut the access chains replay must
@@ -328,7 +352,11 @@ class MiddlewareServer:
         Returns ``(lsn, size)``.
         """
         yield from self.cpu(self.config.costs.log_append_ms)
+        if self.lazy_mode:
+            record.prev_lsn = session.chain_lsn
         lsn, size = self.log.append(record)
+        if self.lazy_mode:
+            session.chain_lsn = lsn
         spill_due = session.account_record(lsn, size, self.epoch)
         if spill_due:
             yield from session.position_stream.spill(self.disk)
@@ -343,7 +371,11 @@ class MiddlewareServer:
         variable's state number, not the session's (paper Fig. 8).
         """
         yield from self.cpu(self.config.costs.log_append_ms)
+        if self.lazy_mode:
+            record.prev_lsn = session.chain_lsn
         lsn, size = self.log.append(record)
+        if self.lazy_mode:
+            session.chain_lsn = lsn
         if session.first_lsn is None:
             session.first_lsn = lsn
         session.bytes_since_ckpt += size
@@ -418,6 +450,9 @@ class MiddlewareServer:
             tracer = self.sim.tracer
             span = None
             if tracer is not None:
+                # Per-session request heat — the lazy recovery pump's
+                # hot-first priority signal (DESIGN.md §15).
+                tracer.metrics.inc(f"heat.session.{request.session_id}")
                 span = tracer.span(
                     "msp.request",
                     owner=self.name,
@@ -442,6 +477,15 @@ class MiddlewareServer:
         self.sim.probe("msp.request", owner=self.name)
         yield from self.cpu(costs.message_stack_ms + costs.request_dispatch_ms)
         session = self.session_for(request.session_id)
+
+        if session.lazy_pending:
+            # Lazy restart (DESIGN.md §15): first contact with an
+            # unrecovered session replays its chain inline, then falls
+            # through — duplicate detection below runs against the
+            # restored exactly-once state.  A concurrent request for the
+            # same session sees RECOVERING and gets a busy reply.
+            self.stats.inline_recoveries += 1
+            yield from recover_session(self, session)
 
         if session.status is not SessionStatus.NORMAL:
             # Checkpointing or recovering: tell the client to retry
@@ -514,6 +558,10 @@ class MiddlewareServer:
             yield from maybe_session_checkpoint(self, session)
 
     def _process_new_request(self, request: Request, session: Session):
+        if session.lazy_pending:
+            # Never reached if the lazy machinery is correct: a request
+            # must not execute against a not-yet-replayed session.
+            self.stats.served_before_recovery += 1
         costs = self.config.costs
         # Fig. 7 "after receive" actions.
         if self.recoverable:

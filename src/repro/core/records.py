@@ -80,6 +80,12 @@ class RequestRecord:
 
     The attached DV is present only for intra-domain senders (optimistic
     logging); cross-domain messages arrive flushed and carry none.
+
+    ``prev_lsn`` is an optional trailing field written only in lazy
+    recovery mode (DESIGN.md §15): the lsn of the session's previous
+    chained record, forming a per-session backward chain that lazy
+    recovery walks instead of attributing a full scan.  Eager mode omits
+    it, keeping the bytes identical to previous releases.
     """
 
     session_id: str
@@ -87,24 +93,26 @@ class RequestRecord:
     method: str
     argument: bytes
     sender_dv: Optional[DependencyVector] = None
+    prev_lsn: Optional[int] = None
     kind: int = field(default=KIND_REQUEST, init=False)
 
     def encode(self) -> bytes:
         sid = self.session_id.encode("utf-8")
         method = self.method.encode("utf-8")
         argument = self.argument
-        return b"".join(
-            (
-                _kind_len(KIND_REQUEST, len(sid)),
-                sid,
-                encode_uvarint(self.seq),
-                encode_uvarint(len(method)),
-                method,
-                encode_uvarint(len(argument)),
-                argument,
-                _optional_dv_bytes(self.sender_dv),
-            )
-        )
+        parts = [
+            _kind_len(KIND_REQUEST, len(sid)),
+            sid,
+            encode_uvarint(self.seq),
+            encode_uvarint(len(method)),
+            method,
+            encode_uvarint(len(argument)),
+            argument,
+            _optional_dv_bytes(self.sender_dv),
+        ]
+        if self.prev_lsn is not None:
+            parts.append(encode_uvarint(self.prev_lsn))
+        return b"".join(parts)
 
 
 @dataclass
@@ -116,24 +124,26 @@ class ReplyRecord:
     seq: int
     payload: bytes
     sender_dv: Optional[DependencyVector] = None
+    prev_lsn: Optional[int] = None
     kind: int = field(default=KIND_REPLY, init=False)
 
     def encode(self) -> bytes:
         sid = self.session_id.encode("utf-8")
         out = self.outgoing_session_id.encode("utf-8")
         payload = self.payload
-        return b"".join(
-            (
-                _kind_len(KIND_REPLY, len(sid)),
-                sid,
-                encode_uvarint(len(out)),
-                out,
-                encode_uvarint(self.seq),
-                encode_uvarint(len(payload)),
-                payload,
-                _optional_dv_bytes(self.sender_dv),
-            )
-        )
+        parts = [
+            _kind_len(KIND_REPLY, len(sid)),
+            sid,
+            encode_uvarint(len(out)),
+            out,
+            encode_uvarint(self.seq),
+            encode_uvarint(len(payload)),
+            payload,
+            _optional_dv_bytes(self.sender_dv),
+        ]
+        if self.prev_lsn is not None:
+            parts.append(encode_uvarint(self.prev_lsn))
+        return b"".join(parts)
 
 
 @dataclass
@@ -149,23 +159,25 @@ class SvReadRecord:
     variable: str
     value: bytes
     variable_dv: DependencyVector
+    prev_lsn: Optional[int] = None
     kind: int = field(default=KIND_SV_READ, init=False)
 
     def encode(self) -> bytes:
         sid = self.session_id.encode("utf-8")
         var = self.variable.encode("utf-8")
         value = self.value
-        return b"".join(
-            (
-                _kind_len(KIND_SV_READ, len(sid)),
-                sid,
-                encode_uvarint(len(var)),
-                var,
-                encode_uvarint(len(value)),
-                value,
-                self.variable_dv.encode_bytes(),
-            )
-        )
+        parts = [
+            _kind_len(KIND_SV_READ, len(sid)),
+            sid,
+            encode_uvarint(len(var)),
+            var,
+            encode_uvarint(len(value)),
+            value,
+            self.variable_dv.encode_bytes(),
+        ]
+        if self.prev_lsn is not None:
+            parts.append(encode_uvarint(self.prev_lsn))
+        return b"".join(parts)
 
 
 @dataclass
@@ -182,24 +194,26 @@ class SvWriteRecord:
     value: bytes
     writer_dv: DependencyVector
     prev_write_lsn: int = NO_LSN
+    prev_lsn: Optional[int] = None
     kind: int = field(default=KIND_SV_WRITE, init=False)
 
     def encode(self) -> bytes:
         sid = self.session_id.encode("utf-8")
         var = self.variable.encode("utf-8")
         value = self.value
-        return b"".join(
-            (
-                _kind_len(KIND_SV_WRITE, len(sid)),
-                sid,
-                encode_uvarint(len(var)),
-                var,
-                encode_uvarint(len(value)),
-                value,
-                self.writer_dv.encode_bytes(),
-                encode_uvarint(self.prev_write_lsn),
-            )
-        )
+        parts = [
+            _kind_len(KIND_SV_WRITE, len(sid)),
+            sid,
+            encode_uvarint(len(var)),
+            var,
+            encode_uvarint(len(value)),
+            value,
+            self.writer_dv.encode_bytes(),
+            encode_uvarint(self.prev_write_lsn),
+        ]
+        if self.prev_lsn is not None:
+            parts.append(encode_uvarint(self.prev_lsn))
+        return b"".join(parts)
 
 
 @dataclass
@@ -222,6 +236,7 @@ class SvUpdateRecord:
     variable_dv: DependencyVector
     writer_dv: DependencyVector
     prev_write_lsn: int = NO_LSN
+    prev_lsn: Optional[int] = None
     kind: int = field(default=KIND_SV_UPDATE, init=False)
 
     def encode(self) -> bytes:
@@ -229,21 +244,22 @@ class SvUpdateRecord:
         var = self.variable.encode("utf-8")
         old_value = self.old_value
         new_value = self.new_value
-        return b"".join(
-            (
-                _kind_len(KIND_SV_UPDATE, len(sid)),
-                sid,
-                encode_uvarint(len(var)),
-                var,
-                encode_uvarint(len(old_value)),
-                old_value,
-                encode_uvarint(len(new_value)),
-                new_value,
-                self.variable_dv.encode_bytes(),
-                self.writer_dv.encode_bytes(),
-                encode_uvarint(self.prev_write_lsn),
-            )
-        )
+        parts = [
+            _kind_len(KIND_SV_UPDATE, len(sid)),
+            sid,
+            encode_uvarint(len(var)),
+            var,
+            encode_uvarint(len(old_value)),
+            old_value,
+            encode_uvarint(len(new_value)),
+            new_value,
+            self.variable_dv.encode_bytes(),
+            self.writer_dv.encode_bytes(),
+            encode_uvarint(self.prev_write_lsn),
+        ]
+        if self.prev_lsn is not None:
+            parts.append(encode_uvarint(self.prev_lsn))
+        return b"".join(parts)
 
 
 @dataclass
@@ -300,18 +316,21 @@ class SvOrderRecord:
     #: write produced (observed + 1).
     version: int
     is_write: bool
+    prev_lsn: Optional[int] = None
     kind: int = field(default=KIND_SV_ORDER, init=False)
 
     def encode(self) -> bytes:
-        return (
+        enc = (
             Encoder()
             .uint(self.kind)
             .text(self.session_id)
             .text(self.variable)
             .uint(self.version)
             .boolean(self.is_write)
-            .finish()
         )
+        if self.prev_lsn is not None:
+            enc.uint(self.prev_lsn)
+        return enc.finish()
 
 
 @dataclass
@@ -367,6 +386,17 @@ class MspCheckpointRecord:
     time.  A partition none of the start-lsns name still needs a scan
     start and truncation floor — its end at the anchor point.  The
     single-partition log omits it (byte-identical encoding).
+
+    ``session_chain_heads`` is a second optional trailing field written
+    only in lazy recovery mode (DESIGN.md §15): each live session's
+    backward-chain head (the lsn of its most recent chained record) at
+    checkpoint time, ``NO_LSN`` for a freshly checkpointed chain.  The
+    analysis scan seeds its chain heads from the anchored checkpoint and
+    then advances them with every scanned record.  When present, the
+    ``partition_ends`` block is always written first — even a
+    single-partition log writes its (one-element) ends — so the two
+    exhaustion-gated trailing fields decode unambiguously.  Eager mode
+    leaves the heads empty and the encoding byte-identical.
     """
 
     recovered_snapshot: dict[str, dict[int, int]]
@@ -374,6 +404,7 @@ class MspCheckpointRecord:
     sv_start_lsns: dict[str, int]  #: variable -> scan-start LSN
     epoch: int = 0
     partition_ends: tuple[int, ...] = ()
+    session_chain_heads: dict[str, int] = field(default_factory=dict)
     kind: int = field(default=KIND_MSP_CHECKPOINT, init=False)
 
     def min_lsn(self, own_lsn: int) -> int:
@@ -427,10 +458,14 @@ class MspCheckpointRecord:
         enc.uint(len(self.sv_start_lsns))
         for name in sorted(self.sv_start_lsns):
             enc.text(name).uint(self.sv_start_lsns[name])
-        if self.partition_ends:
+        if self.partition_ends or self.session_chain_heads:
             enc.uint(len(self.partition_ends))
             for end in self.partition_ends:
                 enc.uint(end)
+        if self.session_chain_heads:
+            enc.uint(len(self.session_chain_heads))
+            for sid in sorted(self.session_chain_heads):
+                enc.text(sid).uint(self.session_chain_heads[sid])
         return enc.finish()
 
 
@@ -542,13 +577,21 @@ def _read_optional_dv(buf: Buffer, pos: int) -> tuple[Optional[DependencyVector]
     return DependencyVector.decode_from_buffer(buf, pos)
 
 
+def _read_optional_prev_lsn(buf: Buffer, pos: int) -> tuple[Optional[int], int]:
+    """The lazy-mode trailing chain link (present iff bytes remain)."""
+    if pos < len(buf):
+        return read_uvarint(buf, pos)
+    return None, pos
+
+
 def _decode_request(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
     session_id, pos = read_text_interned(buf, pos)
     seq, pos = read_uvarint(buf, pos)
     method, pos = read_text_interned(buf, pos)
     argument, pos = read_bytes(buf, pos)
     sender_dv, pos = _read_optional_dv(buf, pos)
-    return RequestRecord(session_id, seq, method, argument, sender_dv), pos
+    prev_lsn, pos = _read_optional_prev_lsn(buf, pos)
+    return RequestRecord(session_id, seq, method, argument, sender_dv, prev_lsn), pos
 
 
 def _decode_reply(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
@@ -557,7 +600,8 @@ def _decode_reply(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
     seq, pos = read_uvarint(buf, pos)
     payload, pos = read_bytes(buf, pos)
     sender_dv, pos = _read_optional_dv(buf, pos)
-    return ReplyRecord(session_id, outgoing, seq, payload, sender_dv), pos
+    prev_lsn, pos = _read_optional_prev_lsn(buf, pos)
+    return ReplyRecord(session_id, outgoing, seq, payload, sender_dv, prev_lsn), pos
 
 
 def _decode_sv_read(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
@@ -565,7 +609,8 @@ def _decode_sv_read(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
     variable, pos = read_text_interned(buf, pos)
     value, pos = read_bytes(buf, pos)
     dv, pos = DependencyVector.decode_from_buffer(buf, pos)
-    return SvReadRecord(session_id, variable, value, dv), pos
+    prev_lsn, pos = _read_optional_prev_lsn(buf, pos)
+    return SvReadRecord(session_id, variable, value, dv, prev_lsn), pos
 
 
 def _decode_sv_write(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
@@ -574,7 +619,8 @@ def _decode_sv_write(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
     value, pos = read_bytes(buf, pos)
     dv, pos = DependencyVector.decode_from_buffer(buf, pos)
     prev_write_lsn, pos = read_uvarint(buf, pos)
-    return SvWriteRecord(session_id, variable, value, dv, prev_write_lsn), pos
+    prev_lsn, pos = _read_optional_prev_lsn(buf, pos)
+    return SvWriteRecord(session_id, variable, value, dv, prev_write_lsn, prev_lsn), pos
 
 
 def _decode_sv_update(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
@@ -585,10 +631,11 @@ def _decode_sv_update(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
     variable_dv, pos = DependencyVector.decode_from_buffer(buf, pos)
     writer_dv, pos = DependencyVector.decode_from_buffer(buf, pos)
     prev_write_lsn, pos = read_uvarint(buf, pos)
+    prev_lsn, pos = _read_optional_prev_lsn(buf, pos)
     return (
         SvUpdateRecord(
             session_id, variable, old_value, new_value, variable_dv, writer_dv,
-            prev_write_lsn,
+            prev_write_lsn, prev_lsn,
         ),
         pos,
     )
@@ -643,6 +690,8 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
             argument=dec.raw(),
             sender_dv=_decode_optional_dv(dec),
         )
+        if not dec.exhausted:
+            record.prev_lsn = dec.uint()
     elif kind == KIND_REPLY:
         record = ReplyRecord(
             session_id=dec.text(),
@@ -651,6 +700,8 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
             payload=dec.raw(),
             sender_dv=_decode_optional_dv(dec),
         )
+        if not dec.exhausted:
+            record.prev_lsn = dec.uint()
     elif kind == KIND_SV_READ:
         record = SvReadRecord(
             session_id=dec.text(),
@@ -658,6 +709,8 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
             value=dec.raw(),
             variable_dv=DependencyVector.decode_from(dec),
         )
+        if not dec.exhausted:
+            record.prev_lsn = dec.uint()
     elif kind == KIND_SV_WRITE:
         record = SvWriteRecord(
             session_id=dec.text(),
@@ -666,6 +719,8 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
             writer_dv=DependencyVector.decode_from(dec),
             prev_write_lsn=dec.uint(),
         )
+        if not dec.exhausted:
+            record.prev_lsn = dec.uint()
     elif kind == KIND_SV_CHECKPOINT:
         record = SvCheckpointRecord(variable=dec.text(), value=dec.raw(), version=dec.uint())
         if not dec.exhausted:
@@ -697,12 +752,16 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
         ends: tuple[int, ...] = ()
         if not dec.exhausted:
             ends = tuple(dec.uint() for _ in range(dec.uint()))
+        chain_heads: dict[str, int] = {}
+        if not dec.exhausted:
+            chain_heads = {dec.text(): dec.uint() for _ in range(dec.uint())}
         record = MspCheckpointRecord(
             recovered_snapshot=recovered,
             session_start_lsns=session_start,
             sv_start_lsns=sv_start,
             epoch=epoch,
             partition_ends=ends,
+            session_chain_heads=chain_heads,
         )
     elif kind == KIND_EOS:
         record = EosRecord(session_id=dec.text(), orphan_lsn=dec.uint())
@@ -719,6 +778,8 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
             version=dec.uint(),
             is_write=dec.boolean(),
         )
+        if not dec.exhausted:
+            record.prev_lsn = dec.uint()
     elif kind == KIND_SV_UPDATE:
         record = SvUpdateRecord(
             session_id=dec.text(),
@@ -729,6 +790,8 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
             writer_dv=DependencyVector.decode_from(dec),
             prev_write_lsn=dec.uint(),
         )
+        if not dec.exhausted:
+            record.prev_lsn = dec.uint()
     else:
         raise ValueError(f"unknown log record kind {kind}")
     dec.expect_end()

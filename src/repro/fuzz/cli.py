@@ -88,6 +88,11 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
         help="log partitions (default 1 = classical single log)",
     )
     parser.add_argument(
+        "--recovery-mode", choices=("eager", "lazy"), default=None,
+        help="crash-recovery mode (default eager; lazy adds on-demand "
+        "chain-replay crash sites to the enumeration)",
+    )
+    parser.add_argument(
         "--minimize", action="store_true", help="shrink failures before reporting"
     )
     parser.add_argument(
@@ -106,6 +111,8 @@ def _params(args: argparse.Namespace) -> FuzzParams:
         params.num_clients = args.clients
     if getattr(args, "partitions", None) is not None:
         params.log_partitions = args.partitions
+    if getattr(args, "recovery_mode", None) is not None:
+        params.recovery_mode = args.recovery_mode
     return params
 
 

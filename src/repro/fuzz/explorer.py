@@ -133,6 +133,12 @@ class FuzzParams:
     #: Log partition count (1 = classical single log); >1 exercises the
     #: per-partition group commit and DV-ordered recovery merge.
     log_partitions: int = 1
+    #: Crash-recovery mode: ``eager`` (historical, byte-identical) or
+    #: ``lazy`` (on-demand chain replay, DESIGN.md §15).  Lazy mode adds
+    #: crash sites inside the lazy machinery (analysis hand-off, chain
+    #: walks, pump steps), so the exhaustive battery enumerates
+    #: crash-during-lazy-replay and crash-while-partially-recovered.
+    recovery_mode: str = "eager"
 
     def workload_params(self, seed: int) -> WorkloadParams:
         return WorkloadParams(
@@ -147,6 +153,7 @@ class FuzzParams:
             sv_ckpt_write_threshold=self.sv_ckpt_write_threshold,
             forced_ckpt_msp_count=self.forced_ckpt_msp_count,
             log_partitions=self.log_partitions,
+            recovery_mode=self.recovery_mode,
             # Atomic RMW counters: with the paper's separate read + write
             # accesses, two concurrent clients can interleave and lose an
             # increment with no crash at all (the fuzzer's first find),

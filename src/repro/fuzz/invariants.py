@@ -20,7 +20,10 @@ quiesced world.  Each checker returns a list of violation strings (empty
   recovery must itself be recoverable);
 - **network counter ledger** — every copy the fabric created is exactly
   one of delivered, dropped, or in flight (under loss and duplication
-  faults alike).
+  faults alike);
+- **lazy recovery** — no request ever executed against a session whose
+  chain was still unreplayed, and no session is left awaiting its
+  on-demand replay after quiesce (DESIGN.md §15).
 """
 
 from __future__ import annotations
@@ -89,6 +92,11 @@ def check_no_orphans(msp: "MiddlewareServer") -> list[str]:
             violations.append(
                 f"orphan: {msp.name} session {session.id} stuck in "
                 f"{session.status.name} after quiesce"
+            )
+        if session.lazy_pending:
+            violations.append(
+                f"lazy: {msp.name} session {session.id} still awaiting "
+                "its on-demand replay after quiesce (pump stalled)"
             )
     for sv in msp.shared.values():
         if sv.is_orphan(msp.table):
@@ -283,12 +291,24 @@ def check_running(msp: "MiddlewareServer") -> list[str]:
     return [f"recovery: {msp.name} is not serving after quiesce"]
 
 
+def check_lazy_recovery(msp: "MiddlewareServer") -> list[str]:
+    """Lazy mode (DESIGN.md §15): no request may ever have executed
+    against a session whose chain was still unreplayed."""
+    if msp.stats.served_before_recovery:
+        return [
+            f"lazy: {msp.name} executed {msp.stats.served_before_recovery} "
+            "request(s) against not-yet-replayed sessions"
+        ]
+    return []
+
+
 def check_msp(msp: "MiddlewareServer") -> list[str]:
     """The full per-MSP battery."""
     violations = check_running(msp)
     violations += check_no_orphans(msp)
     violations += check_sv_chains(msp)
     violations += check_durable_log(msp)
+    violations += check_lazy_recovery(msp)
     return violations
 
 

@@ -529,6 +529,165 @@ def bench_log_partitions(scale: float = 1.0) -> dict:
     }
 
 
+def _instant_restart_run(mode: str, nparts: int, n_sessions: int) -> dict:
+    """One instant-restart cell: build a server with ``n_sessions`` live
+    sessions, crash it, and measure sim-ms from the restart to the first
+    served reply (TTFR) plus the time until every session is recovered.
+
+    Eager mode replays every session before opening — TTFR grows with
+    the session count.  Lazy mode opens after the analysis scan and
+    replays only the probed session's chain inline; the pump drains the
+    rest in the background (``full_recovery_ms`` shows that tail).
+    """
+    from repro.core import RecoveryConfig, ServiceDomainConfig
+    from repro.core.client import EndClient
+    from repro.core.msp import MiddlewareServer
+    from repro.net import Network
+    from repro.sim import RngRegistry
+
+    sim = Simulator()
+    rng = RngRegistry(7)
+    net = Network(sim, rng=rng)
+    config = RecoveryConfig(recovery_mode=mode, log_partitions=nparts)
+    # A calm checkpoint cadence for a world this wide: the default 2 s
+    # MSP checkpoint period plus 8-interval forced session checkpoints
+    # would spend the whole build writing per-session checkpoints (the
+    # build is longer than 16 s of sim time at 10k sessions).  One MSP
+    # checkpoint still lands before the crash, bounding the analysis
+    # scan, which is the shape a production restart sees.
+    config.msp_ckpt_interval_ms = 10_000.0
+    config.forced_ckpt_msp_count = 1_000_000
+    msp = MiddlewareServer(
+        sim, net, "msp1", ServiceDomainConfig(), config=config, rng=rng
+    )
+
+    def bump(ctx, argument):
+        yield from ctx.compute(0.05)
+        raw = yield from ctx.get_session_var("n")
+        n = int.from_bytes(raw or b"\x00", "big") + 1
+        yield from ctx.set_session_var("n", n.to_bytes(4, "big"))
+        return n.to_bytes(4, "big")
+
+    msp.register_service("bump", bump)
+    msp.start_process()
+    # Spread the sessions over a few client machines so the client-side
+    # CPU (capacity 1 per machine) does not serialize the build.  Only
+    # the probe's client (client0, which owns exactly one session) uses
+    # a fine resend period — it quantizes the TTFR measurement.  Build
+    # clients must never resend at all: every session calls
+    # concurrently, so the server's inbox is thousands deep and queue
+    # latency dwarfs any human-scale resend period — each waiting
+    # session re-sending per period is O(n) duplicates per genuine
+    # request, a quadratic flood.  The build network is fault-free and
+    # the builders finish before the crash, so resends buy nothing.
+    probe_client = EndClient(
+        sim, net, "client0", resend_timeout_ms=5.0, busy_sleep_ms=5.0
+    )
+    clients = [
+        EndClient(
+            sim, net, f"client{i}", resend_timeout_ms=600_000.0,
+            busy_sleep_ms=600_000.0,
+        )
+        for i in range(1, 1 + min(32, n_sessions))
+    ]
+    sessions = [probe_client.open_session("msp1")] + [
+        clients[i % len(clients)].open_session("msp1")
+        for i in range(n_sessions - 1)
+    ]
+
+    def builder(idx):
+        def process():
+            # Stagger the openings so the inbox is a queue, not a spike.
+            yield 0.2 * idx
+            for _ in range(2):
+                yield from sessions[idx].call("bump", b"")
+
+        return process()
+
+    start = time.perf_counter()
+    procs = [sim.spawn(builder(i)) for i in range(n_sessions)]
+    for proc in procs:
+        sim.run_until_process(proc, limit=36_000_000)
+    build_seconds = time.perf_counter() - start
+
+    msp.crash()
+    t0 = sim.now
+    msp.restart_process()
+    ttfr_box: list[float] = []
+
+    def probe():
+        result = yield from sessions[0].call("bump", b"")
+        assert int.from_bytes(result.payload, "big") == 3
+        ttfr_box.append(sim.now - t0)
+
+    start = time.perf_counter()
+    probe_proc = sim.spawn(probe())
+    sim.run_until_process(probe_proc, limit=36_000_000)
+
+    def drain():
+        # Coarse poll: the pending scan is O(sessions), so a 10 ms poll
+        # over a 10k-session drain is itself quadratic wall time.
+        while any(
+            s.lazy_pending or s.recovery_pending for s in msp.sessions.values()
+        ) or not msp.running:
+            yield 500.0
+
+    drain_proc = sim.spawn(drain())
+    sim.run_until_process(drain_proc, limit=36_000_000)
+    recover_seconds = time.perf_counter() - start
+    return {
+        "mode": mode,
+        "partitions": nparts,
+        "sessions": n_sessions,
+        "ttfr_ms": ttfr_box[0],
+        "full_recovery_ms": sim.now - t0,
+        "build_seconds": build_seconds,
+        "seconds": build_seconds + recover_seconds,
+        "lazy_recoveries": msp.stats.lazy_recoveries,
+        "inline_recoveries": msp.stats.inline_recoveries,
+        "pump_recoveries": msp.stats.pump_recoveries,
+        "served_before_recovery": msp.stats.served_before_recovery,
+    }
+
+
+def bench_instant_restart(scale: float = 1.0) -> dict:
+    """Time-to-first-reply after a crash: lazy vs eager restart.
+
+    Four cells — mode in {eager, lazy} x partitions in {1, 4} — each
+    with ``max(64, 10_000 * scale)`` live sessions.  The headline is
+    ``ttfr_speedup_p1``: eager TTFR over lazy TTFR on the classical
+    single log (higher = lazy opens that much sooner); the perf gate
+    floors it at 5x for reports with >= 10k sessions (ISSUE 7).
+    """
+    n = max(64, int(10_000 * scale))
+    cells = {
+        f"{mode}_p{P}": _instant_restart_run(mode, P, n)
+        for P in (1, 4)
+        for mode in ("eager", "lazy")
+    }
+    for cell in cells.values():
+        if cell["served_before_recovery"]:
+            raise AssertionError(
+                "instant_restart: a session was served before its chain "
+                f"was replayed ({cell['mode']} P={cell['partitions']})"
+            )
+    return {
+        "sessions": n,
+        "seconds": sum(run["seconds"] for run in cells.values()),
+        "ttfr_eager_p1_ms": cells["eager_p1"]["ttfr_ms"],
+        "ttfr_lazy_p1_ms": cells["lazy_p1"]["ttfr_ms"],
+        "ttfr_eager_p4_ms": cells["eager_p4"]["ttfr_ms"],
+        "ttfr_lazy_p4_ms": cells["lazy_p4"]["ttfr_ms"],
+        "ttfr_speedup_p1": (
+            cells["eager_p1"]["ttfr_ms"] / max(cells["lazy_p1"]["ttfr_ms"], 1e-9)
+        ),
+        "ttfr_speedup_p4": (
+            cells["eager_p4"]["ttfr_ms"] / max(cells["lazy_p4"]["ttfr_ms"], 1e-9)
+        ),
+        "modes": cells,
+    }
+
+
 BENCHMARKS: dict[str, Callable[[float], dict]] = {
     "codec_encode": bench_codec_encode,
     "codec_decode": bench_codec_decode,
@@ -538,6 +697,7 @@ BENCHMARKS: dict[str, Callable[[float], dict]] = {
     "fig14": bench_fig14,
     "log_space": bench_log_space,
     "log_partitions": bench_log_partitions,
+    "instant_restart": bench_instant_restart,
     "trace_overhead": bench_trace_overhead,
 }
 
@@ -551,6 +711,7 @@ _HEADLINE = {
     "fig14": "requests_per_wall_s",
     "log_space": "records_per_s",
     "log_partitions": "speedup_p4_sim",
+    "instant_restart": "ttfr_speedup_p1",
     "trace_overhead": "overhead_ratio",
 }
 
@@ -675,6 +836,18 @@ def format_report(report: dict) -> str:
         counters = [f"{key}={run[key]}" for key in _COUNTER_KEYS if key in run]
         if counters:
             lines.append(f"{'':14s} counters: {' '.join(counters)}")
+        modes = run.get("modes")
+        if modes:
+            # The instant-restart cell: one sub-line per (mode, P) run.
+            for key, cell in sorted(modes.items()):
+                lines.append(
+                    f"{'':14s} {key}: ttfr {cell.get('ttfr_ms', 0.0):10,.1f} ms"
+                    f"  full {cell.get('full_recovery_ms', 0.0):10,.1f} ms"
+                    f"  sessions={cell.get('sessions', 0)}"
+                    f"  lazy={cell.get('lazy_recoveries', 0)}"
+                    f" (inline={cell.get('inline_recoveries', 0)}"
+                    f" pump={cell.get('pump_recoveries', 0)})"
+                )
         cells = run.get("cells")
         if cells:
             # The partition-scaling cell: one sub-line per partition

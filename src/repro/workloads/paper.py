@@ -92,6 +92,12 @@ class WorkloadParams:
     sv_ckpt_write_threshold: Optional[int] = None
     #: Forced-checkpoint staleness limit override (None = default).
     forced_ckpt_msp_count: Optional[int] = None
+    #: Crash-recovery mode: ``eager`` (the paper's recover-everything
+    #: restart) or ``lazy`` (on-demand per-session chain replay,
+    #: DESIGN.md §15).
+    recovery_mode: str = "eager"
+    #: Lazy mode: background recovery pump concurrency budget.
+    recovery_pump_concurrency: int = 4
     request_arg_bytes: int = 100
     reply_bytes: int = 100
     sv_bytes: int = 128
@@ -225,6 +231,8 @@ class PaperWorkload:
             config.sv_ckpt_write_threshold = params.sv_ckpt_write_threshold
         if params.forced_ckpt_msp_count is not None:
             config.forced_ckpt_msp_count = params.forced_ckpt_msp_count
+        config.recovery_mode = params.recovery_mode
+        config.recovery_pump_concurrency = params.recovery_pump_concurrency
         return config
 
     def _build_servers(self) -> None:
@@ -377,11 +385,21 @@ class PaperWorkload:
         )
         # Let any in-flight crash recovery finish (a forced crash on the
         # final request leaves MSP2 mid-restart) so post-run inspection
-        # sees quiesced servers.  Measurements were taken above.
-        settle_deadline = self.sim.now + 5_000.0
-        while self.sim.now < settle_deadline and not (
-            self.msp1.running and self.msp2.running
-        ):
+        # sees quiesced servers.  Under lazy recovery that includes the
+        # background pump: a still-pending session's unflushed-tail RMWs
+        # have not been re-executed yet, so shared counters read stale
+        # until every chain is replayed.  Measurements were taken above.
+        def _quiesced() -> bool:
+            if not (self.msp1.running and self.msp2.running):
+                return False
+            return not any(
+                s.lazy_pending or s.recovery_pending
+                for msp in (self.msp1, self.msp2)
+                for s in msp.sessions.values()
+            )
+
+        settle_deadline = self.sim.now + 60_000.0
+        while self.sim.now < settle_deadline and not _quiesced():
             if not self.sim.step():
                 break
         return result

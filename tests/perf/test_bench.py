@@ -124,6 +124,31 @@ def test_fanout_report_smoke():
     assert "jobs=2" in text
 
 
+def test_instant_restart_cell_shape_and_invariants():
+    from repro.perf.bench import bench_instant_restart
+
+    run = bench_instant_restart(scale=0.0)  # floor: 64 sessions
+    assert run["sessions"] == 64
+    assert set(run["modes"]) == {"eager_p1", "lazy_p1", "eager_p4", "lazy_p4"}
+    for key, cell in run["modes"].items():
+        assert cell["served_before_recovery"] == 0, key
+        assert cell["ttfr_ms"] > 0, key
+        # Lazy opens before it finishes; eager opens when it finishes.
+        if cell["mode"] == "lazy":
+            assert cell["lazy_recoveries"] == 64, key
+            assert (
+                cell["inline_recoveries"] + cell["pump_recoveries"]
+                == cell["lazy_recoveries"]
+            ), key
+            assert cell["ttfr_ms"] < cell["full_recovery_ms"], key
+        else:
+            assert cell["lazy_recoveries"] == 0, key
+    # Even at smoke scale the lazy restart must serve first sooner; the
+    # committed report gates the full 5x claim at >= 10k sessions.
+    assert run["ttfr_speedup_p1"] > 1.0
+    assert run["ttfr_speedup_p4"] > 1.0
+
+
 def test_log_partitions_cell_scales_with_partitions():
     from repro.perf.bench import bench_log_partitions
 

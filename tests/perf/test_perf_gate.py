@@ -270,3 +270,103 @@ def test_partition_scaling_gate_requires_all_cells():
         _partition_report(with_cells=False), None, band=4.0, min_speedup=1.8
     )
     assert any("cells missing" in p for p in problems)
+
+
+# -- the lazy-restart TTFR gate over the instant_restart cell ----------------
+
+
+def _restart_run(mode, P, sessions, ttfr, **overrides):
+    run = {
+        "mode": mode,
+        "partitions": P,
+        "sessions": sessions,
+        "ttfr_ms": ttfr,
+        "full_recovery_ms": ttfr * 10,
+        "lazy_recoveries": sessions if mode == "lazy" else 0,
+        "inline_recoveries": 1 if mode == "lazy" else 0,
+        "pump_recoveries": sessions - 1 if mode == "lazy" else 0,
+        "served_before_recovery": 0,
+    }
+    run.update(overrides)
+    return run
+
+
+def _instant_restart_report(
+    sessions=12_000, eager_ttfr=50_000.0, lazy_ttfr=500.0, **run_overrides
+):
+    modes = {
+        f"{mode}_p{P}": _restart_run(
+            mode,
+            P,
+            sessions,
+            eager_ttfr if mode == "eager" else lazy_ttfr,
+            **(run_overrides if mode == "lazy" else {}),
+        )
+        for P in (1, 4)
+        for mode in ("eager", "lazy")
+    }
+    return {
+        "benchmarks": {
+            "instant_restart": {
+                "sessions": sessions,
+                "ttfr_eager_p1_ms": eager_ttfr,
+                "ttfr_lazy_p1_ms": lazy_ttfr,
+                "ttfr_eager_p4_ms": eager_ttfr,
+                "ttfr_lazy_p4_ms": lazy_ttfr,
+                "ttfr_speedup_p1": eager_ttfr / lazy_ttfr,
+                "ttfr_speedup_p4": eager_ttfr / lazy_ttfr,
+                "modes": modes,
+            }
+        }
+    }
+
+
+def test_instant_restart_gate_passes():
+    report = _instant_restart_report()
+    assert perf_gate.gate_instant_restart(report, 0.2, 10_000) == []
+
+
+def test_instant_restart_gate_fails_above_ttfr_ratio():
+    report = _instant_restart_report(eager_ttfr=1000.0, lazy_ttfr=900.0)
+    problems = perf_gate.gate_instant_restart(report, 0.2, 10_000)
+    assert any("exceeds 0.2x eager" in p for p in problems)
+
+
+def test_instant_restart_gate_fails_on_too_few_sessions():
+    report = _instant_restart_report(sessions=500)
+    problems = perf_gate.gate_instant_restart(report, 0.2, 10_000)
+    assert any("only 500 sessions" in p for p in problems)
+
+
+def test_instant_restart_gate_fails_on_served_before_recovery():
+    report = _instant_restart_report(served_before_recovery=3)
+    problems = perf_gate.gate_instant_restart(report, 0.2, 10_000)
+    assert any("before the session chain was replayed" in p for p in problems)
+
+
+def test_instant_restart_gate_fails_on_undrained_pump():
+    report = _instant_restart_report(lazy_recoveries=7)
+    problems = perf_gate.gate_instant_restart(report, 0.2, 10_000)
+    assert any("did not drain" in p for p in problems)
+    assert any("inline+pump" in p for p in problems)
+
+
+def test_instant_restart_gate_fails_on_lazy_leak_into_eager():
+    report = _instant_restart_report()
+    cell = report["benchmarks"]["instant_restart"]
+    cell["modes"]["eager_p1"]["lazy_recoveries"] = 2
+    problems = perf_gate.gate_instant_restart(report, 0.2, 10_000)
+    assert any("mode plumbing leaked" in p for p in problems)
+
+
+def test_instant_restart_gate_fails_on_degenerate_ttfr():
+    report = _instant_restart_report(eager_ttfr=0.0)
+    problems = perf_gate.gate_instant_restart(report, 0.2, 10_000)
+    assert any("degenerate TTFR" in p for p in problems)
+
+
+def test_instant_restart_gate_requires_the_cell():
+    problems = perf_gate.gate_instant_restart({"benchmarks": {}}, 0.2, 10_000)
+    assert problems == [
+        "instant-restart: report has no instant_restart benchmark cell"
+    ]
