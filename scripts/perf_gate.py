@@ -48,6 +48,16 @@ session exactly once (inline + pump), eager cells recovered none
 lazily.  All of these are properties of the seeded simulation, gated
 exactly.
 
+A sixth mode gates the PR 8 command-logging claim:
+``python scripts/perf_gate.py --log-volume BENCH.json
+[--max-bytes-ratio 0.5] [--value-baseline BENCH_PR8.json]`` checks the
+``log_volume`` cell — command-mode log bytes/request must be at most
+``max-bytes-ratio`` times value-mode at every (partitions,
+recovery-mode) combination measured, value cells must show zero
+command machinery (the byte-identity contract), command cells must
+have elided every SV update record, and with a ``--value-baseline``
+the fresh value cells must stay within 10% of the committed ones.
+
 A fourth mode gates the PR 6 partitioned log:
 ``python scripts/perf_gate.py --partition-scaling BENCH.json
 [--p1-baseline BENCH_PR1.json] [--min-speedup 1.8]`` checks the
@@ -461,6 +471,158 @@ def _run_instant_restart_gate(
     return 0
 
 
+#: Default ceiling on command/value log bytes per request: command
+#: logging must at least halve the §5.1 workload's log volume.
+LOG_VOLUME_MAX_BYTES_RATIO = 0.5
+#: Below this many completed requests per cell the adaptive policy has
+#: not evaluated enough windows for the spectrum to mean anything.
+LOG_VOLUME_MIN_REQUESTS = 64
+
+
+def gate_log_volume(
+    report: dict,
+    max_ratio: float,
+    min_requests: int,
+    baseline: Optional[dict] = None,
+) -> list[str]:
+    """Gate the ``log_volume`` cell of a fresh bench report.
+
+    The headline claim — command logging cuts log bytes per request to
+    at most ``max_ratio`` times value logging on the §5.1 workload — is
+    a property of the seeded simulation, gated exactly at every
+    (partitions, recovery-mode) combination the cell measured.  Mode
+    purity rides along: value cells must show zero command machinery
+    (no command records, no switches — the byte-identity contract),
+    command cells must have replayed every request as a command and
+    elided every SV update record.  When ``baseline`` (an earlier
+    report carrying a ``log_volume`` cell) is given, the fresh value
+    cells' bytes/request must stay within 10% of the committed ones —
+    the "value mode within noise of the previous PR" check.
+    """
+    cell = report.get("benchmarks", {}).get("log_volume")
+    if cell is None:
+        return ["log-volume: report has no log_volume benchmark cell"]
+    problems: list[str] = []
+    cells = cell.get("volume_cells", {})
+    if not cells:
+        return ["log-volume: cell has no per-mode runs"]
+    for key, run in sorted(cells.items()):
+        if run.get("requests", 0) < min_requests:
+            problems.append(
+                f"log-volume: {key} completed only {run.get('requests', 0)} "
+                f"requests (need >= {min_requests}; regenerate with a "
+                "larger --scale)"
+            )
+        if run.get("crashes", 0) <= 0:
+            problems.append(
+                f"log-volume: {key} injected no crashes — the recovery "
+                "axis of the spectrum was not measured"
+            )
+    for key, run in sorted(cells.items()):
+        mode = run.get("logging_mode")
+        kinds = run.get("record_kinds", {})
+        if mode == "value":
+            if run.get("command_requests", 0) or "CommandRecord" in kinds:
+                problems.append(
+                    f"log-volume: value cell {key} logged command records "
+                    "— the byte-identity contract is broken"
+                )
+            if run.get("mode_switches", 0):
+                problems.append(
+                    f"log-volume: value cell {key} switched modes "
+                    f"{run['mode_switches']} times"
+                )
+        elif mode == "command":
+            if "SvUpdateRecord" in kinds:
+                problems.append(
+                    f"log-volume: command cell {key} still logged "
+                    f"{kinds['SvUpdateRecord']['records']} SV update "
+                    "records — the elision is not firing"
+                )
+            if run.get("replayed_commands", 0) != run.get("replayed_requests", 0):
+                problems.append(
+                    f"log-volume: command cell {key} replayed "
+                    f"{run.get('replayed_commands', 0)} commands out of "
+                    f"{run.get('replayed_requests', 0)} requests"
+                )
+    # The headline: command vs value bytes/request at every matched
+    # (partitions, recovery mode) combination.
+    for key, command in sorted(cells.items()):
+        if command.get("logging_mode") != "command":
+            continue
+        value_key = key.replace("command", "value", 1)
+        value = cells.get(value_key)
+        if value is None:
+            continue
+        cmd_bpr = command.get("log_bytes_per_request", 0.0)
+        val_bpr = value.get("log_bytes_per_request", 0.0)
+        if val_bpr <= 0.0:
+            problems.append(f"log-volume: degenerate value cell {value_key}")
+            continue
+        if cmd_bpr > max_ratio * val_bpr:
+            problems.append(
+                f"log-volume: {key} {cmd_bpr:,.1f} B/req exceeds "
+                f"{max_ratio:g}x {value_key} {val_bpr:,.1f} B/req "
+                f"(ratio {cmd_bpr / val_bpr:.3f})"
+            )
+    if baseline is not None:
+        base_cells = (
+            baseline.get("benchmarks", {})
+            .get("log_volume", {})
+            .get("volume_cells", {})
+        )
+        for key, base in sorted(base_cells.items()):
+            if base.get("logging_mode") != "value":
+                continue
+            fresh_run = cells.get(key)
+            if fresh_run is None:
+                continue
+            base_bpr = base.get("log_bytes_per_request", 0.0)
+            bpr = fresh_run.get("log_bytes_per_request", 0.0)
+            if base_bpr > 0.0 and abs(bpr - base_bpr) > 0.10 * base_bpr:
+                problems.append(
+                    f"log-volume: value cell {key} drifted to {bpr:,.1f} "
+                    f"B/req from the committed {base_bpr:,.1f} B/req "
+                    "(> 10% — value mode is no longer within noise)"
+                )
+    return problems
+
+
+def _run_log_volume_gate(
+    path: str,
+    max_ratio: float,
+    min_requests: int,
+    baseline_path: Optional[str],
+) -> int:
+    with open(path) as fh:
+        report = json.load(fh)
+    baseline = None
+    if baseline_path is not None:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    problems = gate_log_volume(report, max_ratio, min_requests, baseline)
+    cell = report.get("benchmarks", {}).get("log_volume", {})
+    if cell:
+        print(
+            f"log-volume gate: {cell.get('requests')} requests per client, "
+            f"ceiling {max_ratio:g}x value-mode bytes/request, "
+            f"reduction {cell.get('volume_reduction_p1', 0.0):.2f}x at P=1"
+        )
+        for key, run in sorted(cell.get("volume_cells", {}).items()):
+            repair = run.get("recovery_ms", 0.0) + run.get("session_replay_ms", 0.0)
+            print(
+                f"  {key:18s} {run.get('log_bytes_per_request', 0.0):8,.1f} B/req  "
+                f"repair {repair:9,.1f} sim-ms  "
+                f"switches={run.get('mode_switches', 0)}"
+            )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("log-volume gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -503,6 +665,26 @@ def main(argv=None) -> int:
         f"append-throughput ratio (default {PARTITION_MIN_SPEEDUP:g})",
     )
     parser.add_argument(
+        "--log-volume", metavar="PATH", default=None,
+        help="gate the log_volume cell of a bench report instead of "
+        "comparing fan-out reports",
+    )
+    parser.add_argument(
+        "--max-bytes-ratio", type=float, default=LOG_VOLUME_MAX_BYTES_RATIO,
+        help="--log-volume: ceiling on command/value log bytes per "
+        f"request (default {LOG_VOLUME_MAX_BYTES_RATIO:g})",
+    )
+    parser.add_argument(
+        "--min-requests", type=int, default=LOG_VOLUME_MIN_REQUESTS,
+        help="--log-volume: minimum completed requests per cell "
+        f"(default {LOG_VOLUME_MIN_REQUESTS})",
+    )
+    parser.add_argument(
+        "--value-baseline", metavar="PATH", default=None,
+        help="--log-volume: earlier report with a log_volume cell; fresh "
+        "value-mode bytes/request must stay within 10% of it",
+    )
+    parser.add_argument(
         "--instant-restart", metavar="PATH", default=None,
         help="gate the instant_restart cell of a bench report instead of "
         "comparing fan-out reports",
@@ -518,6 +700,13 @@ def main(argv=None) -> int:
         f"claim to count (default {INSTANT_RESTART_MIN_SESSIONS})",
     )
     args = parser.parse_args(argv)
+    if args.log_volume is not None:
+        return _run_log_volume_gate(
+            args.log_volume,
+            args.max_bytes_ratio,
+            args.min_requests,
+            args.value_baseline,
+        )
     if args.instant_restart is not None:
         return _run_instant_restart_gate(
             args.instant_restart, args.max_ttfr_ratio, args.min_sessions

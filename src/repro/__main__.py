@@ -132,6 +132,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="lazy mode: background recovery workers draining "
         "not-yet-recovered sessions hot-first (default 4)",
     )
+    workload.add_argument(
+        "--logging-mode", choices=("value", "command", "adaptive"),
+        default="value",
+        help="request logging mode: value logs per-variable deltas "
+        "(paper §3.3); command logs the request and re-executes it at "
+        "replay; adaptive switches per session from observed log volume "
+        "vs estimated replay cost",
+    )
     workload.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser("bench", help="run the log-pipeline perf benchmarks")
@@ -145,6 +153,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke", action="store_true",
         help="tiny single iteration, completion check only (CI mode)",
+    )
+    bench.add_argument(
+        "--logging-mode", choices=("value", "command", "adaptive"), default=None,
+        help="restrict the log_volume spectrum cell to one logging mode "
+        "(default: run the full value/adaptive/command spectrum)",
     )
     add_jobs_argument(bench)
     bench.add_argument(
@@ -186,6 +199,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--recovery-mode", choices=("eager", "lazy"), default="eager",
         help="crash-recovery mode for the traced workload; lazy adds the "
         "chain-walk and pump spans to the recovery breakdown",
+    )
+    trace.add_argument(
+        "--logging-mode", choices=("value", "command", "adaptive"),
+        default="value",
+        help="request logging mode for the traced workload; command and "
+        "adaptive add the per-mode append counters and mode-switch "
+        "instants to the timeline",
     )
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument(
@@ -261,7 +281,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     repeat = 1 if args.smoke else args.repeat
     report = run_benchmarks(
         scale=scale, repeat=repeat, only=args.only, jobs=args.jobs,
-        progress=_progress("bench"),
+        progress=_progress("bench"), logging_mode=args.logging_mode,
     )
     if baseline is not None:
         attach_baseline(report, baseline)
@@ -285,6 +305,7 @@ def _run_workload(args: argparse.Namespace) -> int:
         log_partitions=args.partitions,
         recovery_mode=args.recovery_mode,
         recovery_pump_concurrency=args.pump_concurrency,
+        logging_mode=args.logging_mode,
         seed=args.seed,
     )
     workload = PaperWorkload(params)
@@ -302,6 +323,14 @@ def _run_workload(args: argparse.Namespace) -> int:
             f"{sum(s.lazy_recoveries for s in stats)} "
             f"({sum(s.inline_recoveries for s in stats)} inline, "
             f"{sum(s.pump_recoveries for s in stats)} pump)"
+        )
+    if args.logging_mode != "value":
+        stats = [workload.msp1.stats, workload.msp2.stats]
+        print(
+            f"command logging:    "
+            f"{sum(s.command_requests for s in stats)} command requests, "
+            f"{sum(s.replayed_commands for s in stats)} replayed, "
+            f"{sum(s.mode_switches for s in stats)} mode switches"
         )
     print(f"orphan recoveries:  {result.orphan_recoveries}")
     print(f"replayed requests:  {result.replayed_requests}")
@@ -337,6 +366,7 @@ def _run_trace(args: argparse.Namespace) -> int:
         crash_every_n=args.crash_every or None,
         batch_flush_timeout_ms=args.batch,
         recovery_mode=args.recovery_mode,
+        logging_mode=args.logging_mode,
         seed=args.seed,
     )
     workload = PaperWorkload(params)

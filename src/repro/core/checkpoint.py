@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.dv import DependencyVector, StateId
 from repro.core.errors import FlushFailed
 from repro.core.records import NO_LSN, MspCheckpointRecord, SvCheckpointRecord
 from repro.core.session import Session, SessionStatus
@@ -62,6 +63,7 @@ def take_session_checkpoint(msp: "MiddlewareServer", session: Session):
         # never be an orphan.
         yield from msp.distributed_flush(session.dv, f"session {session.id} ckpt")
         msp.sim.probe("ckpt.session.flushed", owner=msp.name)
+        yield from _seal_command_effects(msp, session)
         record = session.build_checkpoint()
         yield from msp.cpu(
             msp.config.costs.session_ckpt_cpu_ms + msp.config.costs.log_append_ms
@@ -75,6 +77,45 @@ def take_session_checkpoint(msp: "MiddlewareServer", session: Session):
             span.end()
         if session.status is SessionStatus.CHECKPOINTING:
             session.status = SessionStatus.NORMAL
+
+
+def _seal_command_effects(msp: "MiddlewareServer", session: Session):
+    """Capture the session's unlogged command effects before its
+    checkpoint truncates the replay stream (generator, DESIGN.md §16).
+
+    Command-mode RMWs leave no records of their own; recovery re-derives
+    them by re-executing the session's CommandRecords.  A session
+    checkpoint makes every earlier record unreachable to replay, so any
+    variable still carrying this session's uncaptured effects must be
+    checkpointed first — and durably *before* the session checkpoint can
+    become durable.  The two records may land on different log
+    partitions, so the ordering is enforced with a flush on the seal
+    LSNs, not assumed from append order.
+    """
+    if not session.command_touched:
+        return
+    seal_dv = DependencyVector()
+    for name in sorted(session.command_touched):
+        sv = msp.shared.get(name)
+        if sv is None:
+            continue
+        # sv_checkpoint swallows a failed flush by rolling the variable
+        # back (it was an orphan); the rolled-back value usually flushes
+        # clean, so retry a few times before giving up on this
+        # checkpoint — the threshold will simply re-trigger it.
+        for _attempt in range(4):
+            if not sv.uncaptured_commands:
+                break
+            yield from sv_checkpoint(msp, sv)
+        if sv.uncaptured_commands:
+            raise FlushFailed(
+                f"session {session.id} ckpt: could not seal command "
+                f"effects on {name!r}"
+            )
+        if sv.last_ckpt_lsn is not None:
+            seal_dv.observe(msp.name, StateId(msp.epoch, sv.last_ckpt_lsn))
+    session.command_touched.clear()
+    yield from msp.distributed_flush(seal_dv, f"session {session.id} ckpt seal")
 
 
 def sv_checkpoint(msp: "MiddlewareServer", sv: SharedVariable):
@@ -107,6 +148,10 @@ def sv_checkpoint(msp: "MiddlewareServer", sv: SharedVariable):
         record = SvCheckpointRecord(
             variable=sv.name, value=sv.value, version=sv.write_seq,
             prev_write_lsn=prev_write,
+            # Command effects included in the checkpointed value
+            # (DESIGN.md §16); empty for value logging, keeping the
+            # record's bytes identical.
+            command_frontier=dict(sv.command_frontier),
         )
         yield from msp.cpu(msp.config.costs.log_append_ms)
         lsn, _size = msp.log.append(record)

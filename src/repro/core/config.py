@@ -146,6 +146,27 @@ class RecoveryConfig:
     #: concurrently in lazy mode.
     recovery_pump_concurrency: int = 4
 
+    # -- command/value logging (DESIGN.md §16) -------------------------------
+    #: What a session's execution logs: ``value`` (the paper's §3.3
+    #: per-SV value records, byte-identical to previous releases),
+    #: ``command`` (one CommandRecord per request, replay re-executes the
+    #: handler deterministically), or ``adaptive`` (per-session runtime
+    #: choice between the two driven by the live metrics, with
+    #: hysteresis; mode switches land at session-checkpoint boundaries).
+    logging_mode: str = "value"
+    #: Adaptive mode re-evaluates a session's choice after this many
+    #: completed requests since the last evaluation.
+    adaptive_eval_requests: int = 8
+    #: Adaptive mode prefers command logging while the estimated replay
+    #: cost of a command suffix stays below this many ms per request
+    #: (replay re-executes the method; value replay only reinstalls).
+    adaptive_replay_budget_ms: float = 5.0
+    #: Hysteresis: the observed value-mode bytes/request must exceed the
+    #: command-mode estimate by this factor to switch to command, and
+    #: fall below ``1/margin`` of it to switch back — so the mode cannot
+    #: flap on noise.
+    adaptive_hysteresis_margin: float = 1.5
+
     # -- ablations (paper design choices, for the ablation benches) ---------
     #: Recover sessions in parallel after a crash (paper Fig. 12) or one
     #: at a time ("replaying all activities sequentially in log order").

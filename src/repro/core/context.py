@@ -28,6 +28,7 @@ from repro.core.log_manager import LogWindowReader
 from repro.core.errors import OrphanDetected, SessionProtocolError
 from repro.core.messages import Reply, Request
 from repro.core.records import (
+    CommandRecord,
     EosRecord,
     ReplyRecord,
     RequestRecord,
@@ -55,6 +56,13 @@ class NormalContext:
     def __init__(self, msp: "MiddlewareServer", session: "Session"):
         self.msp = msp
         self.session = session
+        #: Command logging (DESIGN.md §16): fixed at construction, i.e.
+        #: per request — the adaptive policy only flips the session's
+        #: mode between requests, so one request never mixes regimes.
+        self.command_request = msp.recoverable and session.logging_mode == "command"
+        #: Per-variable count of this command's RMW applies — the
+        #: ordinal half of the frontier pair.
+        self._command_ordinals: dict[str, int] = {}
 
     @property
     def session_id(self) -> str:
@@ -135,7 +143,7 @@ class NormalContext:
         if msp.recoverable and msp.config.sv_logging == "access-order":
             yield from self._write_shared_access_order(sv, value)
             return
-        yield from sv.lock.acquire_write()
+        yield from self._acquire_sealed(sv)
         try:
             if not msp.recoverable:
                 yield from msp.cpu(msp.config.costs.session_var_ms)
@@ -163,6 +171,25 @@ class NormalContext:
 
             yield from sv_checkpoint(msp, sv)
         msp.check_session_orphan(session)
+
+    def _acquire_sealed(self, sv):
+        """Acquire the write lock with the regime barrier (DESIGN.md
+        §16): a value-logged write on a variable carrying unlogged
+        command effects must checkpoint it first.  The logged record's
+        value would embed those effects, and the recovery scan installs
+        logged values *before* commands re-execute — the checkpoint's
+        frontier is what makes the re-apply a no-op instead of a double
+        application.  Checked under the lock (only lock holders set the
+        flag), released and retried around the checkpoint."""
+        msp = self.msp
+        while True:
+            yield from sv.lock.acquire_write()
+            if not (msp.recoverable and sv.uncaptured_commands):
+                return
+            sv.lock.release_write()
+            from repro.core.checkpoint import sv_checkpoint
+
+            yield from sv_checkpoint(msp, sv)
 
     def _await_variable_recovered(self, sv):
         """Access-order mode: block while the variable is still being
@@ -232,7 +259,10 @@ class NormalContext:
         if msp.recoverable and msp.config.sv_logging == "access-order":
             value = yield from self._update_shared_access_order(sv, update)
             return value
-        yield from sv.lock.acquire_write()
+        if self.command_request:
+            value = yield from self._update_shared_command(sv, update)
+            return value
+        yield from self._acquire_sealed(sv)
         try:
             if not msp.recoverable:
                 yield from msp.cpu(msp.config.costs.session_var_ms)
@@ -260,7 +290,11 @@ class NormalContext:
                 writer_dv=merged_dv,
                 prev_write_lsn=sv.last_write_lsn,
             )
-            lsn, _size = yield from msp.append_session_record(session, record)
+            lsn, size = yield from msp.append_session_record(session, record)
+            if msp.adaptive_mode:
+                # What command logging would have elided — the policy's
+                # log-volume upside for this session.
+                session.elidable_bytes_since_eval += size
             yield from msp.cpu(2 * msp.config.costs.dv_track_ms)
             session.dv.merge(variable_dv)
             sv.apply_write(lsn, new_value, session.dv)
@@ -276,6 +310,42 @@ class NormalContext:
         msp.check_session_orphan(session)
         return new_value
 
+    def _update_shared_command(self, sv, update):
+        """Command-mode RMW (DESIGN.md §16): apply without logging.
+
+        The command record already logged the request; recovery
+        re-executes the handler, so this RMW needs no record of its own
+        — the whole log-volume win.  The contract: ``update`` must be
+        deterministic, commutative across sessions, and its return value
+        must not feed state the client can observe exactly-once (replay
+        may re-compute it against a later value).
+        """
+        msp, session = self.msp, self.session
+        ordinal = self._command_ordinals.get(sv.name, 0)
+        self._command_ordinals[sv.name] = ordinal + 1
+        # The session checkpoint must seal this variable before it
+        # truncates the stream holding our command record.
+        session.command_touched.add(sv.name)
+        yield from sv.lock.acquire_write()
+        try:
+            if sv.is_orphan(msp.table):
+                msp.stats.sv_rollbacks += 1
+                yield from sv.roll_back(msp.log, msp.table)
+            new_value = bytes(update(sv.value))
+            yield from msp.cpu(2 * msp.config.costs.dv_track_ms)
+            session.dv.merge(sv.dv)
+            sv.apply_command_write(
+                session.command_lsn, ordinal, new_value, session.dv, session.id
+            )
+        finally:
+            sv.lock.release_write()
+        if sv.writes_since_ckpt >= msp.config.sv_ckpt_write_threshold:
+            from repro.core.checkpoint import sv_checkpoint
+
+            yield from sv_checkpoint(msp, sv)
+        msp.check_session_orphan(session)
+        return new_value
+
     # -- outgoing calls (paper Fig. 7) ----------------------------------------------
 
     def call(self, target_msp: str, method: str, argument: bytes):
@@ -285,6 +355,7 @@ class NormalContext:
         the server deduplicates, so the call executes exactly once.
         """
         msp, session = self.msp, self.session
+        call_started = msp.sim.now
         out = session.outgoing_to(target_msp)
         seq = out.next_seq
         reply_port = f"reply:{out.session_id}"
@@ -340,6 +411,10 @@ class NormalContext:
                     session.dv.merge(reply.sender_dv)
                 msp.check_session_orphan(session)
             out.next_seq = seq + 1
+            if msp.adaptive_mode:
+                # The round trip vanishes at replay (replies come from
+                # the log); keep it out of the replay-cost estimate.
+                session.call_ms_accum += msp.sim.now - call_started
             return reply.payload
 
 
@@ -391,7 +466,7 @@ class ReplayCursor:
         lsn = self.positions[self.index]
         record = yield from self._reader.fetch(lsn)
         dv = None
-        if isinstance(record, (RequestRecord, ReplyRecord)):
+        if isinstance(record, (RequestRecord, CommandRecord, ReplyRecord)):
             dv = record.sender_dv
         elif isinstance(record, (SvReadRecord, SvUpdateRecord)):
             dv = record.variable_dv
@@ -414,6 +489,13 @@ class ReplayContext:
         self.session = session
         self.cursor = cursor
         self._normal: Optional[NormalContext] = None
+        #: Per-request command state (DESIGN.md §16), reset by the
+        #: replay driver for each logged request: True while replaying a
+        #: CommandRecord (RMWs re-execute against the variable instead
+        #: of consuming SvUpdate records), plus the per-variable apply
+        #: ordinals for the frontier pairs.
+        self.command_request = False
+        self._command_ordinals: dict[str, int] = {}
 
     @property
     def is_replay(self) -> bool:
@@ -430,6 +512,11 @@ class ReplayContext:
     def _switch_to_normal(self) -> NormalContext:
         if self._normal is None:
             self._normal = NormalContext(self.msp, self.session)
+            # A mid-method switch continues the *replayed* request: its
+            # logging regime and apply ordinals carry over, whatever
+            # mode the session will use for its next fresh request.
+            self._normal.command_request = self.command_request
+            self._normal._command_ordinals = self._command_ordinals
         return self._normal
 
     def _next_logged(self):
@@ -598,6 +685,8 @@ class ReplayContext:
             return (yield from self._normal.update_shared(name, update))
         if self.msp.config.sv_logging == "access-order":
             return (yield from self._update_shared_access_order(name, update))
+        if self.command_request:
+            return (yield from self._update_shared_command(name, update))
         nxt = yield from self._next_logged()
         if nxt is None:
             return (yield from self._normal.update_shared(name, update))
@@ -611,6 +700,42 @@ class ReplayContext:
         self.session.dv.observe(self.msp.name, StateId(self.msp.epoch, lsn))
         self.session.dv.merge(record.variable_dv)
         return bytes(update(record.old_value))
+
+    def _update_shared_command(self, name: str, update):
+        """Replay of a command-mode RMW (DESIGN.md §16): re-execute.
+
+        No record was logged, so nothing is consumed from the stream;
+        the effect is re-derived against the recovered variable.  The
+        frontier guard makes the re-execution idempotent: an apply whose
+        ``(command lsn, ordinal)`` the variable's recovered frontier
+        already covers was captured by a checkpointed or logged value
+        and must not be applied twice.
+        """
+        msp, session = self.msp, self.session
+        sv = msp.shared_variable(name)
+        ordinal = self._command_ordinals.get(name, 0)
+        self._command_ordinals[name] = ordinal + 1
+        # Replayed applies count too: the rebuilt session's next
+        # checkpoint truncates the stream just the same.
+        session.command_touched.add(name)
+        yield from sv.lock.acquire_write()
+        try:
+            if sv.is_orphan(msp.table):
+                msp.stats.sv_rollbacks += 1
+                yield from sv.roll_back(msp.log, msp.table)
+            yield from msp.cpu(2 * msp.config.costs.dv_track_ms)
+            session.dv.merge(sv.dv)
+            lsn = session.command_lsn
+            if (lsn, ordinal) <= sv.command_frontier.get(session.id, (-1, -1)):
+                # Captured: the recovered value already includes this
+                # apply.  The return value is the current value — the
+                # contract forbids feeding it into exactly-once state.
+                return bytes(sv.value)
+            new_value = bytes(update(sv.value))
+            sv.apply_command_write(lsn, ordinal, new_value, session.dv, session.id)
+            return new_value
+        finally:
+            sv.lock.release_write()
 
     def call(self, target_msp: str, method: str, argument: bytes):
         if self._normal is not None:

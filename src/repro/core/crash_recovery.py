@@ -41,6 +41,7 @@ from repro.core.plsn import (
 from repro.core.records import (
     NO_LSN,
     AnnouncementRecord,
+    CommandRecord,
     EosRecord,
     LogRecord,
     MspCheckpointRecord,
@@ -126,6 +127,11 @@ def _scan_sv_checkpoint(msp, state: AnalysisState, lsn: int, record) -> None:
         sv.value = record.value
         sv.apply_checkpoint(lsn)
         sv.write_seq = record.version
+        # Command/value adaptive logging (DESIGN.md §16): the frontier
+        # says which command effects the checkpointed value already
+        # includes, so replayed commands at or below it skip re-apply.
+        sv.command_frontier = dict(record.command_frontier)
+        sv._frontier_floor = dict(record.command_frontier)
         state.order_writes[record.variable] = record.version
         state.order_reads[record.variable] = {}
 
@@ -165,6 +171,11 @@ def _scan_session_end(msp, state: AnalysisState, lsn: int, record) -> None:
     state.ended.add(record.session_id)
     state.positions.pop(record.session_id, None)
     state.session_ckpts.pop(record.session_id, None)
+    # An ended session's command effects can never replay again; drop
+    # its frontier entries so they cannot pin variables' state.
+    for sv in msp.shared.values():
+        sv.command_frontier.pop(record.session_id, None)
+        sv._frontier_floor.pop(record.session_id, None)
 
 
 #: Type-keyed dispatch table of the analysis scan.  Kinds not listed
@@ -172,6 +183,7 @@ def _scan_session_end(msp, state: AnalysisState, lsn: int, record) -> None:
 #: skipped with one failed lookup.
 _ANALYSIS_DISPATCH: dict[type, Callable] = {
     RequestRecord: _scan_position,
+    CommandRecord: _scan_position,
     ReplyRecord: _scan_position,
     SvReadRecord: _scan_position,
     SvWriteRecord: _scan_sv_write,

@@ -41,6 +41,7 @@ from repro.core.messages import (
 )
 from repro.core.records import (
     AnnouncementRecord,
+    CommandRecord,
     LogRecord,
     RequestRecord,
     SessionEndRecord,
@@ -89,6 +90,12 @@ class MspStats:
     #: Invariant counter — a request entering normal processing while
     #: its session's chain was still unreplayed.  Must stay 0.
     served_before_recovery: int = 0
+    #: Command/value adaptive logging (DESIGN.md §16): requests logged
+    #: as command records, commands re-executed at replay, and adaptive
+    #: policy mode switches.
+    command_requests: int = 0
+    replayed_commands: int = 0
+    mode_switches: int = 0
 
 
 class MiddlewareServer:
@@ -148,6 +155,12 @@ class MiddlewareServer:
         #: backward-chain links through the log and recover sessions on
         #: demand after a crash.  Cached — the mode is fixed per run.
         self.lazy_mode = self.config.recovery_mode == "lazy"
+        #: Command/value adaptive logging (DESIGN.md §16), cached like
+        #: ``lazy_mode``: ``command_mode`` fixes every session to
+        #: command logging; ``adaptive_mode`` lets the per-session
+        #: policy pick (sessions start in value mode).
+        self.command_mode = self.config.logging_mode == "command"
+        self.adaptive_mode = self.config.logging_mode == "adaptive"
         # Ablation support: the single MSP-wide DV (see session_for).
         from repro.core.dv import DependencyVector
 
@@ -196,6 +209,19 @@ class MiddlewareServer:
             raise SessionProtocolError(
                 "lazy recovery requires value logging (sv_logging='value')"
             )
+        if self.config.logging_mode not in ("value", "command", "adaptive"):
+            raise SessionProtocolError(
+                f"unknown logging_mode {self.config.logging_mode!r}; "
+                "choose 'value', 'command' or 'adaptive'"
+            )
+        if self.config.logging_mode != "value" and self.config.sv_logging != "value":
+            # Command replay re-executes handlers against recovered SV
+            # state; access-order recovery rebuilds SVs by replaying the
+            # logged access sequence — the two re-execution disciplines
+            # cannot interleave on one variable.
+            raise SessionProtocolError(
+                "command/adaptive logging requires sv_logging='value'"
+            )
         if self.recoverable and self.config.sv_logging == "access-order":
             # The ablation supports crash recovery of standalone MSPs
             # only: checkpoints would cut the access chains replay must
@@ -233,6 +259,12 @@ class MiddlewareServer:
             name: SharedVariable(self.sim, name, value)
             for name, value in self._shared_registry.items()
         }
+        if self.recoverable and self.config.logging_mode != "value":
+            # Orphan rollback must be able to undo unlogged command
+            # effects; enable the in-memory history before any apply
+            # (including the recovery scan's) so every write is covered.
+            for sv in self.shared.values():
+                sv.track_history = True
         needs_recovery = self.recoverable and (
             any(store.durable_end > 0 for store in self.stores)
             or self.log.read_anchor() is not None
@@ -379,6 +411,7 @@ class MiddlewareServer:
         if session.first_lsn is None:
             session.first_lsn = lsn
         session.bytes_since_ckpt += size
+        session.bytes_since_eval += size
         if session.position_stream.append(lsn):
             yield from session.position_stream.spill(self.disk)
         return lsn, size
@@ -422,6 +455,8 @@ class MiddlewareServer:
                 # sessions will roll back, possibly unnecessarily",
                 # paper S3.2) -- the cost the per-session design avoids.
                 session.dv = self._msp_wide_dv
+            if self.command_mode:
+                session.logging_mode = "command"
             self.sessions[session_id] = session
         return session
 
@@ -553,9 +588,11 @@ class MiddlewareServer:
         finally:
             session.busy = False
 
-        # Between requests: take a session checkpoint if due (§3.2).
+        # Between requests: take a session checkpoint if due (§3.2),
+        # then let the adaptive policy re-decide the logging mode.
         if self.recoverable and session.id in self.sessions:
             yield from maybe_session_checkpoint(self, session)
+            self._maybe_adapt_mode(session)
 
     def _process_new_request(self, request: Request, session: Session):
         if session.lazy_pending:
@@ -572,14 +609,25 @@ class MiddlewareServer:
                     # be recovered by its own MSP and resend.
                     self.stats.orphan_messages_discarded += 1
                     return
-            record = RequestRecord(
+            # Command mode (DESIGN.md §16): the request record *is* the
+            # command — same fields, distinct kind so replay knows to
+            # re-execute RMW effects instead of consuming value records.
+            record_cls = (
+                CommandRecord if session.logging_mode == "command" else RequestRecord
+            )
+            record = record_cls(
                 session_id=session.id,
                 seq=request.seq,
                 method=request.method,
                 argument=request.argument,
                 sender_dv=request.sender_dv,
             )
-            yield from self.append_session_record(session, record)
+            lsn, _size = yield from self.append_session_record(session, record)
+            if record_cls is CommandRecord:
+                session.command_lsn = lsn
+                self.stats.command_requests += 1
+            else:
+                session.command_lsn = None
             if request.sender_dv is not None:
                 yield from self.cpu(costs.dv_track_ms)
                 session.dv.merge(request.sender_dv)
@@ -609,8 +657,23 @@ class MiddlewareServer:
         yield from self._before_method(session)
         ctx = NormalContext(self, session)
         method = self.service(request.method)
+        if self.adaptive_mode:
+            session.call_ms_accum = 0.0
+            exec_started = self.sim.now
         result = yield from method(ctx, request.argument)
         yield from self._after_method(session)
+        if self.adaptive_mode:
+            # Replay-cost estimate: wall time minus outgoing-call time
+            # (replay answers calls from logged replies, so the network
+            # round trips vanish; CPU, locks and appends remain a fair
+            # proxy for re-execution cost).  EWMA so one slow request
+            # cannot flip the mode.
+            exec_ms = self.sim.now - exec_started - session.call_ms_accum
+            if session.observed_exec_ms == 0.0:
+                session.observed_exec_ms = exec_ms
+            else:
+                session.observed_exec_ms += 0.3 * (exec_ms - session.observed_exec_ms)
+            session.requests_since_eval += 1
         if not isinstance(result, bytes):
             raise SessionProtocolError(
                 f"{self.name}.{request.method} returned {type(result).__name__}, "
@@ -632,6 +695,51 @@ class MiddlewareServer:
         session.buffered_reply_error = False
         session.next_expected_seq = request.seq + 1
         self.stats.requests_processed += 1
+
+    def _maybe_adapt_mode(self, session: Session) -> None:
+        """The adaptive logging policy (DESIGN.md §16), run between
+        requests.
+
+        Every ``adaptive_eval_requests`` completed requests, compare the
+        observed log volume against what command logging would keep
+        (value mode tracks the elidable SvUpdate share) and the
+        estimated re-execution cost against the replay budget.  Both
+        directions are guarded by the hysteresis margin so the mode
+        cannot flap on noise; switches take effect on the session's next
+        request (replay dispatches per record kind, so mixed suffixes
+        are fine).
+        """
+        if not self.adaptive_mode or session.status is not SessionStatus.NORMAL:
+            return
+        if session.requests_since_eval < self.config.adaptive_eval_requests:
+            return
+        margin = self.config.adaptive_hysteresis_margin
+        budget = self.config.adaptive_replay_budget_ms
+        old_mode = session.logging_mode
+        if old_mode == "value":
+            kept = session.bytes_since_eval - session.elidable_bytes_since_eval
+            if (
+                session.elidable_bytes_since_eval > 0
+                and session.bytes_since_eval > margin * max(kept, 1)
+                and session.observed_exec_ms <= budget
+            ):
+                session.logging_mode = "command"
+        elif session.observed_exec_ms > budget * margin:
+            session.logging_mode = "value"
+        if session.logging_mode != old_mode:
+            self.stats.mode_switches += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "session.mode-switch",
+                    owner=self.name,
+                    session=session.id,
+                    mode=session.logging_mode,
+                )
+                tracer.metrics.inc(f"logging.mode_switch.{session.logging_mode}")
+        session.requests_since_eval = 0
+        session.bytes_since_eval = 0
+        session.elidable_bytes_since_eval = 0
 
     def _before_method(self, session: Session):
         """Hook for alternative session-persistence baselines (Psession,

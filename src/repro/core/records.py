@@ -43,9 +43,15 @@ KIND_SESSION_END = 10
 KIND_FILLER = 11
 KIND_SV_UPDATE = 12
 KIND_SV_ORDER = 13
+KIND_COMMAND = 14
 
 #: Sentinel "no previous write" value for backward chains.
 NO_LSN = 0xFFFFFFFFFFFF
+
+#: Per-session logging-mode codes for the session checkpoint's optional
+#: trailing field (omitted for "value", keeping those bytes identical).
+LOGGING_MODE_CODES = {"value": 0, "command": 1}
+LOGGING_MODE_NAMES = {code: name for name, code in LOGGING_MODE_CODES.items()}
 
 # -- compiled-codec helpers ---------------------------------------------------
 #
@@ -102,6 +108,47 @@ class RequestRecord:
         argument = self.argument
         parts = [
             _kind_len(KIND_REQUEST, len(sid)),
+            sid,
+            encode_uvarint(self.seq),
+            encode_uvarint(len(method)),
+            method,
+            encode_uvarint(len(argument)),
+            argument,
+            _optional_dv_bytes(self.sender_dv),
+        ]
+        if self.prev_lsn is not None:
+            parts.append(encode_uvarint(self.prev_lsn))
+        return b"".join(parts)
+
+
+@dataclass
+class CommandRecord:
+    """Command logging: the request itself is the log record (§3.3 dual).
+
+    Under ``logging_mode: command`` the per-SV value records of a
+    request's execution are *not* logged; this single record — the
+    method id, its argument and the sender's DV context — is, and
+    recovery re-executes the handler deterministically against recovered
+    state (Lomet-style logical recovery).  The fields deliberately
+    mirror :class:`RequestRecord` so the analysis scan, the recovery
+    cut/merge (``sender_dv``), partition routing (``session_id``) and
+    the lazy backward chain (``prev_lsn``) all treat it identically.
+    """
+
+    session_id: str
+    seq: int
+    method: str
+    argument: bytes
+    sender_dv: Optional[DependencyVector] = None
+    prev_lsn: Optional[int] = None
+    kind: int = field(default=KIND_COMMAND, init=False)
+
+    def encode(self) -> bytes:
+        sid = self.session_id.encode("utf-8")
+        method = self.method.encode("utf-8")
+        argument = self.argument
+        parts = [
+            _kind_len(KIND_COMMAND, len(sid)),
             sid,
             encode_uvarint(self.seq),
             encode_uvarint(len(method)),
@@ -278,12 +325,24 @@ class SvCheckpointRecord:
     checkpoint (control partition) after the writes it covers (session
     partitions); in a single-partition log the scan order already says
     so and the field is omitted, keeping the bytes identical.
+
+    ``command_frontier`` is a second optional trailing field written
+    only when the variable carries command-mode RMW effects (DESIGN.md
+    §16): per command session, the ``(lsn, ordinal)`` of the most recent
+    command RMW whose effect is included in the checkpointed value.
+    Recovery restores it so a re-executed command re-applies its RMW
+    exactly when its pair lies beyond the frontier.  When present, the
+    ``prev_write_lsn`` block is always written first (``NO_LSN`` for a
+    single-partition log) so the two exhaustion-gated trailing fields
+    decode unambiguously.  Value logging leaves the frontier empty and
+    the encoding byte-identical.
     """
 
     variable: str
     value: bytes
     version: int = 0
     prev_write_lsn: Optional[int] = None
+    command_frontier: dict[str, tuple[int, int]] = field(default_factory=dict)
     kind: int = field(default=KIND_SV_CHECKPOINT, init=False)
 
     def encode(self) -> bytes:
@@ -294,8 +353,13 @@ class SvCheckpointRecord:
             .raw(self.value)
             .uint(self.version)
         )
-        if self.prev_write_lsn is not None:
-            enc.uint(self.prev_write_lsn)
+        if self.prev_write_lsn is not None or self.command_frontier:
+            enc.uint(self.prev_write_lsn if self.prev_write_lsn is not None else NO_LSN)
+        if self.command_frontier:
+            enc.uint(len(self.command_frontier))
+            for sid in sorted(self.command_frontier):
+                lsn, ordinal = self.command_frontier[sid]
+                enc.text(sid).uint(lsn).uint(ordinal)
         return enc.finish()
 
 
@@ -342,6 +406,12 @@ class SessionCheckpointRecord:
     outgoing session's next available sequence number — no control state
     (stacks, program counters), because checkpoints are only taken
     between requests.
+
+    ``logging_mode`` is an optional trailing field written only when the
+    session is not value-logging (DESIGN.md §16): recovery must know how
+    to interpret the log suffix after this checkpoint — value records to
+    reinstall, or command records to re-execute.  Value mode omits it,
+    keeping the bytes identical to previous releases.
     """
 
     session_id: str
@@ -351,6 +421,7 @@ class SessionCheckpointRecord:
     next_expected_seq: int
     outgoing_next_seq: dict[str, int]  #: outgoing session id -> next seq
     buffered_reply_error: bool = False
+    logging_mode: str = "value"
     kind: int = field(default=KIND_SESSION_CHECKPOINT, init=False)
 
     def encode(self) -> bytes:
@@ -367,6 +438,8 @@ class SessionCheckpointRecord:
         for target in sorted(self.outgoing_next_seq):
             enc.text(target).uint(self.outgoing_next_seq[target])
         enc.boolean(self.buffered_reply_error)
+        if self.logging_mode != "value":
+            enc.uint(LOGGING_MODE_CODES[self.logging_mode])
         return enc.finish()
 
 
@@ -538,6 +611,7 @@ class SessionEndRecord:
 
 LogRecord = (
     RequestRecord
+    | CommandRecord
     | FillerRecord
     | ReplyRecord
     | SvOrderRecord
@@ -592,6 +666,16 @@ def _decode_request(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
     sender_dv, pos = _read_optional_dv(buf, pos)
     prev_lsn, pos = _read_optional_prev_lsn(buf, pos)
     return RequestRecord(session_id, seq, method, argument, sender_dv, prev_lsn), pos
+
+
+def _decode_command(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
+    session_id, pos = read_text_interned(buf, pos)
+    seq, pos = read_uvarint(buf, pos)
+    method, pos = read_text_interned(buf, pos)
+    argument, pos = read_bytes(buf, pos)
+    sender_dv, pos = _read_optional_dv(buf, pos)
+    prev_lsn, pos = _read_optional_prev_lsn(buf, pos)
+    return CommandRecord(session_id, seq, method, argument, sender_dv, prev_lsn), pos
 
 
 def _decode_reply(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
@@ -653,6 +737,7 @@ def _decode_filler(buf: Buffer, pos: int) -> tuple[LogRecord, int]:
 
 _FAST_DECODERS: dict[int, Callable[[Buffer, int], tuple[LogRecord, int]]] = {
     KIND_REQUEST: _decode_request,
+    KIND_COMMAND: _decode_command,
     KIND_REPLY: _decode_reply,
     KIND_SV_READ: _decode_sv_read,
     KIND_SV_WRITE: _decode_sv_write,
@@ -684,6 +769,16 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
     kind = dec.uint()
     if kind == KIND_REQUEST:
         record: LogRecord = RequestRecord(
+            session_id=dec.text(),
+            seq=dec.uint(),
+            method=dec.text(),
+            argument=dec.raw(),
+            sender_dv=_decode_optional_dv(dec),
+        )
+        if not dec.exhausted:
+            record.prev_lsn = dec.uint()
+    elif kind == KIND_COMMAND:
+        record = CommandRecord(
             session_id=dec.text(),
             seq=dec.uint(),
             method=dec.text(),
@@ -724,7 +819,12 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
     elif kind == KIND_SV_CHECKPOINT:
         record = SvCheckpointRecord(variable=dec.text(), value=dec.raw(), version=dec.uint())
         if not dec.exhausted:
-            record.prev_write_lsn = dec.uint()
+            prev = dec.uint()
+            record.prev_write_lsn = None if prev == NO_LSN else prev
+        if not dec.exhausted:
+            for _ in range(dec.uint()):
+                sid = dec.text()
+                record.command_frontier[sid] = (dec.uint(), dec.uint())
     elif kind == KIND_SESSION_CHECKPOINT:
         session_id = dec.text()
         variables = {}
@@ -741,6 +841,8 @@ def _decode_record_general(payload: Buffer) -> LogRecord:
             outgoing_next_seq={dec.text(): dec.uint() for _ in range(dec.uint())},
             buffered_reply_error=dec.boolean(),
         )
+        if not dec.exhausted:
+            record.logging_mode = LOGGING_MODE_NAMES[dec.uint()]
     elif kind == KIND_MSP_CHECKPOINT:
         epoch = dec.uint()
         recovered: dict[str, dict[int, int]] = {}
@@ -802,8 +904,8 @@ def session_of(record: LogRecord) -> Optional[str]:
     """The owning session for records that belong to a position stream."""
     if isinstance(
         record,
-        (RequestRecord, ReplyRecord, SvReadRecord, SvWriteRecord, SvUpdateRecord,
-         SvOrderRecord),
+        (RequestRecord, CommandRecord, ReplyRecord, SvReadRecord, SvWriteRecord,
+         SvUpdateRecord, SvOrderRecord),
     ):
         return record.session_id
     return None

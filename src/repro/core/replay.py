@@ -28,7 +28,7 @@ from repro.core.context import (
 from repro.core.dv import StateId
 from repro.core.errors import SessionProtocolError
 from repro.core.log_manager import LogWindowReader
-from repro.core.records import RequestRecord, SessionCheckpointRecord
+from repro.core.records import CommandRecord, RequestRecord, SessionCheckpointRecord
 from repro.core.session import Session, SessionStatus
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -95,7 +95,7 @@ def _replay_pass(msp: "MiddlewareServer", session: Session):
             # after, write EOS, go back to waiting for new requests.
             yield from write_eos(msp, session, found.lsn)
             return
-        if not isinstance(record, RequestRecord):
+        if not isinstance(record, (RequestRecord, CommandRecord)):
             raise SessionProtocolError(
                 f"replay of {session.id}: expected a request record at "
                 f"{lsn}, found {record!r}"
@@ -114,11 +114,21 @@ def _replay_request(
     session: Session,
     ctx: ReplayContext,
     lsn: int,
-    record: RequestRecord,
+    record: "RequestRecord | CommandRecord",
 ):
     """Re-execute one logged request (paper §4.1 replay rules)."""
     costs = msp.config.costs
     yield from msp.cpu(costs.replay_dispatch_ms)
+    # Command logging (DESIGN.md §16): dispatch per record kind, so a
+    # mixed-mode suffix (the adaptive policy switching between requests)
+    # replays each request under the regime it was logged with.  The
+    # session's live mode tracks along, so post-recovery requests
+    # continue in the pre-crash mode.
+    is_command = isinstance(record, CommandRecord)
+    ctx.command_request = is_command
+    ctx._command_ordinals = {}
+    session.command_lsn = lsn if is_command else None
+    session.logging_mode = "command" if is_command else "value"
     # Receive effects, replayed: state number and DV move exactly as
     # they did in normal execution.
     session.state_lsn = lsn
@@ -150,3 +160,5 @@ def _replay_request(
     session.buffered_reply_error = False
     session.next_expected_seq = record.seq + 1
     msp.stats.replayed_requests += 1
+    if is_command:
+        msp.stats.replayed_commands += 1

@@ -78,6 +78,43 @@ class SharedVariable:
         self.write_seq = 0
         self.expected_reads: dict[int, int] = {}
         self.recovery_target_write = 0
+        #: Command/value adaptive logging (DESIGN.md §16).  A command-
+        #: mode RMW applies its effect *without* a log record; the
+        #: variable's recovery then rests on three pieces of state:
+        #:
+        #: - ``command_frontier``: per command-session, the ``(lsn,
+        #:   ordinal)`` of the most recent command RMW whose effect is
+        #:   included in the current value — lsn of the command record,
+        #:   ordinal of the apply within that command (one request may
+        #:   update a variable more than once, and a checkpoint can
+        #:   land between the applies).  Captured by shared-variable
+        #:   checkpoints so a replayed command knows whether to
+        #:   re-apply (pair beyond the recovered frontier) or skip
+        #:   (captured).  Lsns of one session are totally ordered (one
+        #:   partition) and ordinals order applies within a command, so
+        #:   the pairs totally order per session.
+        #: - ``uncaptured_commands``: True while command effects exist
+        #:   that no checkpoint or value record has captured yet.  A
+        #:   value-logged write to such a variable must checkpoint it
+        #:   first (the regime barrier): the logged record's value would
+        #:   embed the unlogged effects, and the recovery scan would
+        #:   install them *before* the commands re-apply — double
+        #:   application.  The barrier seals them under a checkpoint
+        #:   whose frontier makes the re-apply a no-op.
+        #: - ``history``: an in-memory undo stack (one snapshot per
+        #:   write while ``track_history``).  Orphan rollback cannot
+        #:   walk a backward chain through unlogged updates, so it pops
+        #:   orphan snapshots here first and only falls back to the
+        #:   logged chain when the whole history is orphan.  Volatile by
+        #:   design: rollback is a live-execution action; after a crash
+        #:   the scan + command re-execution rebuild the value instead.
+        self.track_history = False
+        self.command_frontier: dict[str, tuple[int, int]] = {}
+        self.uncaptured_commands = False
+        self.history: list[tuple] = []
+        #: Frontier as of the last checkpoint/scan — what the frontier
+        #: reverts to when rollback exhausts the in-memory history.
+        self._frontier_floor: dict[str, int] = {}
 
     # -- bookkeeping helpers used by the MSP ------------------------------
 
@@ -91,6 +128,45 @@ class SharedVariable:
         if self.first_write_lsn is None:
             self.first_write_lsn = lsn
         self.live_chain_floors.setdefault(plsn_partition(lsn), plsn_offset(lsn))
+        # A value record captures the current value wholesale, command
+        # effects included — from here on the log recovers them.
+        self.uncaptured_commands = False
+        if self.track_history:
+            self._push_history()
+
+    def apply_command_write(
+        self,
+        lsn: int,
+        ordinal: int,
+        value: bytes,
+        writer_dv: DependencyVector,
+        session_id: str,
+    ) -> None:
+        """Install a command-mode RMW effect (DESIGN.md §16): no log
+        record backs it, so the backward chain and the chain floors are
+        left untouched; recovery re-derives the effect by re-executing
+        the command at ``lsn`` (``ordinal`` numbers the applies within
+        one command), gated by the frontier."""
+        self.dv.replace_with(writer_dv)
+        self.state_lsn = lsn
+        self.value = bytes(value)
+        self.writes_since_ckpt += 1
+        self.command_frontier[session_id] = (lsn, ordinal)
+        self.uncaptured_commands = True
+        if self.track_history:
+            self._push_history()
+
+    def _push_history(self) -> None:
+        self.history.append(
+            (
+                self.value,
+                self.dv.copy(),
+                self.state_lsn,
+                self.last_write_lsn,
+                dict(self.command_frontier),
+                self.uncaptured_commands,
+            )
+        )
 
     def apply_checkpoint(self, lsn: int) -> None:
         """Account a just-logged checkpoint of the current value."""
@@ -103,6 +179,12 @@ class SharedVariable:
         # The checkpoint seals the chain: it is the only record below
         # the new head that rollback or a recovery scan can still need.
         self.live_chain_floors = {plsn_partition(lsn): plsn_offset(lsn)}
+        # Every command effect is now captured under the checkpoint (the
+        # frontier rode along in the record), and nothing below it can
+        # ever be rolled back to.
+        self.uncaptured_commands = False
+        self._frontier_floor = dict(self.command_frontier)
+        self.history.clear()
 
     def scan_start_lsn(self) -> Optional[int]:
         """Where the crash-recovery scan must start for this variable."""
@@ -149,9 +231,35 @@ class SharedVariable:
         orphan — the deadlock-avoidance property of value logging.
         Returns the number of chain hops walked.
         """
+        hops = 0
+        # Command/value adaptive logging (DESIGN.md §16): command-mode
+        # RMWs left no records, so the logged chain cannot undo them.
+        # The in-memory history covers every write since the last
+        # checkpoint (in application order, logged and unlogged alike);
+        # pop the orphan tail and restore the newest clean snapshot.
+        # Only when the whole history is orphan does the logged chain
+        # below it take over.
+        while self.history:
+            value, dv, state_lsn, last_write_lsn, frontier, uncaptured = self.history[-1]
+            candidate_dv = dv.copy()
+            candidate_dv.prune_resolved(table)
+            if not table.is_orphan(candidate_dv):
+                self.value = value
+                self.dv = candidate_dv
+                self.state_lsn = state_lsn
+                self.last_write_lsn = last_write_lsn
+                self.command_frontier = dict(frontier)
+                self.uncaptured_commands = uncaptured
+                return hops
+            self.history.pop()
+            hops += 1
+        if self.track_history:
+            # Everything above the last checkpoint/scan state rolled
+            # back; the chain walk below restores logged state only.
+            self.command_frontier = dict(self._frontier_floor)
+            self.uncaptured_commands = False
         reader = LogWindowReader(log, durable_only=False)
         cursor = self.last_write_lsn
-        hops = 0
         while cursor != NO_LSN:
             record = yield from reader.fetch(cursor)
             if isinstance(record, SvCheckpointRecord):

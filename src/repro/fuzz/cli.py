@@ -22,6 +22,7 @@ violations dumps the same pair.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -93,6 +94,12 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
         "chain-replay crash sites to the enumeration)",
     )
     parser.add_argument(
+        "--logging-mode", choices=("value", "command", "adaptive"), default=None,
+        help="request logging mode (default value; command logs the "
+        "request instead of per-variable deltas, adaptive switches per "
+        "session at runtime)",
+    )
+    parser.add_argument(
         "--minimize", action="store_true", help="shrink failures before reporting"
     )
     parser.add_argument(
@@ -113,6 +120,8 @@ def _params(args: argparse.Namespace) -> FuzzParams:
         params.log_partitions = args.partitions
     if getattr(args, "recovery_mode", None) is not None:
         params.recovery_mode = args.recovery_mode
+    if getattr(args, "logging_mode", None) is not None:
+        params.logging_mode = args.logging_mode
     return params
 
 
@@ -199,6 +208,10 @@ def _finish(report: FuzzReport, args: argparse.Namespace, wall_s: float) -> int:
     if report.ok:
         return 0
     artifact = report.to_dict()
+    # Embed the run's workload shape: a replay from this artifact must
+    # reproduce the same modes (partitions, recovery, logging), not
+    # whatever the replaying invocation's flags default to.
+    artifact["params"] = dataclasses.asdict(_params(args))
     with open(args.out, "w") as fh:
         json.dump(artifact, fh, indent=2, sort_keys=True)
     print(f"wrote failure artifact {args.out}", file=sys.stderr)
@@ -226,6 +239,13 @@ def _run_replay(args: argparse.Namespace, params: FuzzParams) -> int:
     else:
         with open(args.replay_file) as fh:
             artifact = json.load(fh)
+        recorded = artifact.get("params")
+        if recorded is not None:
+            # Reproduce the recorded run's workload shape exactly; the
+            # replaying invocation's own shape flags do not apply.
+            recorded["targets"] = tuple(recorded.get("targets", ()))
+            params = FuzzParams(**recorded)
+            print(f"using recorded params: {dataclasses.asdict(params)}")
         failures = artifact.get("failures", [])
         if not failures:
             print("artifact holds no failures", file=sys.stderr)

@@ -139,6 +139,13 @@ class FuzzParams:
     #: walks, pump steps), so the exhaustive battery enumerates
     #: crash-during-lazy-replay and crash-while-partially-recovered.
     recovery_mode: str = "eager"
+    #: Request logging mode: ``value`` (historical, byte-identical),
+    #: ``command`` (log the request, not the deltas — DESIGN.md §16) or
+    #: ``adaptive`` (the runtime policy switching per session).  The
+    #: non-value modes exercise command replay, the (lsn, ordinal)
+    #: idempotence frontier and the in-memory rollback history under
+    #: arbitrary crash schedules.
+    logging_mode: str = "value"
 
     def workload_params(self, seed: int) -> WorkloadParams:
         return WorkloadParams(
@@ -154,6 +161,7 @@ class FuzzParams:
             forced_ckpt_msp_count=self.forced_ckpt_msp_count,
             log_partitions=self.log_partitions,
             recovery_mode=self.recovery_mode,
+            logging_mode=self.logging_mode,
             # Atomic RMW counters: with the paper's separate read + write
             # accesses, two concurrent clients can interleave and lose an
             # increment with no crash at all (the fuzzer's first find),

@@ -688,6 +688,122 @@ def bench_instant_restart(scale: float = 1.0) -> dict:
     }
 
 
+def _log_volume_run(
+    mode: str, nparts: int, recovery_mode: str, requests: int
+) -> dict:
+    """One §5.1 workload run under one (logging mode, P, recovery mode).
+
+    The run is traced so the per-kind append counters and the recovery
+    spans land in one MetricsRegistry; exactly-once is verified before
+    any number is reported — a cell that loses an increment is a bug,
+    not a fast configuration.
+    """
+    from repro.trace import Tracer
+    from repro.workloads import PaperWorkload, WorkloadParams
+
+    params = WorkloadParams(
+        configuration="LoOptimistic",
+        requests_per_client=requests,
+        num_clients=2,
+        calls_to_sm2=1,
+        # Two mid-run msp2 crashes so the recovery-time axis of the
+        # overhead-vs-recovery spectrum is measured, not extrapolated.
+        crash_every_n=max(8, (requests * 2) // 3),
+        # Commutative RMW counters — the access pattern command logging
+        # elides (plain read+write pairs stay value-logged by contract).
+        atomic_sv_updates=True,
+        log_partitions=nparts,
+        recovery_mode=recovery_mode,
+        logging_mode=mode,
+        seed=0,
+    )
+    workload = PaperWorkload(params)
+    tracer = Tracer(workload.sim).attach()
+    start = time.perf_counter()
+    result = workload.run()
+    elapsed = time.perf_counter() - start
+    tracer.finalize()
+    workload.verify_exactly_once()
+
+    counters = tracer.metrics.counters
+    kinds: dict[str, dict] = {}
+    for name, counter in counters.items():
+        if name.startswith("log.append.") and name.endswith(".bytes"):
+            kind = name[len("log.append.") : -len(".bytes")]
+            records = counters.get(f"log.append.{kind}.records")
+            kinds[kind] = {
+                "bytes": counter.value,
+                "records": records.value if records is not None else 0,
+            }
+    appended_bytes = sum(k["bytes"] for k in kinds.values())
+    histograms = tracer.metrics.histograms
+    recovery = histograms.get("span.recovery_ms")
+    session_replay = histograms.get("span.recovery.session_ms")
+    stats = (workload.msp1.stats, workload.msp2.stats)
+    return {
+        "logging_mode": mode,
+        "partitions": nparts,
+        "recovery_mode": recovery_mode,
+        "requests": result.completed_requests,
+        "crashes": result.crashes,
+        "seconds": elapsed,
+        "sim_mean_response_ms": result.mean_response_ms,
+        "appended_bytes": appended_bytes,
+        # The satellite's one-number-per-cell: total log volume (both
+        # MSPs, all kinds) over completed end-client requests.
+        "log_bytes_per_request": appended_bytes
+        / max(1, result.completed_requests),
+        "record_kinds": kinds,
+        # Crash recovery (restart to open-for-business) and session
+        # replay sim-time.  Eager nests replay inside the recovery span;
+        # lazy runs chains after it — the sum is the total repair work
+        # either way, which is what the spectrum plots.
+        "recovery_ms": recovery.total if recovery is not None else 0.0,
+        "session_replay_ms": (
+            session_replay.total if session_replay is not None else 0.0
+        ),
+        "replayed_requests": sum(s.replayed_requests for s in stats),
+        "replayed_commands": sum(s.replayed_commands for s in stats),
+        "command_requests": sum(s.command_requests for s in stats),
+        "mode_switches": sum(s.mode_switches for s in stats),
+    }
+
+
+def bench_log_volume(scale: float = 1.0, modes: tuple = None) -> dict:
+    """Runtime overhead vs recovery time: value → adaptive → command.
+
+    The adaptive-logging trade (Yao et al.) on our substrate: twelve
+    §5.1 workload cells — logging mode in {value, adaptive, command} x
+    partitions in {1, 4} x recovery mode in {eager, lazy} — each with
+    two mid-run crashes.  The headline ``volume_reduction_p1`` quotes
+    value-mode log bytes/request over command-mode on the classical
+    single log (eager); the perf gate floors it at 2x and holds
+    value-mode bytes/request inside the PR 7 band.
+    """
+    modes = tuple(modes) if modes else ("value", "adaptive", "command")
+    requests = max(16, int(100 * scale))
+    cells = {
+        f"{mode}_p{P}_{rmode}": _log_volume_run(mode, P, rmode, requests)
+        for mode in modes
+        for P in (1, 4)
+        for rmode in ("eager", "lazy")
+    }
+    report = {
+        "requests": requests,
+        "seconds": sum(run["seconds"] for run in cells.values()),
+        "volume_cells": cells,
+    }
+    for key, run in cells.items():
+        report[f"bpr_{key}"] = run["log_bytes_per_request"]
+    value = cells.get("value_p1_eager")
+    command = cells.get("command_p1_eager")
+    if value and command:
+        report["volume_reduction_p1"] = value["log_bytes_per_request"] / max(
+            command["log_bytes_per_request"], 1e-9
+        )
+    return report
+
+
 BENCHMARKS: dict[str, Callable[[float], dict]] = {
     "codec_encode": bench_codec_encode,
     "codec_decode": bench_codec_decode,
@@ -697,6 +813,7 @@ BENCHMARKS: dict[str, Callable[[float], dict]] = {
     "fig14": bench_fig14,
     "log_space": bench_log_space,
     "log_partitions": bench_log_partitions,
+    "log_volume": bench_log_volume,
     "instant_restart": bench_instant_restart,
     "trace_overhead": bench_trace_overhead,
 }
@@ -711,18 +828,27 @@ _HEADLINE = {
     "fig14": "requests_per_wall_s",
     "log_space": "records_per_s",
     "log_partitions": "speedup_p4_sim",
+    "log_volume": "volume_reduction_p1",
     "instant_restart": "ttfr_speedup_p1",
     "trace_overhead": "overhead_ratio",
 }
 
 
-def run_benchmark_cell(name: str, scale: float = 1.0, repeat: int = 3) -> dict:
+def run_benchmark_cell(
+    name: str,
+    scale: float = 1.0,
+    repeat: int = 3,
+    logging_mode: Optional[str] = None,
+) -> dict:
     """Warm up, then run one benchmark cell; the best repeat is kept.
 
     This is the unit of work a pool worker executes for a parallel
-    ``repro bench`` run.
+    ``repro bench`` run.  ``logging_mode`` restricts the ``log_volume``
+    spectrum to one mode (local iteration); other cells ignore it.
     """
     fn = BENCHMARKS[name]
+    if logging_mode is not None and name == "log_volume":
+        fn = lambda s: bench_log_volume(s, modes=(logging_mode,))  # noqa: E731
     fn(min(scale, 0.01))  # warmup: import, allocate, JIT-warm caches
     best: Optional[dict] = None
     for _ in range(max(1, repeat)):
@@ -738,6 +864,7 @@ def run_benchmarks(
     only: Optional[list[str]] = None,
     jobs: Optional[int] = None,
     progress=None,
+    logging_mode: Optional[str] = None,
 ) -> dict:
     """Run the benchmark suite; the best of ``repeat`` runs is reported.
 
@@ -755,11 +882,16 @@ def run_benchmarks(
     results: dict[str, dict] = {}
     if effective_jobs == 1 or len(names) <= 1:
         for i, name in enumerate(names):
-            results[name] = run_benchmark_cell(name, scale=scale, repeat=repeat)
+            results[name] = run_benchmark_cell(
+                name, scale=scale, repeat=repeat, logging_mode=logging_mode
+            )
             if progress is not None:
                 progress(i + 1, len(names), name)
     else:
-        specs = [BenchCellSpec(name, scale=scale, repeat=repeat) for name in names]
+        specs = [
+            BenchCellSpec(name, scale=scale, repeat=repeat, logging_mode=logging_mode)
+            for name in names
+        ]
         outcomes = run_tasks(
             run_bench_cell,
             specs,
@@ -860,4 +992,30 @@ def format_report(report: dict) -> str:
                     f"  physical_flushes={cell.get('physical_flushes', 0)}"
                     f"  coalesced={cell.get('coalesced_flushes', 0)}"
                 )
+        vcells = run.get("volume_cells")
+        if vcells:
+            # The log-volume spectrum: one sub-line per (mode, P,
+            # recovery-mode) cell — bytes/request is the satellite's
+            # one-number win — plus the per-kind breakdown underneath.
+            for key, cell in sorted(vcells.items()):
+                repair = cell.get("recovery_ms", 0.0) + cell.get(
+                    "session_replay_ms", 0.0
+                )
+                lines.append(
+                    f"{'':14s} {key}: {cell.get('log_bytes_per_request', 0.0):8,.1f}"
+                    f" B/req  repair {repair:9,.1f} sim-ms"
+                    f"  replayed={cell.get('replayed_requests', 0)}"
+                    f" (cmd={cell.get('replayed_commands', 0)})"
+                    f"  switches={cell.get('mode_switches', 0)}"
+                )
+                kinds = cell.get("record_kinds", {})
+                if kinds:
+                    breakdown = " ".join(
+                        f"{kind}={counts['bytes']}"
+                        for kind, counts in sorted(
+                            kinds.items(),
+                            key=lambda kv: -kv[1]["bytes"],
+                        )
+                    )
+                    lines.append(f"{'':18s} kinds: {breakdown}")
     return "\n".join(lines)

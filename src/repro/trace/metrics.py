@@ -161,11 +161,13 @@ def collect_component_metrics(
             registry.set(
                 f"log.{msp.name}.coalesced_flushes", msp.log.stats.coalesced_flushes
             )
+            # Namespaced ``log.<msp>.p<N>.*`` — matching the partition
+            # store/disk names and the ``log.write`` span's partition
+            # attribution, so traces and metrics cross-reference without
+            # a manual mapping.
             for index, counters in sorted(msp.log.stats.partitions.items()):
                 for field, value in counters.items():
-                    registry.set(
-                        f"log.{msp.name}.partition.{index}.{field}", value
-                    )
+                    registry.set(f"log.{msp.name}.p{index}.{field}", value)
     registry.set("flush.stale_acks", stale_acks)
     if network is not None:
         for field, value in network.ledger().items():

@@ -98,6 +98,10 @@ class WorkloadParams:
     recovery_mode: str = "eager"
     #: Lazy mode: background recovery pump concurrency budget.
     recovery_pump_concurrency: int = 4
+    #: What sessions log: ``value`` (the paper's §3.3 per-SV records),
+    #: ``command`` (one command record per request, replay re-executes)
+    #: or ``adaptive`` (per-session runtime choice, DESIGN.md §16).
+    logging_mode: str = "value"
     request_arg_bytes: int = 100
     reply_bytes: int = 100
     sv_bytes: int = 128
@@ -233,6 +237,7 @@ class PaperWorkload:
             config.forced_ckpt_msp_count = params.forced_ckpt_msp_count
         config.recovery_mode = params.recovery_mode
         config.recovery_pump_concurrency = params.recovery_pump_concurrency
+        config.logging_mode = params.logging_mode
         return config
 
     def _build_servers(self) -> None:

@@ -101,6 +101,43 @@ GOLDEN = [
         R.SessionEndRecord("sess-1"),
         "0a06736573732d31",
     ),
+    # PR 8 command logging.  A CommandRecord is byte-for-byte a
+    # RequestRecord with kind 0x0e — the analysis scan, partition
+    # routing and lazy chains treat the two identically by design.
+    (
+        R.CommandRecord("sess-1", 17, "ServiceMethod1", b"\x00\x01arg", sender_dv=_dv()),
+        "0e06736573732d31110e536572766963654d6574686f64310500016172670102044d5350310100b960044d535032010186a43c",
+    ),
+    (
+        R.CommandRecord("sess-1", 18, "m", b"", sender_dv=None),
+        "0e06736573732d3112016d0000",
+    ),
+    # A non-value session checkpoint appends the coded logging mode;
+    # value mode omits it (the SessionCheckpointRecord entries above
+    # pin that the pre-PR 8 bytes are unchanged).
+    (
+        R.SessionCheckpointRecord(
+            "sess-1", {"x": b"1"}, None, 0, 1, {}, logging_mode="command"
+        ),
+        "0606736573732d310101780131000001000001",
+    ),
+    # SV checkpoints with a command frontier: the trailing block is
+    # prev_write_lsn (NO_LSN placeholder when absent) then the sorted
+    # (session, lsn, ordinal) triples.
+    (
+        R.SvCheckpointRecord(
+            "var-a", b"ckptval", version=3, prev_write_lsn=4096,
+            command_frontier={"sess-1": (200, 1), "sess-2": (150, 0)},
+        ),
+        "05057661722d6107636b707476616c0380200206736573732d31c8010106736573732d32960100",
+    ),
+    (
+        R.SvCheckpointRecord(
+            "var-a", b"ckptval", version=3,
+            command_frontier={"sess-1": (200, 2)},
+        ),
+        "05057661722d6107636b707476616c03ffffffffffff3f0106736573732d31c80102",
+    ),
 ]
 
 

@@ -43,12 +43,12 @@ def mixed_method(ctx, argument):
     return encode(n)
 
 
-def run_mode(mode, seed, crash_times, n_clients, n_calls):
+def run_mode(mode, seed, crash_times, n_clients, n_calls, logging_mode="value"):
     """Run the workload in one recovery mode; return its semantic state."""
     sim = Simulator()
     rng = RngRegistry(seed)
     net = Network(sim, rng=rng)
-    config = RecoveryConfig(recovery_mode=mode)
+    config = RecoveryConfig(recovery_mode=mode, logging_mode=logging_mode)
     assert config.recovery_merge_assert  # the chain-walk cross-check is armed
     msp = MiddlewareServer(
         sim, net, "msp1", ServiceDomainConfig(), config=config, rng=rng
@@ -128,6 +128,32 @@ def test_lazy_final_state_equals_eager(seed, crash_times):
     eager = run_mode("eager", seed, crash_times, n_clients=1, n_calls=10)
     lazy = run_mode("lazy", seed, crash_times, n_clients=1, n_calls=10)
     assert lazy == eager
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 1000),
+    crash_times=st.lists(
+        st.floats(5.0, 250.0), min_size=1, max_size=2
+    ).map(sorted),
+)
+def test_logging_modes_times_recovery_modes_agree(seed, crash_times):
+    """PR 8 modes matrix: command and adaptive logging, under both
+    recovery modes, land on the same semantic state as the value/eager
+    baseline.  ``mixed_method``'s RMW is deterministic and commutative
+    and its return value never reaches the reply, so it satisfies the
+    §16 command contract; the session-variable counter and the buffered
+    replies pin exactly-once across the regimes."""
+    baseline = run_mode("eager", seed, crash_times, n_clients=1, n_calls=8)
+    for logging_mode in ("value", "command", "adaptive"):
+        for recovery_mode in ("eager", "lazy"):
+            if (logging_mode, recovery_mode) == ("value", "eager"):
+                continue
+            state = run_mode(
+                recovery_mode, seed, crash_times,
+                n_clients=1, n_calls=8, logging_mode=logging_mode,
+            )
+            assert state == baseline, (logging_mode, recovery_mode)
 
 
 @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
