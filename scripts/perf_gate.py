@@ -58,6 +58,17 @@ command machinery (the byte-identity contract), command cells must
 have elided every SV update record, and with a ``--value-baseline``
 the fresh value cells must stay within 10% of the committed ones.
 
+A seventh mode gates the PR 9 sharded fleet:
+``python scripts/perf_gate.py --fleet-scaling BENCH.json
+[--min-fleet-speedup 1.8]`` checks the ``fleet`` cell — the S=4
+critical-path speedup (unsharded busy seconds over the 4-shard
+per-epoch-max busy seconds, the wall factor a one-core-per-shard host
+achieves) must reach the floor, the jobs=4 pool run must fingerprint
+byte-identically to the jobs=1 reference, every cell must have
+finished clean, and the >= 100k-session open-loop cell must show
+bounded-memory truncation (segments recycled, live log far below the
+appended volume).
+
 A fourth mode gates the PR 6 partitioned log:
 ``python scripts/perf_gate.py --partition-scaling BENCH.json
 [--p1-baseline BENCH_PR1.json] [--min-speedup 1.8]`` checks the
@@ -623,6 +634,149 @@ def _run_log_volume_gate(
     return 0
 
 
+#: Default floor on the S=4 critical-path speedup of the sharded fleet.
+FLEET_MIN_SPEEDUP = 1.8
+#: Below this many sessions the scaling cells are smoke runs, not
+#: evidence (per-epoch work would drown in barrier accounting noise).
+FLEET_MIN_SESSIONS = 500
+#: The open-loop bounded-memory claim is about *long* runs.
+FLEET_OPEN_LOOP_MIN_SESSIONS = 100_000
+
+
+def gate_fleet_scaling(
+    report: dict,
+    min_speedup: float,
+    min_sessions: int,
+    min_open_loop_sessions: int,
+) -> list[str]:
+    """Gate the ``fleet`` cell of a fresh bench report (PR 9).
+
+    Three claims.  *Scaling*: the epoch-barrier decomposition's
+    critical-path speedup at S=4 — total busy seconds of the unsharded
+    run over the per-epoch-max busy seconds of the 4-shard run, the
+    wall factor a one-core-per-shard host achieves — must reach
+    ``min_speedup``.  *Determinism*: the S=4 spec run on the jobs=4
+    worker pool must fingerprint byte-identically to the jobs=1
+    reference (parallelism never changes results).  *Bounded memory*:
+    every cell must have finished clean (exactly-once, balanced ledger,
+    isolated domains), and the open-loop cell — at least
+    ``min_open_loop_sessions`` sessions — must show segment recycling
+    with the final live log far below the total appended volume.
+    """
+    cell = report.get("benchmarks", {}).get("fleet")
+    if cell is None:
+        return ["fleet-scaling: report has no fleet benchmark cell"]
+    problems: list[str] = []
+    cells = cell.get("cells", {})
+    missing = sorted({"1", "2", "4"} - set(cells))
+    if missing:
+        problems.append(
+            f"fleet-scaling: cells missing for S in {{{', '.join(missing)}}}"
+        )
+        return problems
+    if cell.get("sessions", 0) < min_sessions:
+        problems.append(
+            f"fleet-scaling: only {cell.get('sessions', 0)} sessions per "
+            f"cell (need >= {min_sessions}; regenerate with --scale 1.0)"
+        )
+    speedup = cell.get("speedup_s4", 0.0)
+    if speedup < min_speedup:
+        problems.append(
+            f"fleet-scaling: S=4 critical-path speedup {speedup:.2f}x is "
+            f"below the {min_speedup:g}x floor (S=1 busy "
+            f"{cell.get('s1_busy_s', 0.0):.2f}s vs S=4 critical "
+            f"{cell.get('s4_critical_s', 0.0):.2f}s)"
+        )
+    if not cell.get("deterministic_s4"):
+        problems.append(
+            "fleet-scaling: S=4 fingerprints differ between jobs=1 and "
+            "jobs=4 — sharded execution changed the simulation"
+        )
+    if not cell.get("clean"):
+        problems.append(
+            "fleet-scaling: a scaling cell finished unclean (timeout, "
+            "exactly-once violation, ledger imbalance or domain leak)"
+        )
+    for S, run in sorted(cells.items(), key=lambda kv: int(kv[0])):
+        if run.get("calls", 0) != cells["1"].get("calls", 0):
+            problems.append(
+                f"fleet-scaling: S={S} completed {run.get('calls', 0)} calls "
+                f"vs {cells['1'].get('calls', 0)} at S=1 — the cells did "
+                "not simulate the same workload"
+            )
+    if min_open_loop_sessions > 0:
+        open_loop = cell.get("open_loop")
+        if open_loop is None:
+            problems.append(
+                "fleet-scaling: report has no open_loop cell (regenerate "
+                "with --scale 1.0)"
+            )
+        else:
+            if open_loop.get("sessions", 0) < min_open_loop_sessions:
+                problems.append(
+                    f"fleet-scaling: open-loop cell completed "
+                    f"{open_loop.get('sessions', 0)} sessions "
+                    f"(need >= {min_open_loop_sessions})"
+                )
+            if not open_loop.get("clean"):
+                problems.append("fleet-scaling: open-loop cell finished unclean")
+            if not cell.get("open_loop_truncation_ok"):
+                problems.append(
+                    f"fleet-scaling: bounded-memory truncation failed on the "
+                    f"open-loop cell ({open_loop.get('recycled_segments', 0)} "
+                    f"segments recycled, {open_loop.get('live_bytes', 0):,} "
+                    "live bytes at the end)"
+                )
+    return problems
+
+
+def _run_fleet_scaling_gate(
+    path: str,
+    min_speedup: float,
+    min_sessions: int,
+    min_open_loop_sessions: int,
+) -> int:
+    with open(path) as fh:
+        report = json.load(fh)
+    problems = gate_fleet_scaling(
+        report, min_speedup, min_sessions, min_open_loop_sessions
+    )
+    cell = report.get("benchmarks", {}).get("fleet", {})
+    if cell:
+        print(
+            f"fleet-scaling gate: {cell.get('sessions')} sessions per cell, "
+            f"floor {min_speedup:g}x, host_cores={cell.get('host_cores')}"
+        )
+        for S, run in sorted(
+            cell.get("cells", {}).items(), key=lambda kv: int(kv[0])
+        ):
+            print(
+                f"  S={S}: busy {run.get('busy_s', 0.0):7.2f}s  "
+                f"critical {run.get('critical_s', 0.0):7.2f}s  "
+                f"{run.get('wall_req_per_s', 0.0):10,.0f} req/wall-s  "
+                f"clean={run.get('clean', False)}"
+            )
+        print(
+            f"  speedup (critical path): s2 {cell.get('speedup_s2', 0.0):.2f}x  "
+            f"s4 {cell.get('speedup_s4', 0.0):.2f}x  "
+            f"deterministic_s4={cell.get('deterministic_s4', False)}"
+        )
+        open_loop = cell.get("open_loop")
+        if open_loop:
+            print(
+                f"  open_loop: {open_loop.get('sessions', 0):,} sessions, "
+                f"{open_loop.get('calls', 0):,} calls, "
+                f"{open_loop.get('recycled_segments', 0)} segments recycled, "
+                f"{open_loop.get('live_bytes', 0):,} B live at the end"
+            )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("fleet-scaling gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -685,6 +839,27 @@ def main(argv=None) -> int:
         "value-mode bytes/request must stay within 10% of it",
     )
     parser.add_argument(
+        "--fleet-scaling", metavar="PATH", default=None,
+        help="gate the fleet cell of a bench report instead of comparing "
+        "fan-out reports",
+    )
+    parser.add_argument(
+        "--min-fleet-speedup", type=float, default=FLEET_MIN_SPEEDUP,
+        help="--fleet-scaling: floor on the S=4 critical-path speedup "
+        f"(default {FLEET_MIN_SPEEDUP:g})",
+    )
+    parser.add_argument(
+        "--min-fleet-sessions", type=int, default=FLEET_MIN_SESSIONS,
+        help="--fleet-scaling: minimum sessions per scaling cell "
+        f"(default {FLEET_MIN_SESSIONS})",
+    )
+    parser.add_argument(
+        "--min-open-loop-sessions", type=int,
+        default=FLEET_OPEN_LOOP_MIN_SESSIONS,
+        help="--fleet-scaling: minimum sessions in the open-loop cell; "
+        f"0 skips the open-loop checks (default {FLEET_OPEN_LOOP_MIN_SESSIONS})",
+    )
+    parser.add_argument(
         "--instant-restart", metavar="PATH", default=None,
         help="gate the instant_restart cell of a bench report instead of "
         "comparing fan-out reports",
@@ -710,6 +885,13 @@ def main(argv=None) -> int:
     if args.instant_restart is not None:
         return _run_instant_restart_gate(
             args.instant_restart, args.max_ttfr_ratio, args.min_sessions
+        )
+    if args.fleet_scaling is not None:
+        return _run_fleet_scaling_gate(
+            args.fleet_scaling,
+            args.min_fleet_speedup,
+            args.min_fleet_sessions,
+            args.min_open_loop_sessions,
         )
     if args.log_space is not None:
         return _run_log_space_gate(args.log_space)

@@ -180,6 +180,52 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_fuzz_arguments(fuzz)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded multi-MSP fleet under open-loop traffic",
+    )
+    fleet.add_argument("--msps", type=int, default=8, help="MSP count")
+    fleet.add_argument(
+        "--domains", type=int, default=2, help="service-domain count"
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=1,
+        help="simulation shards (part of the spec: whole domains per "
+        "shard, results identical at any --jobs)",
+    )
+    add_jobs_argument(fleet)
+    fleet.add_argument(
+        "--sessions", type=int, default=200, help="open-loop session count"
+    )
+    fleet.add_argument(
+        "--duration", type=float, default=10_000.0, metavar="MS",
+        help="arrival window in simulated ms",
+    )
+    fleet.add_argument(
+        "--chain-depth", type=int, default=1,
+        help="downstream hops chained per request",
+    )
+    fleet.add_argument(
+        "--cross-fraction", type=float, default=0.5,
+        help="probability a hop crosses a domain boundary (the "
+        "pessimistic flush-before-send path)",
+    )
+    fleet.add_argument(
+        "--crash", action="append", default=None, metavar="MS:MSP",
+        help="crash + restart MSP at simulated time (repeatable), "
+        "e.g. --crash 2000:m003",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the canonical (timing-free, byte-stable) result JSON",
+    )
+    fleet.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="attach structured tracers (requires --jobs 1) and write "
+        "the merged Chrome trace_event file",
+    )
+
     trace = sub.add_parser(
         "trace", help="run a workload with structured tracing and export it"
     )
@@ -346,6 +392,113 @@ def _run_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetSpec, fleet_fingerprint, run_fleet
+    from repro.fleet.runner import canonical_result_bytes
+    from repro.parallel import resolve_jobs
+
+    crash_plan = []
+    for entry in args.crash or ():
+        try:
+            when, _, target = entry.partition(":")
+            crash_plan.append((float(when), target))
+        except ValueError:
+            print(f"error: bad --crash {entry!r} (want MS:MSP)", file=sys.stderr)
+            return 2
+    spec = FleetSpec(
+        msps=args.msps,
+        domains=args.domains,
+        shards=args.shards,
+        seed=args.seed,
+        sessions=args.sessions,
+        duration_ms=args.duration,
+        chain_depth=args.chain_depth,
+        cross_domain_fraction=args.cross_fraction,
+        crash_plan=tuple(crash_plan),
+    )
+    jobs = min(resolve_jobs(args.jobs), spec.shards)
+
+    tracer_factory = None
+    traced_shards = []
+    if args.trace is not None:
+        if jobs != 1:
+            print("error: --trace requires --jobs 1", file=sys.stderr)
+            return 2
+        from repro.trace import Tracer
+
+        def tracer_factory(shard):
+            traced_shards.append((shard, Tracer(shard.sim).attach()))
+
+    result = run_fleet(
+        spec,
+        jobs=jobs,
+        progress=lambda message: print(f"  {message}", file=sys.stderr),
+        tracer_factory=tracer_factory,
+    )
+    if traced_shards:
+        from repro.trace import collect_component_metrics, write_chrome_trace
+
+        stem = (
+            args.trace[:-5] if args.trace.endswith(".json") else args.trace
+        )
+        for shard, tracer in traced_shards:
+            tracer.finalize()
+            collect_component_metrics(
+                tracer.metrics,
+                msps=tuple(shard.msps.values()),
+                network=shard.network,
+                shard=shard,
+            )
+            path = (
+                args.trace
+                if len(traced_shards) == 1
+                else f"{stem}.shard{shard.index}.json"
+            )
+            write_chrome_trace(tracer, path)
+            print(f"wrote {path}", file=sys.stderr)
+    verdicts = result["verdicts"]
+    totals = result["totals"]
+    timing = result["timing"]
+    print(
+        f"fleet: {spec.msps} MSPs / {spec.domains} domains / "
+        f"{spec.shards} shard(s), jobs={jobs}"
+    )
+    print(
+        f"sessions:           {totals['completed_sessions']}/"
+        f"{totals['expected_sessions']} completed "
+        f"({totals['completed_calls']} calls, "
+        f"{totals['cross_domain_calls']} cross-domain hops)"
+    )
+    print(
+        f"latency (ms):       mean={result['latency_ms']['mean']:.3f} "
+        f"p50<={result['latency_ms']['p50']:g} "
+        f"p95<={result['latency_ms']['p95']:g} "
+        f"p99<={result['latency_ms']['p99']:g}"
+    )
+    print(
+        f"sim time:           {result['sim_time_ms']:.0f} ms in "
+        f"{result['epochs']} epochs "
+        f"({result['cross_shard_messages']} cross-shard messages)"
+    )
+    print(
+        f"throughput:         {timing['sim_req_per_s']:.1f} req/sim-s, "
+        f"{timing['wall_req_per_s']:.1f} req/wall-s "
+        f"({timing['wall_s']:.2f} s wall)"
+    )
+    print(f"fingerprint:        {fleet_fingerprint(result)}")
+    print(
+        "verdicts:           "
+        + " ".join(f"{k}={'ok' if v else 'FAIL'}" for k, v in verdicts.items())
+    )
+    for violation in result["violations"][:10]:
+        print(f"  violation: {violation}", file=sys.stderr)
+    if args.out is not None:
+        with open(args.out, "wb") as fh:
+            fh.write(canonical_result_bytes(result))
+        print(f"wrote {args.out}")
+    return 0 if verdicts["clean"] else 1
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     from repro.trace import (
         Tracer,
@@ -474,6 +627,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fuzz.cli import run_fuzz
 
         return run_fuzz(args)
+    if args.command == "fleet":
+        return _run_fleet(args)
     if args.command == "trace":
         return _run_trace(args)
     return 2  # pragma: no cover

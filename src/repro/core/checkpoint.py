@@ -178,6 +178,21 @@ def perform_msp_checkpoint(msp: "MiddlewareServer"):
     span = None
     if tracer is not None:
         span = tracer.span("ckpt.msp", owner=msp.name, epoch=msp.epoch)
+    timeout = msp.config.session_idle_timeout_ms
+    if timeout is not None:
+        # Idle-session expiry sweep: sessions nobody has touched for the
+        # timeout are ended server-side.  Chained calls open implicit
+        # inter-MSP sessions no client ever ends; without the sweep
+        # their stale checkpoint LSNs pin the truncation floor and the
+        # live log grows without bound on open-loop workloads.
+        for session in list(msp.sessions.values()):
+            if (
+                not session.busy
+                and not session.lazy_pending
+                and session.status is SessionStatus.NORMAL
+                and msp.sim.now - session.last_active_ms >= timeout
+            ):
+                yield from msp.expire_session(session)
     limit = msp.config.forced_ckpt_msp_count
     # Force checkpoints for sessions idle so long that they would hold
     # back the minimal LSN.

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 class LoggingMode(enum.Enum):
@@ -91,6 +92,16 @@ class RecoveryConfig:
     #: Force a session/SV checkpoint if this many MSP checkpoints passed
     #: since its last one (paper §3.4 "forced checkpoints").
     forced_ckpt_msp_count: int = 8
+    #: Server-side session expiry: end a session that has been idle this
+    #: long, exactly like a client-initiated end (flush its DV, log the
+    #: SessionEnd marker, discard it).  Without it, abandoned sessions —
+    #: above all the implicit inter-MSP sessions a chained call opens,
+    #: which no client ever ends — accumulate forever and their stale
+    #: checkpoint LSNs pin the log-truncation floor, so the live log
+    #: grows without bound on open-loop workloads.  ``None`` disables
+    #: expiry (the historical behaviour).  Evaluated at MSP-checkpoint
+    #: cadence; pick a timeout far above any legitimate think time.
+    session_idle_timeout_ms: Optional[float] = None
 
     # -- log management ----------------------------------------------------
     #: Batch (group) flushing timeout in ms; 0 disables batching

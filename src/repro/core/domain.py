@@ -17,7 +17,7 @@ boundary, which bounds both DV size and rollback blast radius.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Collection, Iterable, Optional
 
 
 class ServiceDomainConfig:
@@ -33,6 +33,24 @@ class ServiceDomainConfig:
                 if msp in self._domain_of:
                     raise ValueError(f"MSP {msp!r} assigned to two service domains")
                 self._domain_of[msp] = domain
+
+    def members(self) -> frozenset[str]:
+        """Every MSP assigned to any domain."""
+        return frozenset(self._domain_of)
+
+    def validate_members(self, known: Collection[str]) -> None:
+        """Reject domain members that are not in ``known``.
+
+        Fleet construction calls this so that a typo in a domain layout
+        fails fast instead of silently routing announcements and flush
+        legs to a name no node will ever bind (which would surface only
+        as mysterious unbound-drop counts).
+        """
+        unknown = sorted(set(self._domain_of) - set(known))
+        if unknown:
+            raise ValueError(
+                f"service domains route unknown MSPs: {', '.join(unknown)}"
+            )
 
     @staticmethod
     def all_separate() -> "ServiceDomainConfig":

@@ -96,6 +96,9 @@ class MspStats:
     command_requests: int = 0
     replayed_commands: int = 0
     mode_switches: int = 0
+    #: Sessions ended server-side by the idle-expiry sweep
+    #: (config.session_idle_timeout_ms).
+    sessions_expired: int = 0
 
 
 class MiddlewareServer:
@@ -512,6 +515,7 @@ class MiddlewareServer:
         self.sim.probe("msp.request", owner=self.name)
         yield from self.cpu(costs.message_stack_ms + costs.request_dispatch_ms)
         session = self.session_for(request.session_id)
+        session.last_active_ms = self.sim.now
 
         if session.lazy_pending:
             # Lazy restart (DESIGN.md §15): first contact with an
@@ -762,6 +766,24 @@ class MiddlewareServer:
         yield from self._send_reply(
             request, Reply(session_id=session.id, seq=request.seq, payload=b"")
         )
+
+    def expire_session(self, session: Session):
+        """Server-initiated session end (generator): the idle-expiry
+        path — identical durable footprint to a client end, just with no
+        reply to send.  A failed flush leaves the session alone; it is
+        an orphan and the recovery machinery owns it now."""
+        try:
+            if self.recoverable:
+                yield from self.distributed_flush(
+                    session.dv, f"session {session.id}"
+                )
+                yield from self.cpu(self.config.costs.log_append_ms)
+                self.log.append(SessionEndRecord(session_id=session.id))
+        except (FlushFailed, OrphanDetected):
+            self._ensure_recovery(session)
+            return
+        self.sessions.pop(session.id, None)
+        self.stats.sessions_expired += 1
 
     def _resend_buffered_reply(self, request: Request, session: Session):
         """Re-send the buffered reply for a duplicate request (§3.1)."""

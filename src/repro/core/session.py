@@ -58,6 +58,9 @@ class Session:
         self.status = SessionStatus.NORMAL
         #: True while a worker thread is executing a method for us.
         self.busy = False
+        #: Simulated time of the last request handled for this session;
+        #: the idle-expiry clock (config.session_idle_timeout_ms).
+        self.last_active_ms = 0.0
         #: Log bytes consumed since the last session checkpoint (§3.2
         #: checkpoint threshold).
         self.bytes_since_ckpt = 0

@@ -1,0 +1,22 @@
+"""Sharded multi-MSP fleet simulation (DESIGN.md §17).
+
+An N-MSP topology partitioned into service domains, driven by one
+:class:`~repro.sim.Simulator` per shard with cross-shard messages
+exchanged at deterministic epoch barriers.  ``run_fleet`` executes the
+shards sequentially (``jobs=1``, the reference path) or on persistent
+worker processes (``jobs>1``) — both produce byte-identical results.
+"""
+
+from repro.fleet.topology import FleetSpec, FleetTopology
+from repro.fleet.traffic import SessionPlan, generate_session_plans
+from repro.fleet.runner import canonical_result_bytes, fleet_fingerprint, run_fleet
+
+__all__ = [
+    "FleetSpec",
+    "FleetTopology",
+    "SessionPlan",
+    "canonical_result_bytes",
+    "generate_session_plans",
+    "fleet_fingerprint",
+    "run_fleet",
+]

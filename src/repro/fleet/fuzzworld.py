@@ -1,0 +1,112 @@
+"""A fleet topology as a fuzzable world (DESIGN.md §17, fuzz satellite).
+
+The crash explorer (:mod:`repro.fuzz.explorer`) was built around the
+paper's three-node workload; this wraps a **single-shard** fleet —
+several service domains, inter-MSP request chains crossing domain
+boundaries — behind the same surface, so the existing probe machinery
+(TraceRecorder / CrashInjector per-owner ordinals) drives multi-domain
+schedules unchanged: crash probes land mid-chain while a cross-domain
+pessimistic flush is in flight, which no paper-workload schedule can
+reach.
+
+Sharding stays out of fuzzing on purpose: at ``shards=1`` every probe
+site of every MSP lives in one simulator, so a schedule's per-owner
+ordinals address the whole fleet, and the run is an ordinary
+deterministic simulation the minimizer can replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fleet.shard import FleetShard
+from repro.fleet.topology import FleetSpec, FleetTopology
+
+#: Check ``settled()`` only every this many kernel steps — it walks all
+#: sessions, and fuzz worlds step a lot.
+_SETTLE_CHECK_STRIDE = 256
+
+
+@dataclass
+class FleetRunResult:
+    """Mirror of the paper workload's run result, for the explorer."""
+
+    completed_requests: int
+    elapsed_ms: float
+
+
+class FleetFuzzWorld:
+    """Explorer-compatible facade over a one-shard fleet."""
+
+    def __init__(self, spec: FleetSpec, faults=None):
+        if spec.shards != 1:
+            raise ValueError("fuzzing drives the fleet at shards=1")
+        self.spec = spec
+        self.topology = FleetTopology(spec)
+        self.shard = FleetShard(spec, 0)
+        self.sim = self.shard.sim
+        self.network = self.shard.network
+        if faults is not None:
+            self._apply_faults(faults)
+
+    def _apply_faults(self, model) -> None:
+        """Put the schedule's fault model on every inter-MSP link.
+
+        Client links stay clean: the oracle counts a call as expected
+        only once the client saw its reply, so MSP-side loss and
+        duplication (resends, duplicate delivery, reordering across the
+        domain boundary) is where the recovery machinery is actually
+        exercised.
+        """
+        from repro.net.network import DEFAULT_LATENCY_MS
+
+        names = self.topology.msp_names
+        for source in names:
+            d = self.topology.domain_index(source)
+            for destination in names:
+                if source == destination:
+                    continue
+                cross = self.topology.domain_index(destination) != d
+                self.network.set_link(
+                    source,
+                    destination,
+                    latency_ms=(
+                        self.spec.cross_latency_ms if cross else DEFAULT_LATENCY_MS
+                    ),
+                    faults=model,
+                    symmetric=False,
+                )
+
+    # -- explorer surface ---------------------------------------------------
+
+    @property
+    def fuzz_msps(self):
+        """Every MSP in canonical name order (the battery's subjects)."""
+        return [self.shard.msps[name] for name in self.shard.local_names]
+
+    def msp_named(self, name: str):
+        return self.shard.msps[name]
+
+    def run(self, limit_ms: float = 36_000_000.0) -> FleetRunResult:
+        """Run until every session completed (or the budget expires)."""
+        sim = self.sim
+        shard = self.shard
+        while sim.now < limit_ms:
+            if shard.completed_sessions == shard.expected_sessions:
+                break
+            advanced = False
+            for _ in range(_SETTLE_CHECK_STRIDE):
+                if not sim.step():
+                    break
+                advanced = True
+            if not advanced:
+                break
+        return FleetRunResult(
+            completed_requests=shard.completed_calls, elapsed_ms=sim.now
+        )
+
+    def fuzz_check(self) -> list[str]:
+        """The full fleet battery (used instead of ``check_world``)."""
+        from repro.fuzz.invariants import check_fleet
+
+        return check_fleet(self)

@@ -26,12 +26,13 @@ from repro.fuzz.explorer import (
     discover_sites,
     enumerate_schedules,
     explore_exhaustive,
+    fleet_fuzz_params,
     fuzz_random,
     run_random_case,
     run_schedule,
     schedule_from_seed,
 )
-from repro.fuzz.invariants import check_msp, check_world
+from repro.fuzz.invariants import check_fleet, check_msp, check_world
 from repro.fuzz.minimize import minimize_schedule
 from repro.fuzz.sites import CrashInjector, SiteEvent, TraceRecorder
 
@@ -45,11 +46,13 @@ __all__ = [
     "SiteEvent",
     "TraceRecorder",
     "case_seed_for",
+    "check_fleet",
     "check_msp",
     "check_world",
     "discover_sites",
     "enumerate_schedules",
     "explore_exhaustive",
+    "fleet_fuzz_params",
     "fuzz_random",
     "minimize_schedule",
     "run_random_case",

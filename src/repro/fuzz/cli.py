@@ -33,6 +33,7 @@ from repro.fuzz.explorer import (
     FuzzParams,
     FuzzReport,
     explore_exhaustive,
+    fleet_fuzz_params,
     fuzz_random,
     run_random_case,
     run_schedule,
@@ -77,8 +78,27 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
         "--index", type=int, default=0, help="failure index inside --replay-file"
     )
     parser.add_argument(
-        "--target", choices=("msp1", "msp2", "both"), default="both",
-        help="exhaustive mode: which MSP to kill",
+        "--topology", choices=("paper", "fleet"), default="paper",
+        help="world shape: the paper's three-node workload (default) or "
+        "a single-shard multi-domain fleet whose request chains cross "
+        "domain boundaries",
+    )
+    parser.add_argument(
+        "--fleet-msps", type=int, default=None, metavar="N",
+        help="fleet topology: MSP count (default 4)",
+    )
+    parser.add_argument(
+        "--fleet-domains", type=int, default=None, metavar="N",
+        help="fleet topology: service-domain count (default 2)",
+    )
+    parser.add_argument(
+        "--fleet-sessions", type=int, default=None, metavar="N",
+        help="fleet topology: session count (default 10)",
+    )
+    parser.add_argument(
+        "--target", default="both",
+        help="exhaustive mode: which MSP to kill (msp1/msp2 for the "
+        "paper topology, m000..mNNN for the fleet; default: all)",
     )
     parser.add_argument("--stride", type=int, default=1, help="site stride")
     parser.add_argument("--max-schedules", type=int, default=None)
@@ -111,7 +131,17 @@ def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _params(args: argparse.Namespace) -> FuzzParams:
-    params = FuzzParams()
+    if getattr(args, "topology", "paper") == "fleet":
+        overrides = {}
+        if getattr(args, "fleet_msps", None) is not None:
+            overrides["fleet_msps"] = args.fleet_msps
+        if getattr(args, "fleet_domains", None) is not None:
+            overrides["fleet_domains"] = args.fleet_domains
+        if getattr(args, "fleet_sessions", None) is not None:
+            overrides["fleet_sessions"] = args.fleet_sessions
+        params = fleet_fuzz_params(**overrides)
+    else:
+        params = FuzzParams()
     if args.requests is not None:
         params.requests_per_client = args.requests
     if args.clients is not None:

@@ -146,6 +146,18 @@ class FuzzParams:
     #: idempotence frontier and the in-memory rollback history under
     #: arbitrary crash schedules.
     logging_mode: str = "value"
+    #: World shape: ``paper`` (the §5.1 three-node topology) or
+    #: ``fleet`` (a single-shard multi-domain fleet, DESIGN.md §17,
+    #: whose request chains cross domain boundaries — crash probes can
+    #: then land mid-chain while a cross-domain pessimistic flush is in
+    #: flight).  The ``fleet_*`` fields apply only to the latter.
+    topology: str = "paper"
+    fleet_msps: int = 4
+    fleet_domains: int = 2
+    fleet_sessions: int = 10
+    fleet_duration_ms: float = 400.0
+    fleet_chain_depth: int = 2
+    fleet_cross_domain_fraction: float = 0.75
 
     def workload_params(self, seed: int) -> WorkloadParams:
         return WorkloadParams(
@@ -169,6 +181,42 @@ class FuzzParams:
             atomic_sv_updates=True,
             seed=seed,
         )
+
+    def fleet_spec(self, seed: int):
+        """The single-shard fleet this parameter set fuzzes."""
+        from repro.fleet.topology import FleetSpec
+
+        return FleetSpec(
+            msps=self.fleet_msps,
+            domains=self.fleet_domains,
+            shards=1,
+            seed=seed,
+            sessions=self.fleet_sessions,
+            duration_ms=self.fleet_duration_ms,
+            chain_depth=self.fleet_chain_depth,
+            cross_domain_fraction=self.fleet_cross_domain_fraction,
+            think_ms=2.0,
+            session_ckpt_threshold=self.session_ckpt_threshold,
+            msp_ckpt_interval_ms=self.msp_ckpt_interval_ms,
+            log_segment_bytes=self.log_segment_bytes,
+            sv_ckpt_write_threshold=self.sv_ckpt_write_threshold,
+            log_partitions=self.log_partitions,
+            recovery_mode=self.recovery_mode,
+            logging_mode=self.logging_mode,
+        )
+
+
+def fleet_fuzz_params(**overrides) -> FuzzParams:
+    """FuzzParams for the multi-domain fleet topology.
+
+    Targets default to *every* fleet MSP, so exhaustive mode enumerates
+    crash sites across all domains — upstreams mid cross-domain call,
+    downstreams mid flush-serve.
+    """
+    params = FuzzParams(topology="fleet", **overrides)
+    if "targets" not in overrides:
+        params.targets = tuple(f"m{i:03d}" for i in range(params.fleet_msps))
+    return params
 
 
 @dataclass
@@ -252,8 +300,17 @@ class FuzzReport:
 # ---------------------------------------------------------------------------
 
 
-def build_world(params: FuzzParams, seed: int, faults: Optional[FaultSpec]) -> PaperWorkload:
-    """A fresh paper-workload world, with schedule faults on both links."""
+def build_world(params: FuzzParams, seed: int, faults: Optional[FaultSpec]):
+    """A fresh world for one schedule: the paper workload, or a
+    single-shard fleet when ``params.topology == "fleet"``; schedule
+    faults go on every inter-MSP link either way."""
+    if params.topology == "fleet":
+        from repro.fleet.fuzzworld import FleetFuzzWorld
+
+        return FleetFuzzWorld(
+            params.fleet_spec(seed),
+            faults=faults.to_model() if faults is not None else None,
+        )
     workload = PaperWorkload(params.workload_params(seed))
     if faults is not None:
         model = faults.to_model()
@@ -274,13 +331,21 @@ def build_world(params: FuzzParams, seed: int, faults: Optional[FaultSpec]) -> P
     return workload
 
 
-def _quiesced(workload: PaperWorkload) -> bool:
-    """Both MSPs serving and no session replay still in flight.
+def _world_msps(workload) -> list:
+    """Every MSP of the world, whatever its topology."""
+    msps = getattr(workload, "fuzz_msps", None)
+    if msps is not None:
+        return list(msps)
+    return [workload.msp1, workload.msp2]
+
+
+def _quiesced(workload) -> bool:
+    """All MSPs serving and no session replay still in flight.
 
     Recovery opens for business *before* the parallel session replays
     finish (paper §4.3), so ``running`` alone is not quiescence.
     """
-    for msp in (workload.msp1, workload.msp2):
+    for msp in _world_msps(workload):
         if not msp.running:
             return False
         for session in msp.sessions.values():
@@ -289,8 +354,12 @@ def _quiesced(workload: PaperWorkload) -> bool:
     return True
 
 
-def _crash_and_restart(workload: PaperWorkload, target: str):
-    msp = {"msp1": workload.msp1, "msp2": workload.msp2}[target]
+def _crash_and_restart(workload, target: str):
+    named = getattr(workload, "msp_named", None)
+    if named is not None:
+        msp = named(target)
+    else:
+        msp = {"msp1": workload.msp1, "msp2": workload.msp2}[target]
 
     def crash() -> None:
         msp.crash()
@@ -345,14 +414,18 @@ def run_schedule(
             break
     injector.detach()
     recorder.detach()
-    violations = check_world(workload, [workload.msp1, workload.msp2])
+    checker = getattr(workload, "fuzz_check", None)
+    if checker is not None:
+        violations = checker()
+    else:
+        violations = check_world(workload, _world_msps(workload))
     if tracer is not None:
         tracer.finalize()
         from repro.trace import collect_component_metrics
 
         collect_component_metrics(
             tracer.metrics,
-            msps=(workload.msp1, workload.msp2),
+            msps=tuple(_world_msps(workload)),
             network=workload.network,
         )
     return ScheduleResult(

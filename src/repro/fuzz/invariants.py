@@ -329,3 +329,45 @@ def check_world(workload, msps: Iterable["MiddlewareServer"]) -> list[str]:
     for msp in msps:
         violations += check_msp(msp)
     return violations
+
+
+def check_fleet(world) -> list[str]:
+    """The battery over a quiesced fleet world (multi-domain topology).
+
+    On top of the per-MSP battery and the network ledger, a fleet run
+    must satisfy the domain-boundary properties the paper's topology
+    cannot exercise: every completed call hit its whole chain exactly
+    once (including hops that crossed a domain boundary through the
+    pessimistic flush-before-send path), no DV ever leaked past a
+    domain boundary, and recovery knowledge stayed inside the crashed
+    MSP's domain.
+    """
+    shard = world.shard
+    violations: list[str] = []
+    if shard.completed_sessions != shard.expected_sessions:
+        violations.append(
+            f"liveness: fleet completed {shard.completed_sessions}/"
+            f"{shard.expected_sessions} sessions"
+        )
+    if shard.call_errors:
+        violations.append(
+            f"liveness: {shard.call_errors} fleet call(s) returned an error"
+        )
+    for name in shard.local_names:
+        msp = shard.msps[name]
+        if not msp.running:
+            continue  # check_running reports it; the counter is unreadable
+        sv = msp.shared.get("hits")
+        actual = int.from_bytes(sv.value, "big") if sv is not None else 0
+        expected = shard.expected_hits.get(name, 0)
+        if actual != expected:
+            violations.append(
+                f"exactly-once: {name} counted {actual} hits, "
+                f"client oracle expected {expected}"
+            )
+    violations += check_network_ledger(world)
+    for msp in world.fuzz_msps:
+        violations += check_msp(msp)
+    # Domain isolation: no DV and no recovery knowledge past a boundary.
+    violations += shard.check_invariants()
+    return violations

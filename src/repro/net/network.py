@@ -14,7 +14,7 @@ paper's clients must resend requests until a reply arrives.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.net.faults import RELIABLE, FaultModel
 from repro.sim import RngRegistry, Simulator, Store
@@ -124,6 +124,24 @@ class Network:
         #: ``stale`` (destination crashed and restarted in flight).
         self.drops_by_reason = {"fault": 0, "unbound": 0, "stale": 0}
         self.bytes_sent = 0
+        #: Sharded-fleet hook (DESIGN.md §17): when set, a send whose
+        #: destination has no local node is handed to the router as
+        #: ``router(envelope, arrival_time)`` instead of being dropped.
+        #: The router captures it for the epoch-barrier exchange; the
+        #: destination shard re-injects it via :meth:`import_remote`.
+        self.remote_router: Optional[Callable[[Envelope, float], None]] = None
+        #: Barrier-synced incarnation knowledge for nodes hosted on other
+        #: shards, used to stamp ``dest_incarnation`` on exported copies.
+        #: Knowledge lags by one epoch; a message stamped with a stale
+        #: incarnation is dropped at the destination exactly like a local
+        #: cross-incarnation delivery.
+        self.remote_incarnations: dict[str, int] = {}
+        #: Copies handed to the remote router / injected by it.  Both
+        #: stay 0 outside fleet runs, so the ledger balance degenerates
+        #: to the historical ``sent + duplicated == delivered + dropped +
+        #: in_flight`` form.
+        self.messages_exported = 0
+        self.messages_imported = 0
 
     # -- topology ---------------------------------------------------------
 
@@ -175,7 +193,11 @@ class Network:
             self.messages_duplicated += len(extra_delays) - 1
 
         dest_node = self._nodes.get(destination)
-        dest_incarnation = dest_node.incarnation if dest_node is not None else 0
+        remote = dest_node is None and self.remote_router is not None
+        if remote:
+            dest_incarnation = self.remote_incarnations.get(destination, 0)
+        else:
+            dest_incarnation = dest_node.incarnation if dest_node is not None else 0
         for extra in extra_delays:
             delay = (
                 link.latency_ms
@@ -191,8 +213,31 @@ class Network:
                 sent_at=self.sim.now,
                 dest_incarnation=dest_incarnation,
             )
+            if remote:
+                # Cross-shard send: the fault draws above already came
+                # from the sender's own stream (per-shard determinism);
+                # the copy leaves this shard's ledger as "exported" and
+                # becomes "imported + in_flight" on the destination shard
+                # at the next epoch barrier.
+                self.messages_exported += 1
+                self.remote_router(envelope, self.sim.now + delay)
+                continue
             self.messages_in_flight += 1
             self.sim.call_later(delay, lambda env=envelope: self._deliver(env))
+
+    def import_remote(self, envelope: Envelope, arrival_time: float) -> None:
+        """Inject a copy exported by another shard's network.
+
+        Called at an epoch barrier, strictly before the simulator has
+        advanced past ``arrival_time`` (the barrier protocol guarantees
+        cross-shard latency ≥ one epoch, so the arrival is never in this
+        shard's past).  The copy joins this ledger as imported and in
+        flight; delivery then follows the exact local path, including
+        incarnation and unbound-port drops.
+        """
+        self.messages_imported += 1
+        self.messages_in_flight += 1
+        self.sim.call_at(arrival_time, lambda env=envelope: self._deliver(env))
 
     def _drop(self, reason: str) -> None:
         self.messages_dropped += 1
@@ -249,21 +294,34 @@ class Network:
             "dropped_fault": self.drops_by_reason["fault"],
             "dropped_unbound": self.drops_by_reason["unbound"],
             "dropped_stale": self.drops_by_reason["stale"],
+            "messages_exported": self.messages_exported,
+            "messages_imported": self.messages_imported,
             "bytes_sent": self.bytes_sent,
         }
 
     def check_ledger(self) -> None:
-        """Raise if the counter ledger does not balance."""
-        created = self.messages_sent + self.messages_duplicated
+        """Raise if the counter ledger does not balance.
+
+        Per shard, exported copies left this fabric and imported ones
+        joined it, so the balance is ``sent + duplicated + imported ==
+        delivered + dropped + in_flight + exported``; both new terms are
+        0 outside fleet runs.
+        """
+        created = self.messages_sent + self.messages_duplicated + self.messages_imported
         accounted = (
-            self.messages_delivered + self.messages_dropped + self.messages_in_flight
+            self.messages_delivered
+            + self.messages_dropped
+            + self.messages_in_flight
+            + self.messages_exported
         )
         if created != accounted or self.messages_in_flight < 0:
             raise AssertionError(
                 f"network ledger out of balance: sent {self.messages_sent} "
-                f"+ duplicated {self.messages_duplicated} != delivered "
+                f"+ duplicated {self.messages_duplicated} "
+                f"+ imported {self.messages_imported} != delivered "
                 f"{self.messages_delivered} + dropped {self.messages_dropped} "
-                f"+ in_flight {self.messages_in_flight}"
+                f"+ in_flight {self.messages_in_flight} "
+                f"+ exported {self.messages_exported}"
             )
         if self.messages_dropped != sum(self.drops_by_reason.values()):
             raise AssertionError(

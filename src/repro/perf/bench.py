@@ -804,6 +804,141 @@ def bench_log_volume(scale: float = 1.0, modes: tuple = None) -> dict:
     return report
 
 
+def _fleet_bench_spec(shards: int, sessions: int):
+    """The PR 9 scaling workload: 16 MSPs / 8 domains, mixed intra- and
+    cross-domain chains, two mid-run crashes.  Only ``shards`` varies
+    between cells; the traffic plan is identical, so busy-time ratios
+    compare the cost of simulating the *same* fleet."""
+    from repro.fleet import FleetSpec
+
+    return FleetSpec(
+        msps=16,
+        domains=8,
+        shards=shards,
+        seed=11,
+        sessions=sessions,
+        duration_ms=8_000.0,
+        chain_depth=1,
+        cross_domain_fraction=0.5,
+        think_ms=2.0,
+        epoch_ms=40.0,
+        cross_latency_ms=40.0,
+        crash_plan=((1_500.0, "m001"), (4_500.0, "m004")),
+    )
+
+
+def _fleet_cell(spec, jobs: int) -> dict:
+    """One fleet run; wall seconds, throughput, and the fingerprint."""
+    from repro.fleet import fleet_fingerprint, run_fleet
+
+    start = time.perf_counter()
+    result = run_fleet(spec, jobs=jobs)
+    seconds = time.perf_counter() - start
+    totals = result["totals"]
+    live_bytes = 0
+    recycled = 0
+    for shard in result["shards"]:
+        for stats in shard["log"].values():
+            live_bytes += stats["live_bytes"]
+            recycled += stats["recycled_segments"]
+    cell = {
+        "seconds": seconds,
+        "shards": spec.shards,
+        "jobs": jobs,
+        "sessions": totals["completed_sessions"],
+        "calls": totals["completed_calls"],
+        "cross_domain_calls": totals["cross_domain_calls"],
+        "epochs": result["epochs"],
+        "sim_time_ms": result["sim_time_ms"],
+        "cross_shard_messages": result["cross_shard_messages"],
+        "wall_req_per_s": result["timing"]["wall_req_per_s"],
+        "sim_req_per_s": result["timing"]["sim_req_per_s"],
+        "latency_p95_ms": result["latency_ms"]["p95"],
+        "live_bytes": live_bytes,
+        "recycled_segments": recycled,
+        "clean": result["verdicts"]["clean"],
+        "fingerprint": fleet_fingerprint(result),
+    }
+    if jobs == 1:
+        workers = result["timing"]["workers"]
+        cell["busy_s"] = workers["busy_s"]
+        cell["critical_s"] = workers["critical_s"]
+        cell["shard_busy_s"] = workers["shard_busy_s"]
+    return cell
+
+
+def bench_fleet(scale: float = 1.0) -> dict:
+    """Shard scaling of the fleet simulation (the PR 9 tentpole).
+
+    The same 16-MSP / 8-domain open-loop workload is simulated split
+    into S in {1, 2, 4} shards on the jobs=1 reference path, which
+    times every shard's stepping per epoch.  The headline ``speedup_s4``
+    is the *critical-path* speedup: total busy seconds of the unsharded
+    S=1 run over the per-epoch-max busy seconds of the S=4 run — the
+    wall-clock factor a host with one core per shard achieves, measured
+    host-independently (this is the fleet analogue of the partition
+    bench's sim-time headline; a single-core CI box can neither show
+    nor fake wall parallelism).  The perf gate floors it at 1.8x.  Each
+    cell's real ``wall_req_per_s`` is reported alongside, and the S=4
+    spec is rerun at ``jobs=4`` on the worker pool to assert the
+    fingerprint is byte-identical (``deterministic_s4``).  At ``scale
+    >= 1`` an open-loop cell with ``>= 100k`` sessions runs on the
+    sharded path and reports the bounded-memory truncation counters
+    (recycled segments, final live bytes).
+    """
+    from repro.fleet import FleetSpec
+
+    sessions = max(24, int(1_200 * scale))
+    cells = {
+        S: _fleet_cell(_fleet_bench_spec(S, sessions), jobs=1) for S in (1, 2, 4)
+    }
+    pool_s4 = _fleet_cell(_fleet_bench_spec(4, sessions), jobs=4)
+    s1, s2, s4 = cells[1], cells[2], cells[4]
+    report = {
+        "sessions": sessions,
+        "requests": s1["calls"],
+        "host_cores": os.cpu_count(),
+        "seconds": sum(run["seconds"] for run in cells.values())
+        + pool_s4["seconds"],
+        "s1_busy_s": s1["busy_s"],
+        "s4_critical_s": s4["critical_s"],
+        "s1_wall_req_per_s": s1["wall_req_per_s"],
+        "s4_wall_req_per_s": pool_s4["wall_req_per_s"],
+        "speedup_s2": s1["busy_s"] / max(s2["critical_s"], 1e-9),
+        "speedup_s4": s1["busy_s"] / max(s4["critical_s"], 1e-9),
+        "deterministic_s4": pool_s4["fingerprint"] == s4["fingerprint"],
+        "clean": all(run["clean"] for run in cells.values()) and pool_s4["clean"],
+        "cells": {str(S): run for S, run in cells.items()},
+        "pool_s4": pool_s4,
+    }
+    if scale >= 1.0:
+        # The million-session-scale open-loop cell: bounded-memory
+        # truncation must hold over a long run — segments get recycled
+        # and the live log stays far below the total bytes appended.
+        big_spec = FleetSpec(
+            msps=16,
+            domains=8,
+            shards=4,
+            seed=23,
+            sessions=int(100_000 * scale),
+            duration_ms=600_000.0,
+            chain_depth=1,
+            cross_domain_fraction=0.25,
+            max_requests_per_session=3,
+            think_ms=2.0,
+            epoch_ms=40.0,
+            cross_latency_ms=40.0,
+        )
+        big = _fleet_cell(big_spec, jobs=1)
+        report["open_loop"] = big
+        report["open_loop_truncation_ok"] = (
+            big["recycled_segments"] > 0
+            and big["live_bytes"] < big["calls"] * 1024
+        )
+        report["seconds"] += big["seconds"]
+    return report
+
+
 BENCHMARKS: dict[str, Callable[[float], dict]] = {
     "codec_encode": bench_codec_encode,
     "codec_decode": bench_codec_decode,
@@ -816,6 +951,7 @@ BENCHMARKS: dict[str, Callable[[float], dict]] = {
     "log_volume": bench_log_volume,
     "instant_restart": bench_instant_restart,
     "trace_overhead": bench_trace_overhead,
+    "fleet": bench_fleet,
 }
 
 #: The headline metric of each benchmark, used for speedup reporting.
@@ -831,6 +967,7 @@ _HEADLINE = {
     "log_volume": "volume_reduction_p1",
     "instant_restart": "ttfr_speedup_p1",
     "trace_overhead": "overhead_ratio",
+    "fleet": "speedup_s4",
 }
 
 
@@ -981,7 +1118,37 @@ def format_report(report: dict) -> str:
                     f" pump={cell.get('pump_recoveries', 0)})"
                 )
         cells = run.get("cells")
-        if cells:
+        if cells and name == "fleet":
+            # The fleet-scaling cell: one sub-line per shard count,
+            # then the determinism probe and the open-loop long run.
+            for S, cell in sorted(cells.items(), key=lambda kv: int(kv[0])):
+                lines.append(
+                    f"{'':14s} S={S}: busy {cell.get('busy_s', 0.0):7.2f} s"
+                    f"  critical {cell.get('critical_s', 0.0):7.2f} s"
+                    f"  {cell.get('wall_req_per_s', 0.0):10,.0f} req/wall-s"
+                    f"  epochs={cell.get('epochs', 0)}"
+                    f"  xshard={cell.get('cross_shard_messages', 0)}"
+                    f"  clean={cell.get('clean', False)}"
+                )
+            pool = run.get("pool_s4")
+            if pool:
+                lines.append(
+                    f"{'':14s} pool S=4 jobs=4: wall {pool.get('seconds', 0.0):7.2f} s"
+                    f"  {pool.get('wall_req_per_s', 0.0):10,.0f} req/wall-s"
+                    f"  deterministic_s4={run.get('deterministic_s4', False)}"
+                    f"  (host_cores={run.get('host_cores', 0)})"
+                )
+            open_loop = run.get("open_loop")
+            if open_loop:
+                lines.append(
+                    f"{'':14s} open_loop: sessions={open_loop.get('sessions', 0):,}"
+                    f"  calls={open_loop.get('calls', 0):,}"
+                    f"  {open_loop.get('wall_req_per_s', 0.0):10,.0f} req/wall-s"
+                    f"  recycled={open_loop.get('recycled_segments', 0)}"
+                    f"  live={open_loop.get('live_bytes', 0):,} B"
+                    f"  trunc_ok={run.get('open_loop_truncation_ok', False)}"
+                )
+        elif cells:
             # The partition-scaling cell: one sub-line per partition
             # count, with the per-partition flush counters folded in.
             for P, cell in sorted(cells.items(), key=lambda kv: int(kv[0])):

@@ -291,15 +291,19 @@ class ProcessGroup:
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._members: set[Process] = set()
+        # Insertion-ordered on purpose: Process objects hash by identity,
+        # so a set here would make kill_all() iterate in memory-address
+        # order — nondeterministic across runs and processes.  Crash
+        # teardown must happen in spawn order for runs to be replayable.
+        self._members: dict[Process, None] = {}
 
     def add(self, process: Process) -> Process:
         process._group = self
-        self._members.add(process)
+        self._members[process] = None
         return process
 
     def _discard(self, process: Process) -> None:
-        self._members.discard(process)
+        self._members.pop(process, None)
 
     def kill_all(self) -> None:
         """Kill every live member.  Used to model a process crash."""
@@ -318,6 +322,9 @@ class Simulator:
         self._heap: list[_Handle] = []
         self._seq = itertools.count()
         self._process_count = itertools.count()
+        #: Callbacks executed so far — the per-shard work measure the
+        #: fleet harness reports (``fleet.shard<i>.steps``).
+        self.steps = 0
         self._probe_listeners: list[Callable[[str, Optional[str]], None]] = []
         #: Optional structured tracer (see :mod:`repro.trace`).  ``None``
         #: unless a harness attaches one; instrumentation sites guard
@@ -418,6 +425,7 @@ class Simulator:
             if handle.cancelled:
                 continue
             self._now = handle.time
+            self.steps += 1
             handle.callback()
             return True
         return False

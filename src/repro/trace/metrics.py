@@ -140,13 +140,19 @@ def collect_component_metrics(
     registry: MetricsRegistry,
     msps: Iterable = (),
     network: Optional[object] = None,
+    shard=None,
 ) -> MetricsRegistry:
     """Fold component counters into ``registry`` under stable namespaces.
 
     ``msp.<name>.<field>`` for :class:`MspStats`, ``log.<name>.<field>``
     for :class:`LogStats`, ``net.<field>`` for the network ledger, plus
-    the aggregate ``flush.stale_acks``.  Call at the end of a run — the
-    sources are plain ints, so this is a snapshot, not a subscription.
+    the aggregate ``flush.stale_acks``.  With a fleet ``shard``, adds the
+    ``fleet.*`` namespace: per-shard step counts, session/call progress
+    and the cross-shard export/import counters (barrier wait time is a
+    wall-clock quantity and lives in the run result's ``timing`` section
+    instead — metrics here are simulated-time only).  Call at the end of
+    a run — the sources are plain ints, so this is a snapshot, not a
+    subscription.
     """
     stale_acks = 0
     for msp in msps:
@@ -172,4 +178,17 @@ def collect_component_metrics(
     if network is not None:
         for field, value in network.ledger().items():
             registry.set(f"net.{field}", value)
+    if shard is not None:
+        prefix = f"fleet.shard{shard.index}"
+        registry.set(f"{prefix}.steps", shard.sim.steps)
+        registry.set(f"{prefix}.expected_sessions", shard.expected_sessions)
+        registry.set(f"{prefix}.completed_sessions", shard.completed_sessions)
+        registry.set(f"{prefix}.completed_calls", shard.completed_calls)
+        registry.set(f"{prefix}.cross_domain_calls", shard.cross_domain_calls)
+        registry.set(
+            f"{prefix}.messages_exported", shard.network.messages_exported
+        )
+        registry.set(
+            f"{prefix}.messages_imported", shard.network.messages_imported
+        )
     return registry

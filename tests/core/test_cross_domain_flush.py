@@ -1,0 +1,124 @@
+"""Cross-domain pessimistic flush: no orphans, exactly-once (§2.3/§5).
+
+The fleet's domain-crossing chains rest on one guarantee: an MSP
+flushes its log *before* any message leaves its service domain, so a
+reply a downstream MSP sent across the boundary can never be orphaned
+by the downstream crashing afterwards.  These tests race a downstream
+crash against its just-delivered reply across a sweep of instants — at
+every point the upstream must keep its session (no orphan recovery)
+and the end-to-end effects must land exactly once.
+"""
+
+import pytest
+
+from repro.core import RecoveryConfig, ServiceDomainConfig
+from repro.core.client import EndClient
+from repro.core.msp import MiddlewareServer
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def encode(n):
+    return n.to_bytes(8, "big")
+
+
+def decode(raw):
+    return int.from_bytes(raw, "big")
+
+
+def upstream_method(ctx, argument):
+    yield from ctx.compute(0.2)
+    yield from ctx.call("down", "downstream_method", argument)
+    local = decode((yield from ctx.read_shared("UP")))
+    yield from ctx.write_shared("UP", encode(local + 1))
+    raw = yield from ctx.get_session_var("count")
+    count = decode(raw or encode(0)) + 1
+    yield from ctx.set_session_var("count", encode(count))
+    return encode(count)
+
+
+def downstream_method(ctx, argument):
+    yield from ctx.compute(0.2)
+    remote = decode((yield from ctx.read_shared("DOWN")))
+    yield from ctx.write_shared("DOWN", encode(remote + 1))
+    return b"ok"
+
+
+def build_two_domains(seed=0):
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    net = Network(sim, rng=rng)
+    domains = ServiceDomainConfig([["up"], ["down"]])
+    up = MiddlewareServer(sim, net, "up", domains, config=RecoveryConfig(), rng=rng)
+    down = MiddlewareServer(sim, net, "down", domains, config=RecoveryConfig(), rng=rng)
+    up.register_service("upstream_method", upstream_method)
+    up.register_shared("UP", encode(0))
+    down.register_service("downstream_method", downstream_method)
+    down.register_shared("DOWN", encode(0))
+    client = EndClient(sim, net, "client")
+    return sim, up, down, client
+
+
+@pytest.mark.parametrize("crash_time", [26.0, 28.0, 30.0, 32.0, 34.0, 38.0, 42.0])
+def test_downstream_crash_never_orphans_upstream(crash_time):
+    sim, up, down, client = build_two_domains()
+    up.start_process()
+    down.start_process()
+    session = client.open_session("up")
+    results = []
+
+    def driver():
+        yield 1.0
+        for _ in range(8):
+            result = yield from session.call("upstream_method", b"")
+            results.append(decode(result.payload))
+
+    def crasher():
+        # Swept across a request's lifetime: mid-serve, right after the
+        # reply crossed the boundary, during the next request.
+        yield crash_time
+        down.crash()
+        down.restart_process()
+
+    p = sim.spawn(driver())
+    sim.spawn(crasher())
+    sim.run_until_process(p, limit=1_200_000)
+    assert results == list(range(1, 9)), f"crash at {crash_time}"
+    # The downstream flushed before its reply left the domain, so the
+    # upstream never saw orphaned state: no rollback on its side.
+    assert up.stats.orphan_recoveries == 0
+    assert decode(up.shared["UP"].value) == 8
+    assert decode(down.shared["DOWN"].value) == 8
+
+
+def test_no_dv_crosses_the_boundary_under_crashes():
+    """Even with a mid-run crash + recovery announcements in flight,
+    no record either side logged may carry the other domain's DV."""
+    from repro.core.records import ReplyRecord, RequestRecord
+
+    sim, up, down, client = build_two_domains()
+    up.start_process()
+    down.start_process()
+    session = client.open_session("up")
+
+    def driver():
+        yield 1.0
+        for _ in range(6):
+            yield from session.call("upstream_method", b"")
+
+    def crasher():
+        yield 31.0
+        down.crash()
+        down.restart_process()
+
+    p = sim.spawn(driver())
+    sim.spawn(crasher())
+    sim.run_until_process(p, limit=1_200_000)
+    for msp in (up, down):
+        offset = msp.store.truncate_lsn
+        while offset < msp.store.end:
+            record, offset = msp.log.record_at(offset)
+            if isinstance(record, (RequestRecord, ReplyRecord)):
+                assert record.sender_dv is None or not any(
+                    owner != msp.name for owner, _sid in record.sender_dv
+                ), f"{msp.name} logged a foreign DV: {record}"

@@ -73,3 +73,39 @@ def test_announcement_size_scales_with_table():
         "m", 0, 10, table_snapshot={"a": {0: 1, 1: 2}, "b": {0: 3}}
     )
     assert big.wire_size() > small.wire_size()
+
+
+def test_members_collects_every_routed_msp():
+    domains = ServiceDomainConfig([["a", "b"], ["c"]])
+    assert domains.members() == frozenset({"a", "b", "c"})
+    assert ServiceDomainConfig().members() == frozenset()
+
+
+def test_validate_members_accepts_known_supersets():
+    domains = ServiceDomainConfig([["a", "b"], ["c"]])
+    domains.validate_members({"a", "b", "c"})
+    domains.validate_members({"a", "b", "c", "d"})
+
+
+def test_validate_members_rejects_unknown_msps():
+    domains = ServiceDomainConfig([["a", "b"], ["c", "zzz"]])
+    with pytest.raises(ValueError, match="unknown MSPs: zzz"):
+        domains.validate_members({"a", "b", "c"})
+
+
+def test_mega_domain_every_pair_is_optimistic():
+    names = [f"m{i}" for i in range(16)]
+    domains = ServiceDomainConfig([names])
+    for a in names:
+        for b in names:
+            if a != b:
+                assert domains.same_domain(a, b)
+        assert domains.peers_of(a) == frozenset(names) - {a}
+
+
+def test_msp_outside_every_domain_is_pessimistic():
+    domains = ServiceDomainConfig([["a", "b"]])
+    assert domains.domain_of("lone") is None
+    assert not domains.same_domain("lone", "a")
+    assert not domains.same_domain("lone", "lone")
+    assert domains.peers_of("lone") == frozenset()

@@ -1,0 +1,142 @@
+"""Server-side idle-session expiry (bounded-memory truncation).
+
+Chained calls open implicit inter-MSP sessions that no client ever
+ends; each one checkpoints once and then its stale checkpoint LSN pins
+``MspCheckpointRecord.min_lsn`` — the truncation floor — forever, so
+the live log grows without bound on open-loop workloads.  The expiry
+sweep (``config.session_idle_timeout_ms``) ends idle sessions exactly
+like a client end, unpinning the floor.
+"""
+
+from repro.core import RecoveryConfig, ServiceDomainConfig
+from repro.core.client import EndClient
+from repro.core.msp import MiddlewareServer
+from repro.core.records import SessionEndRecord
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def bump(ctx, argument):
+    yield from ctx.compute(0.1)
+    raw = yield from ctx.get_session_var("n")
+    n = int.from_bytes(raw or b"\x00", "big") + 1
+    yield from ctx.set_session_var("n", n.to_bytes(4, "big"))
+    return n.to_bytes(4, "big")
+
+
+def build(timeout):
+    sim = Simulator()
+    rng = RngRegistry(0)
+    net = Network(sim, rng=rng)
+    config = RecoveryConfig(
+        session_idle_timeout_ms=timeout,
+        msp_ckpt_interval_ms=50.0,
+        # Keep the whole log readable: the expiry's end record would
+        # otherwise drop below the truncation floor before the scan.
+        log_truncation=False,
+    )
+    msp = MiddlewareServer(
+        sim, net, "server", ServiceDomainConfig(), config=config, rng=rng
+    )
+    msp.register_service("bump", bump)
+    client = EndClient(sim, net, "client")
+    return sim, msp, client
+
+
+def run_one_call_then_idle(sim, msp, client, idle_ms):
+    msp.start_process()
+    session = client.open_session("server")
+
+    def driver():
+        yield 1.0
+        yield from session.call("bump", b"x")
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=60_000)
+    sim.run(until=sim.now + idle_ms)
+    return session
+
+
+def live_records(msp):
+    found = []
+    offset = msp.store.truncate_lsn
+    while offset < msp.store.end:
+        record, offset = msp.log.record_at(offset)
+        found.append(record)
+    return found
+
+
+def test_idle_session_is_expired():
+    sim, msp, client = build(timeout=500.0)
+    run_one_call_then_idle(sim, msp, client, idle_ms=2_000.0)
+    assert msp.sessions == {}
+    assert msp.stats.sessions_expired == 1
+    # The expiry has the durable footprint of a client end.
+    assert any(
+        isinstance(r, SessionEndRecord) for r in live_records(msp)
+    )
+
+
+def test_active_session_survives_the_sweep():
+    sim, msp, client = build(timeout=500.0)
+    msp.start_process()
+    session = client.open_session("server")
+
+    def driver():
+        yield 1.0
+        for _ in range(20):
+            yield from session.call("bump", b"x")
+            yield 200.0  # always inside the idle timeout
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=60_000)
+    assert msp.stats.sessions_expired == 0
+    assert len(msp.sessions) == 1
+
+
+def test_timeout_none_preserves_historical_behavior():
+    sim, msp, client = build(timeout=None)
+    run_one_call_then_idle(sim, msp, client, idle_ms=60_000.0)
+    assert msp.stats.sessions_expired == 0
+    assert len(msp.sessions) == 1
+
+
+def test_expiry_unpins_the_truncation_floor():
+    """With segment recycling on, an abandoned session must stop
+    holding the minimal LSN back once it expires: later checkpoints
+    truncate the log past everything the dead session ever logged."""
+    sim = Simulator()
+    rng = RngRegistry(0)
+    net = Network(sim, rng=rng)
+    config = RecoveryConfig(
+        session_idle_timeout_ms=500.0,
+        msp_ckpt_interval_ms=50.0,
+        log_truncation=True,
+        log_segment_bytes=2048,
+    )
+    msp = MiddlewareServer(
+        sim, net, "server", ServiceDomainConfig(), config=config, rng=rng
+    )
+    msp.register_service("bump", bump)
+    client = EndClient(sim, net, "client")
+    msp.start_process()
+
+    abandoned = client.open_session("server")
+    busy = client.open_session("server")
+
+    def driver():
+        yield 1.0
+        yield from abandoned.call("bump", b"x" * 64)
+        # The abandoned session now idles while another session keeps
+        # appending log; its stale state would pin the floor.
+        for _ in range(200):
+            yield from busy.call("bump", b"x" * 64)
+            yield 10.0
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=600_000)
+    assert msp.stats.sessions_expired == 1
+    assert msp.store.recycled_segments > 0
+    # The floor moved past the whole prefix the abandoned session
+    # could have pinned: its records are below the live base.
+    assert msp.store.truncate_lsn > 2048
