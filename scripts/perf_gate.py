@@ -777,6 +777,104 @@ def _run_fleet_scaling_gate(
     return 0
 
 
+#: A matrix must span at least this many distinct fault families
+#: (crash, correlated, partition, disaster — baselines excluded).
+SCENARIO_MIN_FAMILIES = 4
+
+
+def gate_scenarios(report: dict, min_families: int) -> list[str]:
+    """Gate a ``repro scenarios --json`` report (PR 10).
+
+    Three claims.  *Coverage*: the matrix must span at least
+    ``min_families`` distinct fault families (baseline rows excluded)
+    and every fleet invariant must have been checked in every cell.
+    *Correctness*: every cell finished clean — no invariant violations,
+    no timeouts, no standby-shipping divergence.  *Failover wins*: for
+    every disaster cell, the warm-standby failover of each struck MSP
+    must reopen faster than the paired cold restart of the same MSP at
+    the same simulated instant (the standby skips ``restart_delay_ms``;
+    if it doesn't win, the shipping machinery is overpaying somewhere).
+    """
+    problems: list[str] = []
+    cells = report.get("cells", [])
+    if not cells:
+        return ["scenario-matrix: report has no cells"]
+    families = {
+        c["family"] for c in cells if not c["family"].endswith("-baseline")
+    }
+    if len(families) < min_families:
+        problems.append(
+            f"scenario-matrix: only {len(families)} fault families "
+            f"({', '.join(sorted(families))}); need >= {min_families}"
+        )
+    failing = report.get("failing_cells", [])
+    for cell_id in failing:
+        cell = next(c for c in cells if c["cell"] == cell_id)
+        verdicts = ", ".join(k for k, v in cell["verdicts"].items() if not v)
+        problems.append(
+            f"scenario-matrix: cell {cell_id} unclean (failed: {verdicts})"
+        )
+    for name, slot in sorted(report.get("invariants", {}).items()):
+        if slot["checked"] != len(cells):
+            problems.append(
+                f"scenario-matrix: invariant {name!r} checked in only "
+                f"{slot['checked']}/{len(cells)} cells"
+            )
+    checks = report.get("failover_vs_cold", [])
+    if "disaster" in families and not checks:
+        problems.append(
+            "scenario-matrix: disaster cells present but no "
+            "failover-vs-cold pairing was recorded"
+        )
+    for check in checks:
+        if check["cold_restart_ms"] is None:
+            problems.append(
+                f"scenario-matrix: {check['cell']}/{check['msp']} has no "
+                "cold-restart baseline sample"
+            )
+        elif not check["faster"]:
+            problems.append(
+                f"scenario-matrix: {check['cell']}/{check['msp']} failover "
+                f"({check['failover_ms']:.1f} ms) did not beat the cold "
+                f"restart ({check['cold_restart_ms']:.1f} ms)"
+            )
+    return problems
+
+
+def _run_scenarios_gate(path: str, min_families: int) -> int:
+    with open(path) as fh:
+        report = json.load(fh)
+    problems = gate_scenarios(report, min_families)
+    cells = report.get("cells", [])
+    families = sorted({c["family"] for c in cells})
+    print(
+        f"scenario-matrix gate: {len(cells)} cells over "
+        f"{len(families)} families ({', '.join(families)})"
+    )
+    for dist in sorted(report.get("family_recovery_ms", {}).items()):
+        family, stats = dist
+        if stats.get("n"):
+            print(
+                f"  {family:20s} recovery n={stats['n']} "
+                f"min {stats['min_ms']:7.1f} ms  "
+                f"p50 {stats['p50_ms']:7.1f} ms  "
+                f"max {stats['max_ms']:7.1f} ms"
+            )
+    for check in report.get("failover_vs_cold", []):
+        cold = check["cold_restart_ms"]
+        print(
+            f"  failover {check['cell']}/{check['msp']}: "
+            f"{check['failover_ms']:.1f} ms vs cold "
+            + (f"{cold:.1f} ms" if cold is not None else "n/a")
+        )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("scenario-matrix gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -860,6 +958,17 @@ def main(argv=None) -> int:
         f"0 skips the open-loop checks (default {FLEET_OPEN_LOOP_MIN_SESSIONS})",
     )
     parser.add_argument(
+        "--scenario-matrix", metavar="PATH", default=None,
+        help="gate a 'repro scenarios --json' report: every cell clean, "
+        "full fault-family coverage, warm-standby failover beating the "
+        "paired cold restart",
+    )
+    parser.add_argument(
+        "--min-families", type=int, default=SCENARIO_MIN_FAMILIES,
+        help="--scenario-matrix: minimum distinct fault families "
+        f"(default {SCENARIO_MIN_FAMILIES})",
+    )
+    parser.add_argument(
         "--instant-restart", metavar="PATH", default=None,
         help="gate the instant_restart cell of a bench report instead of "
         "comparing fan-out reports",
@@ -875,6 +984,8 @@ def main(argv=None) -> int:
         f"claim to count (default {INSTANT_RESTART_MIN_SESSIONS})",
     )
     args = parser.parse_args(argv)
+    if args.scenario_matrix is not None:
+        return _run_scenarios_gate(args.scenario_matrix, args.min_families)
     if args.log_volume is not None:
         return _run_log_volume_gate(
             args.log_volume,

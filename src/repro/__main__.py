@@ -20,6 +20,13 @@ Commands:
   seeded random multi-crash schedules with network faults), recover,
   and check the exactly-once invariant battery; failures report a
   replayable ``(seed, schedule)`` pair;
+- ``scenarios [--matrix PATH] [--jobs N] [--out MD] [--html PATH]
+  [--json PATH]`` — run a declarative scenario matrix (fault family ×
+  topology × seed: crashes, correlated rack loss, partition windows,
+  whole-domain disasters with warm-standby failover) under the process
+  pool and emit a fuzzbench-style report with per-cell invariant
+  verdicts and recovery-time distributions; report bytes are identical
+  at any ``--jobs`` value;
 - ``trace [configuration] [--requests N] [--crash-every N] [--out
   PATH] [--jsonl PATH]`` — run a paper workload with structured tracing
   on (:mod:`repro.trace`) and export the sim-time timeline as a Chrome
@@ -224,6 +231,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="attach structured tracers (requires --jobs 1) and write "
         "the merged Chrome trace_event file",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="run a declarative scenario matrix (fault family × topology) "
+        "and emit a fuzzbench-style report",
+    )
+    scenarios.add_argument(
+        "--matrix", default=None, metavar="PATH",
+        help="scenario matrix YAML (default: the built-in matrix; the "
+        "committed ones live under scenarios/)",
+    )
+    add_jobs_argument(scenarios)
+    scenarios.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the markdown report (byte-identical at any --jobs)",
+    )
+    scenarios.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="write the standalone HTML report",
+    )
+    scenarios.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the canonical (timing-free) report JSON "
+        "(the perf_gate --scenario-matrix input)",
+    )
+    scenarios.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-cell wall-clock deadline in seconds",
     )
 
     trace = sub.add_parser(
@@ -499,6 +535,64 @@ def _run_fleet(args: argparse.Namespace) -> int:
     return 0 if verdicts["clean"] else 1
 
 
+def _run_scenarios(args: argparse.Namespace) -> int:
+    from repro.parallel import resolve_jobs
+    from repro.scenarios import (
+        DEFAULT_MATRIX,
+        ScenarioSpec,
+        canonical_report_bytes,
+        render_html,
+        render_markdown,
+        run_matrix,
+    )
+
+    if args.matrix is not None:
+        spec = ScenarioSpec.load(args.matrix)
+    else:
+        spec = ScenarioSpec.from_dict(DEFAULT_MATRIX)
+    cells = spec.expand()
+    jobs = min(resolve_jobs(args.jobs), len(cells))
+    families = sorted({c.family for c in cells})
+    print(
+        f"scenario matrix {spec.name!r}: {len(cells)} cells "
+        f"({', '.join(families)}), jobs={jobs}"
+    )
+    report = run_matrix(
+        spec,
+        jobs=jobs,
+        progress=lambda done, total, outcome: print(
+            f"  [{done}/{total}] {outcome.spec.cell_id}"
+            + ("" if outcome.error is None else f" ERROR: {outcome.error}"),
+            file=sys.stderr,
+        ),
+        task_timeout_s=args.timeout,
+    )
+    verdicts = report["verdicts"]
+    print(f"fingerprint:        {report['fingerprint']}")
+    print(
+        "verdicts:           "
+        + " ".join(f"{k}={'ok' if v else 'FAIL'}" for k, v in verdicts.items())
+    )
+    for cell_id in report["failing_cells"]:
+        print(f"  failing cell: {cell_id}", file=sys.stderr)
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            fh.write(render_markdown(report))
+        print(f"wrote {args.out}")
+    if args.html is not None:
+        with open(args.html, "w") as fh:
+            fh.write(render_html(report))
+        print(f"wrote {args.html}")
+    if args.json is not None:
+        with open(args.json, "wb") as fh:
+            fh.write(canonical_report_bytes(report))
+        print(f"wrote {args.json}")
+    if args.out is None and args.html is None and args.json is None:
+        print()
+        print(render_markdown(report))
+    return 0 if all(verdicts.values()) else 1
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     from repro.trace import (
         Tracer,
@@ -629,6 +723,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_fuzz(args)
     if args.command == "fleet":
         return _run_fleet(args)
+    if args.command == "scenarios":
+        return _run_scenarios(args)
     if args.command == "trace":
         return _run_trace(args)
     return 2  # pragma: no cover

@@ -42,6 +42,7 @@ __all__ = [
     "ServiceDomainConfig",
     "SessionProtocolError",
     "StateId",
+    "WarmStandby",
 ]
 
 
@@ -59,4 +60,8 @@ def __getattr__(name):
         from repro.core.domain import ServiceDomainConfig
 
         return ServiceDomainConfig
+    if name == "WarmStandby":
+        from repro.core.standby import WarmStandby
+
+        return WarmStandby
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -102,6 +102,13 @@ class RecoveryConfig:
     #: expiry (the historical behaviour).  Evaluated at MSP-checkpoint
     #: cadence; pick a timeout far above any legitimate think time.
     session_idle_timeout_ms: Optional[float] = None
+    #: When a session ends (client end or expiry), its implicit
+    #: downstream hop sessions are sent explicit end requests so they
+    #: stop pinning the downstream truncation floor immediately instead
+    #: of lingering until idle expiry.  Each end is resent until
+    #: acknowledged, at most this many attempts (a dead downstream must
+    #: not be retried forever — expiry is the backstop).
+    end_propagation_attempts: int = 20
 
     # -- log management ----------------------------------------------------
     #: Batch (group) flushing timeout in ms; 0 disables batching

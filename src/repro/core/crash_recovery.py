@@ -563,6 +563,12 @@ def recover_msp(msp: "MiddlewareServer"):
         session = msp.session_for(session_id)
         session.status = SessionStatus.RECOVERING
         session.recovery_pending = True
+        # Restart the idle clock: a freshly rebuilt session's last
+        # activity is *now*, not the epoch-0 default — otherwise the
+        # first expiry sweep after ``sim.now >= session_idle_timeout_ms``
+        # would end every recovered session before its client's resend
+        # (or the lazy pump) could reach it.
+        session.last_active_ms = msp.sim.now
         session.last_ckpt_lsn = session_ckpts.get(session_id)
         stream = positions.get(session_id, [])
         session.position_stream.replace(stream)
@@ -718,6 +724,10 @@ def recover_session(msp: "MiddlewareServer", session):
     # A chainless (eager-written) log replays along the scan-derived
     # stream already installed on the session.
     yield from run_session_recovery(msp, session, orphan=False)
+    # The replay may run long after the restart (pump backlog): the
+    # idle-expiry clock restarts at the moment the session is actually
+    # recovered, so it gets a full idle window to be contacted again.
+    session.last_active_ms = msp.sim.now
     msp.sim.probe("recovery.session.end", owner=msp.name)
 
 

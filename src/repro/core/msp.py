@@ -26,7 +26,7 @@ from repro.core.checkpoint import (
     sv_checkpoint,
 )
 from repro.core.config import LoggingMode, RecoveryConfig
-from repro.core.context import NormalContext
+from repro.core.context import BUSY_RETRY_SLEEP_MS, NormalContext, _await_reply
 from repro.core.crash_recovery import recover_msp, recover_session
 from repro.core.domain import ServiceDomainConfig
 from repro.core.dv import RecoveryTable
@@ -63,6 +63,9 @@ class MspStats:
     requests_processed: int = 0
     requests_duplicate: int = 0
     requests_out_of_order: int = 0
+    #: Resent session ends acked idempotently after the session was
+    #: already discarded (the first ack was lost in transit).
+    duplicate_end_acks: int = 0
     busy_replies: int = 0
     buffered_reply_resends: int = 0
     orphan_messages_discarded: int = 0
@@ -99,6 +102,12 @@ class MspStats:
     #: Sessions ended server-side by the idle-expiry sweep
     #: (config.session_idle_timeout_ms).
     sessions_expired: int = 0
+    #: Ends propagated to implicit downstream hop sessions when a
+    #: session of ours ended (client end or expiry), split by outcome:
+    #: acknowledged by the downstream MSP vs abandoned after the retry
+    #: budget (idle expiry remains the backstop there).
+    downstream_ends_sent: int = 0
+    downstream_ends_abandoned: int = 0
 
 
 class MiddlewareServer:
@@ -514,6 +523,24 @@ class MiddlewareServer:
         costs = self.config.costs
         self.sim.probe("msp.request", owner=self.name)
         yield from self.cpu(costs.message_stack_ms + costs.request_dispatch_ms)
+        if (
+            request.end_session
+            and request.seq > 0
+            and request.session_id not in self.sessions
+        ):
+            # A resent session end whose ack was lost in transit: seqs
+            # 0..seq-1 were all acked (the client is strictly
+            # sequential), so the session existed and only the end
+            # itself — or the idle sweep — can have removed it.  Ending
+            # is idempotent: ack again WITHOUT resurrecting the session.
+            # A fresh session object would classify the resend as
+            # out-of-order and drop it silently, deadlocking the
+            # client's resend loop forever.
+            self.stats.duplicate_end_acks += 1
+            yield from self._send_reply(
+                request, Reply(request.session_id, request.seq, b"")
+            )
+            return
         session = self.session_for(request.session_id)
         session.last_active_ms = self.sim.now
 
@@ -763,6 +790,7 @@ class MiddlewareServer:
             yield from self.cpu(self.config.costs.log_append_ms)
             self.log.append(SessionEndRecord(session_id=session.id))
         self.sessions.pop(session.id, None)
+        self._propagate_session_end(session)
         yield from self._send_reply(
             request, Reply(session_id=session.id, seq=request.seq, payload=b"")
         )
@@ -784,6 +812,57 @@ class MiddlewareServer:
             return
         self.sessions.pop(session.id, None)
         self.stats.sessions_expired += 1
+        self._propagate_session_end(session)
+
+    def _propagate_session_end(self, session: Session) -> None:
+        """End the implicit hop sessions ``session`` opened downstream.
+
+        Chained calls open ``{session.id}>{target}`` sessions that no
+        client ever ends; left alone they pin the downstream MSP's log
+        truncation floor until ``session_idle_timeout_ms``.  When the
+        upstream session ends — client end or expiry — each hop session
+        gets an explicit end request, which recursively unwinds deeper
+        chains.  Best-effort by design: the enders run in the MSP's
+        process group (a crash kills them), and a dead or unreachable
+        downstream exhausts the retry budget; idle expiry remains the
+        backstop for every such case.
+        """
+        for out in session.outgoing.values():
+            self.sim.spawn(
+                self._end_downstream(out),
+                name=f"{self.name}.endprop.{out.session_id}",
+                group=self.group,
+            )
+
+    def _end_downstream(self, out):
+        """Send one end request to a downstream hop session (generator):
+        the client end protocol minus the client — resend until the end
+        is acknowledged, sleep out busy replies, give up after a bounded
+        number of attempts."""
+        reply_port = f"reply:{out.session_id}"
+        inbox = self.node.bind(reply_port)
+        request = Request(
+            session_id=out.session_id,
+            seq=out.next_seq,
+            method="",
+            argument=b"",
+            reply_to=self.name,
+            reply_port=reply_port,
+            end_session=True,
+        )
+        for _attempt in range(self.config.end_propagation_attempts):
+            yield from self.cpu(self.config.costs.message_stack_ms)
+            self.send(out.target_msp, "request", request)
+            reply = yield from _await_reply(self, inbox, request.seq)
+            if reply is None:
+                continue  # lost request/reply or crashed server: resend
+            if reply.busy:
+                yield BUSY_RETRY_SLEEP_MS
+                continue
+            out.next_seq = request.seq + 1
+            self.stats.downstream_ends_sent += 1
+            return
+        self.stats.downstream_ends_abandoned += 1
 
     def _resend_buffered_reply(self, request: Request, session: Session):
         """Re-send the buffered reply for a duplicate request (§3.1)."""

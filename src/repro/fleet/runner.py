@@ -315,6 +315,7 @@ def run_fleet(
     }
     latency_total_ms = 0.0
     latency_max_ms = 0.0
+    recovery_events: list[dict] = []
     for shard in shards:
         for key in totals:
             totals[key] += shard[key] if key != "steps" else shard["steps"]
@@ -327,7 +328,9 @@ def run_fleet(
         latency_max_ms = max(latency_max_ms, shard["latency"]["max_ms"])
         for key, value in shard["ledger"].items():
             ledger_totals[key] = ledger_totals.get(key, 0) + value
+        recovery_events.extend(shard.get("recovery_events", ()))
         violations.extend(shard["violations"])
+    recovery_events.sort(key=lambda e: (e["at_ms"], e["msp"], e["kind"]))
 
     completed = (
         not timed_out
@@ -379,6 +382,7 @@ def run_fleet(
             "max": round(latency_max_ms, 6),
         },
         "ledger": ledger_totals,
+        "recovery": recovery_events,
         "verdicts": {
             "completed": completed,
             "exactly_once": exactly_once,

@@ -22,6 +22,7 @@ from repro.core.client import EndClient
 from repro.core.config import RecoveryConfig
 from repro.core.msp import MiddlewareServer
 from repro.core.session import SessionStatus
+from repro.core.standby import WarmStandby
 from repro.fleet.topology import FleetSpec, FleetTopology
 from repro.fleet.traffic import decode_hops, encode_hops, generate_session_plans
 from repro.net import Network
@@ -132,6 +133,25 @@ class FleetShard:
             self.network.set_link(f"c.{name}", name, latency_ms=CLIENT_LATENCY_MS)
             self.clients[name] = client
 
+        # Scenario fault machinery: every shard installs the *identical*
+        # partition schedule (windows are RNG-free pure functions of
+        # simulated time, so sender-side blackout decisions agree across
+        # shards), and warm standbys attach before the first boot so the
+        # shipped prefix tracks the durable prefix from byte zero.
+        for window in self.topology.partition_windows():
+            self.network.add_partition(window)
+        self.standbys: dict[str, WarmStandby] = {}
+        if spec.warm_standby:
+            self.standbys = {
+                name: WarmStandby(self.msps[name]) for name in self.local_names
+            }
+        self.standby_violations: list[str] = []
+        #: Completed reopenings after a fault: ``{"msp", "kind", "at_ms",
+        #: "duration_ms"}`` with kind ``restart`` (crash plan) or
+        #: ``failover`` (disaster promotion) — the raw samples behind
+        #: the scenario report's recovery-time distributions.
+        self.recovery_events: list[dict] = []
+
         for msp in self.msps.values():
             msp.start_process()
 
@@ -165,6 +185,15 @@ class FleetShard:
                 self.sim.call_at(
                     when, lambda m=self.msps[target]: self._crash_restart(m)
                 )
+        # Whole-domain loss: domains never straddle shards, so every MSP
+        # a disaster destroys is local to exactly one shard.
+        for when, domain in spec.disaster_plan:
+            self._last_crash_ms = max(self._last_crash_ms, when)
+            for target in self.topology.domain_members(domain):
+                if target in local:
+                    self.sim.call_at(
+                        when, lambda m=self.msps[target]: self._disaster(m)
+                    )
 
     def _recovery_config(self) -> RecoveryConfig:
         spec = self.spec
@@ -181,8 +210,53 @@ class FleetShard:
         )
 
     def _crash_restart(self, msp: MiddlewareServer) -> None:
+        struck_at = self.sim.now
         msp.crash()
         msp.restart_process()
+        self._watch_reopen(msp, struck_at, "restart")
+
+    def _disaster(self, msp: MiddlewareServer) -> None:
+        """Destroy one MSP *with its storage*; fail over to its standby.
+
+        The standby verifies its shipped prefix byte-for-byte against
+        the primary's post-crash durable log before promoting; a
+        divergence is recorded as a violation and the run falls back to
+        an ordinary restart so it can still settle.
+        """
+        struck_at = self.sim.now
+        msp.crash()
+        standby = self.standbys[msp.name]
+        try:
+            standby.failover_process(
+                takeover_delay_ms=self.spec.standby_takeover_ms
+            )
+        except RuntimeError as exc:
+            self.standby_violations.append(str(exc))
+            msp.restart_process()
+        self._watch_reopen(msp, struck_at, "failover")
+
+    def _watch_reopen(self, msp: MiddlewareServer, since: float, kind: str) -> None:
+        """Record fault-to-open time once ``msp`` serves again.
+
+        Lives outside the MSP's process group on purpose: a second crash
+        mid-recovery must not kill the watcher — the sample then spans
+        fault to *final* reopen, which is the recovery time a client
+        actually experienced.
+        """
+
+        def monitor():
+            while not msp.running:
+                yield 1.0
+            self.recovery_events.append(
+                {
+                    "msp": msp.name,
+                    "kind": kind,
+                    "at_ms": round(since, 6),
+                    "duration_ms": round(self.sim.now - since, 6),
+                }
+            )
+
+        self.sim.spawn(monitor(), name=f"watch.{kind}.{msp.name}.{since:.0f}")
 
     # -- drivers -----------------------------------------------------------
 
@@ -307,10 +381,25 @@ class FleetShard:
                     f"{name}: recovery knowledge about {', '.join(known)} "
                     "leaked across the domain boundary"
                 )
+        violations.extend(self.standby_violations)
+        # End-of-run shipping audit: every standby that never promoted
+        # must still hold the primary's exact durable prefix.  Promoted
+        # standbys are skipped — after the swap the mirror *is* the
+        # primary store, and comparing it against itself would flag the
+        # new unshipped tail as divergence.
+        for name in self.local_names:
+            standby = self.standbys.get(name)
+            if standby is None or standby.promoted:
+                continue
+            for problem in standby.verify_against_primary():
+                violations.append(f"standby audit: {problem}")
         return violations
 
     def finalize(self) -> dict:
         """Deterministic per-shard result (canonical key order)."""
+        # Run the invariant sweep (including the standby shipping audit)
+        # first so its verification counters land in the stats below.
+        violations = self.check_invariants()
         actual_hits = {}
         for name in self.local_names:
             msp = self.msps[name]
@@ -358,6 +447,22 @@ class FleetShard:
             },
             "log": log_stats,
             "clients": client_stats,
+            "recovery_events": sorted(
+                self.recovery_events,
+                key=lambda e: (e["at_ms"], e["msp"], e["kind"]),
+            ),
+            "standby": {
+                name: {
+                    "shipments": sb.stats.shipments,
+                    "shipped_bytes": sb.stats.shipped_bytes,
+                    "anchor_shipments": sb.stats.anchor_shipments,
+                    "rewinds": sb.stats.rewinds,
+                    "failovers": sb.stats.failovers,
+                    "verifications": sb.stats.verifications,
+                    "promoted": sb.promoted,
+                }
+                for name, sb in sorted(self.standbys.items())
+            },
             "ledger": self.network.ledger(),
-            "violations": self.check_invariants(),
+            "violations": violations,
         }

@@ -80,7 +80,30 @@ class FleetSpec:
 
     # -- failures ----------------------------------------------------------
     #: ``((time_ms, msp_name), ...)`` — crash + restart that MSP then.
+    #: Several entries at the *same* timestamp are a correlated
+    #: multi-node crash (rack loss): every named MSP fails in the same
+    #: simulation instant, before any of them restarts.
     crash_plan: tuple = ()
+    #: ``((start_ms, end_ms, side_a, side_b), ...)`` — deterministic
+    #: network partition windows (see
+    #: :class:`~repro.net.faults.PartitionWindow`).  Sides are tuples of
+    #: node names: MSP names, or ``c.<msp>`` for an MSP's client
+    #: machine.  Every shard installs the identical schedule, so a
+    #: cross-shard send is blacked out at the sender's fabric before
+    #: export — windows are RNG-free and never shift the fault streams.
+    partition_plan: tuple = ()
+    #: ``((time_ms, domain_index), ...)`` — whole-domain loss: every MSP
+    #: of that domain is destroyed *with its storage* at that instant.
+    #: Requires ``warm_standby`` — without shipped logs there is nothing
+    #: to recover from.
+    disaster_plan: tuple = ()
+    #: Attach a :class:`~repro.core.standby.WarmStandby` to every MSP:
+    #: flushed log frames ship synchronously to a standby store, and a
+    #: disaster fails over to it (skipping the cold ``restart_delay_ms``).
+    warm_standby: bool = False
+    #: Failure-detection / takeover delay a disaster failover pays
+    #: before the standby starts recovering.
+    standby_takeover_ms: float = 5.0
 
     # -- recovery configuration (per MSP) ----------------------------------
     log_partitions: int = 1
@@ -106,6 +129,11 @@ class FleetSpec:
         """A stable JSON-safe form for result fingerprints."""
         spec = asdict(self)
         spec["crash_plan"] = [list(entry) for entry in self.crash_plan]
+        spec["partition_plan"] = [
+            [start, end, list(side_a), list(side_b)]
+            for start, end, side_a, side_b in self.partition_plan
+        ]
+        spec["disaster_plan"] = [list(entry) for entry in self.disaster_plan]
         spec["domain_layout"] = [list(d) for d in self.domain_layout]
         return spec
 
@@ -180,6 +208,37 @@ class FleetTopology:
             if when < 0:
                 raise ValueError(f"crash plan entry in the past: {when}")
 
+        # Partition sides may name MSPs or their client machines;
+        # PartitionWindow itself rejects empty/overlapping sides and
+        # empty intervals at construction (see partition_windows()).
+        addressable = known | {f"c.{m}" for m in known}
+        for start, end, side_a, side_b in spec.partition_plan:
+            unknown = sorted(
+                (set(side_a) | set(side_b)) - addressable
+            )
+            if unknown:
+                raise ValueError(
+                    f"partition plan names unknown nodes: {', '.join(unknown)}"
+                )
+            if end <= start:
+                raise ValueError(
+                    f"empty partition window: [{start}, {end})"
+                )
+
+        if spec.disaster_plan and not spec.warm_standby:
+            raise ValueError(
+                "disaster_plan destroys storage — recovery needs "
+                "warm_standby=True (log shipping)"
+            )
+        for when, domain in spec.disaster_plan:
+            if not 0 <= domain < spec.domains:
+                raise ValueError(
+                    f"disaster plan names unknown domain {domain} "
+                    f"(have {spec.domains})"
+                )
+            if when < 0:
+                raise ValueError(f"disaster plan entry in the past: {when}")
+
         # Hot/cold arrival weights (satellite of the open-loop generator):
         # the first ceil(hot_fraction * msps) MSPs are "hot".
         hot = max(1, round(spec.hot_fraction * spec.msps)) if spec.msps else 0
@@ -201,6 +260,23 @@ class FleetTopology:
     def local_msps(self, shard: int) -> list[str]:
         """MSPs hosted on ``shard``, in canonical (name) order."""
         return [m for m in self.msp_names if self.shard_of(m) == shard]
+
+    def partition_windows(self):
+        """The spec's partition plan as validated ``PartitionWindow``s.
+
+        Every shard installs the identical list — the windows are pure
+        functions of simulated time, so sender-side blackout decisions
+        agree across shards without any coordination.
+        """
+        from repro.net import PartitionWindow
+
+        return [
+            PartitionWindow(tuple(side_a), tuple(side_b), start, end)
+            for start, end, side_a, side_b in self.spec.partition_plan
+        ]
+
+    def domain_members(self, domain: int) -> tuple[str, ...]:
+        return self.domain_lists[domain]
 
     def peers_outside_domain(self, msp: str) -> list[str]:
         d = self._domain_index[msp]

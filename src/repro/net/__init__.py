@@ -9,7 +9,7 @@ link has a latency and a bandwidth, and an optional
 envelopes using a seeded random stream.
 """
 
-from repro.net.faults import FaultModel
+from repro.net.faults import FaultModel, PartitionWindow
 from repro.net.network import Envelope, Network, Node
 
-__all__ = ["Envelope", "FaultModel", "Network", "Node"]
+__all__ = ["Envelope", "FaultModel", "Network", "Node", "PartitionWindow"]

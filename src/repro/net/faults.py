@@ -61,3 +61,57 @@ class FaultModel:
 
 
 RELIABLE = FaultModel()
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A bidirectional link blackout between two node sets over a time
+    interval (scenario fault family: network partition).
+
+    Purely deterministic — the decision is a function of the envelope's
+    source, destination and send time, so it draws *nothing* from the
+    RNG registry.  That is what keeps seeded replays stable: the
+    per-link :meth:`FaultModel.delivery_plan` draws are made first and
+    identically whether or not a window is active (and reliable links
+    still consume zero draws); the partition then drops the planned
+    copies without touching any stream.  The decision is made at *send*
+    time: an envelope that entered the fabric before the window opened
+    is already past the blackout and will be delivered — model a cable
+    cut from instant ``t`` by starting the window one max-latency
+    earlier.
+
+    The window is half-open: ``start_ms <= now < end_ms``.  Traffic
+    within one side is never affected; both directions between the
+    sides are.
+    """
+
+    side_a: tuple[str, ...]
+    side_b: tuple[str, ...]
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self):
+        if self.end_ms <= self.start_ms:
+            raise ValueError(
+                f"empty partition window: [{self.start_ms}, {self.end_ms})"
+            )
+        overlap = set(self.side_a) & set(self.side_b)
+        if overlap:
+            raise ValueError(
+                f"partition sides overlap: {sorted(overlap)}"
+            )
+        if not self.side_a or not self.side_b:
+            raise ValueError("partition sides must be non-empty")
+
+    def active_at(self, now: float) -> bool:
+        return self.start_ms <= now < self.end_ms
+
+    def severs(self, source: str, destination: str, now: float) -> bool:
+        """True when this window blacks out ``source -> destination``."""
+        if not self.active_at(now):
+            return False
+        if source in self.side_a:
+            return destination in self.side_b
+        if source in self.side_b:
+            return destination in self.side_a
+        return False

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.net.faults import RELIABLE, FaultModel
+from repro.net.faults import RELIABLE, FaultModel, PartitionWindow
 from repro.sim import RngRegistry, Simulator, Store
 
 #: Default one-way propagation latency (ms).  Calibrated so that a
@@ -121,8 +121,11 @@ class Network:
         self.messages_in_flight = 0
         #: Why drops happened: ``fault`` (the link's delivery plan),
         #: ``unbound`` (no node, port unbound or inbox closed),
-        #: ``stale`` (destination crashed and restarted in flight).
-        self.drops_by_reason = {"fault": 0, "unbound": 0, "stale": 0}
+        #: ``stale`` (destination crashed and restarted in flight),
+        #: ``partition`` (an active partition window severed the link).
+        self.drops_by_reason = {"fault": 0, "unbound": 0, "stale": 0, "partition": 0}
+        #: Scheduled partition windows (see :meth:`add_partition`).
+        self.partitions: list[PartitionWindow] = []
         self.bytes_sent = 0
         #: Sharded-fleet hook (DESIGN.md §17): when set, a send whose
         #: destination has no local node is handed to the router as
@@ -172,6 +175,21 @@ class Network:
     def link(self, source: str, destination: str) -> Link:
         return self._links.get((source, destination), self._default_link)
 
+    def add_partition(self, window: PartitionWindow) -> None:
+        """Schedule a partition window (deterministic, RNG-free).
+
+        In a sharded fleet every shard installs the same schedule from
+        the spec, so a cross-shard send is blacked out at the *sender's*
+        fabric before export — both shards agree on the window purely
+        from simulated time.
+        """
+        self.partitions.append(window)
+
+    def partition_severs(self, source: str, destination: str) -> bool:
+        """True when an active window severs ``source -> destination`` now."""
+        now = self.sim.now
+        return any(w.severs(source, destination, now) for w in self.partitions)
+
     # -- transmission ------------------------------------------------------
 
     def send(self, source: str, destination: str, port: str, payload: Any, size_bytes: int) -> None:
@@ -186,6 +204,14 @@ class Network:
         self.bytes_sent += size_bytes
 
         extra_delays = link.faults.delivery_plan(rng)
+        if self.partitions and self.partition_severs(source, destination):
+            # The fault draws above ran regardless: partition windows
+            # are RNG-free, so adding or removing one never shifts the
+            # per-link streams and seeded replays of the surrounding
+            # traffic stay byte-identical.  The whole planned delivery
+            # (all copies) is blacked out as one dropped send.
+            self._drop("partition")
+            return
         if not extra_delays:
             self._drop("fault")
             return
@@ -294,6 +320,7 @@ class Network:
             "dropped_fault": self.drops_by_reason["fault"],
             "dropped_unbound": self.drops_by_reason["unbound"],
             "dropped_stale": self.drops_by_reason["stale"],
+            "dropped_partition": self.drops_by_reason["partition"],
             "messages_exported": self.messages_exported,
             "messages_imported": self.messages_imported,
             "bytes_sent": self.bytes_sent,

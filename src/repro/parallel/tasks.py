@@ -111,3 +111,36 @@ def run_workload_point(spec: WorkloadPointSpec):
     if spec.verify_exactly_once:
         workload.verify_exactly_once()
     return result
+
+
+# ---------------------------------------------------------------------------
+# scenarios: one matrix cell (a full fleet run) per task
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioCellSpec:
+    """One scenario-matrix cell: a complete :class:`FleetSpec` plus its
+    matrix coordinates.
+
+    The worker runs the fleet at ``jobs=1`` — cell-level parallelism
+    comes from the pool, and a fleet result is byte-identical at any
+    jobs value anyway, so nesting pools would only add overhead.
+    ``baseline_of`` links a cold-restart baseline cell to the disaster
+    cell whose failover it calibrates.
+    """
+
+    cell_id: str
+    family: str
+    topology: str
+    seed: int
+    fleet: "object"  # repro.fleet.FleetSpec (picklable frozen dataclass)
+    baseline_of: Optional[str] = None
+
+
+def run_scenario_cell(spec: ScenarioCellSpec) -> dict:
+    """Run one cell's fleet to quiescence; returns the trimmed,
+    deterministic cell record the report is built from."""
+    from repro.scenarios.runner import execute_cell
+
+    return execute_cell(spec)

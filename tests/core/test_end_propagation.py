@@ -1,0 +1,188 @@
+"""Client session-end propagation to implicit inter-MSP hop sessions.
+
+A chained call opens ``{session}>{target}`` sessions downstream that no
+client ever ends.  Before the fix they lingered until
+``session_idle_timeout_ms`` (or forever with expiry disabled), pinning
+the downstream MSP's log-truncation floor for the whole idle window.
+Ending the upstream session must now unwind the chain explicitly.
+"""
+
+from repro.core import RecoveryConfig, ServiceDomainConfig
+from repro.core.client import EndClient
+from repro.core.msp import MiddlewareServer
+from repro.core.records import SessionEndRecord
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def encode(n: int) -> bytes:
+    return n.to_bytes(8, "big")
+
+
+def decode(raw: bytes) -> int:
+    return int.from_bytes(raw, "big")
+
+
+def front_method(ctx, argument):
+    yield from ctx.compute(0.2)
+    reply = yield from ctx.call("back", "back_method", argument)
+    return reply
+
+
+def back_method(ctx, argument):
+    yield from ctx.compute(0.2)
+    raw = yield from ctx.get_session_var("count")
+    count = decode(raw or encode(0)) + 1
+    yield from ctx.set_session_var("count", encode(count))
+    return encode(count)
+
+
+def relay_method(ctx, argument):
+    """Middle hop of a depth-2 chain (front -> mid -> back)."""
+    yield from ctx.compute(0.2)
+    reply = yield from ctx.call("back", "back_method", argument)
+    return reply
+
+
+def build_world(same_domain=True, config=None, names=("front", "back")):
+    sim = Simulator()
+    rng = RngRegistry(0)
+    net = Network(sim, rng=rng)
+    if same_domain:
+        domains = ServiceDomainConfig([list(names)])
+    else:
+        domains = ServiceDomainConfig([[n] for n in names])
+    if config is None:
+        # Keep the whole log readable so tests can scan for the hop
+        # session's end record.
+        config = RecoveryConfig(log_truncation=False)
+    msps = {
+        name: MiddlewareServer(sim, net, name, domains, config=config, rng=rng)
+        for name in names
+    }
+    client = EndClient(sim, net, "client")
+    return sim, net, msps, client
+
+
+def run_session_and_end(sim, msps, client, calls=3):
+    for msp in msps.values():
+        msp.start_process()
+    session = client.open_session("front")
+    results = []
+
+    def driver():
+        yield 1.0
+        for _ in range(calls):
+            reply = yield from session.call("front_method", b"x")
+            results.append(decode(reply.payload))
+        yield from session.end()
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=120_000)
+    # Let the propagated end requests drain.
+    sim.run(until=sim.now + 2_000.0)
+    return results
+
+
+def test_end_propagates_to_hop_session():
+    # No idle expiry: without propagation the hop session lives forever.
+    sim, _net, msps, client = build_world()
+    msps["front"].register_service("front_method", front_method)
+    msps["back"].register_service("back_method", back_method)
+    results = run_session_and_end(sim, msps, client)
+    assert results == [1, 2, 3]
+
+    assert msps["front"].sessions == {}
+    # Pre-fix: the implicit hop session lingered on "back" forever.
+    assert msps["back"].sessions == {}
+    assert msps["front"].stats.downstream_ends_sent == 1
+    # The hop end has the full durable footprint of a client end.
+    hop_ends = [
+        r
+        for r in iter_live_records(msps["back"])
+        if isinstance(r, SessionEndRecord)
+    ]
+    assert len(hop_ends) == 1
+    assert hop_ends[0].session_id.endswith(">back")
+
+
+def test_end_propagates_across_domain_boundary():
+    sim, _net, msps, client = build_world(same_domain=False)
+    msps["front"].register_service("front_method", front_method)
+    msps["back"].register_service("back_method", back_method)
+    results = run_session_and_end(sim, msps, client)
+    assert results == [1, 2, 3]
+    assert msps["back"].sessions == {}
+    assert msps["front"].stats.downstream_ends_sent == 1
+
+
+def test_end_unwinds_deeper_chains_recursively():
+    """front -> mid -> back: ending the client session ends the
+    front>mid hop, whose end in turn ends mid>back."""
+    sim, _net, msps, client = build_world(names=("front", "mid", "back"))
+    msps["front"].register_service(
+        "front_method",
+        lambda ctx, arg: (yield from _call_through(ctx, "mid", "relay_method", arg)),
+    )
+    msps["mid"].register_service("relay_method", relay_method)
+    msps["back"].register_service("back_method", back_method)
+    results = run_session_and_end(sim, msps, client)
+    assert results == [1, 2, 3]
+    for name, msp in msps.items():
+        assert msp.sessions == {}, f"{name} still holds sessions"
+    assert msps["front"].stats.downstream_ends_sent == 1
+    assert msps["mid"].stats.downstream_ends_sent == 1
+
+
+def _call_through(ctx, target, method, argument):
+    reply = yield from ctx.call(target, method, argument)
+    return reply
+
+
+def test_propagated_end_unpins_downstream_truncation_floor():
+    """The point of the fix: with idle expiry disabled, the downstream
+    MSP's truncation floor must still advance past everything the hop
+    session logged once the upstream session ends."""
+    config = RecoveryConfig(
+        msp_ckpt_interval_ms=50.0,
+        log_truncation=True,
+        log_segment_bytes=2048,
+    )
+    sim, _net, msps, client = build_world(config=config)
+    msps["front"].register_service("front_method", front_method)
+    msps["back"].register_service("back_method", back_method)
+    for msp in msps.values():
+        msp.start_process()
+
+    ended = client.open_session("front")
+    busy = client.open_session("back")
+
+    def driver():
+        yield 1.0
+        yield from ended.call("front_method", b"x" * 64)
+        yield from ended.end()
+        # The hop session front>back idles on "back" while another
+        # session keeps appending log; its stale state would pin the
+        # floor if the end had not propagated.
+        for _ in range(200):
+            yield from busy.call("back_method", b"x" * 64)
+            yield 10.0
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=600_000)
+    back = msps["back"]
+    assert back.sessions.keys() == {busy.id}
+    assert back.stats.sessions_expired == 0  # expiry never configured
+    assert back.store.recycled_segments > 0
+    # Pre-fix the abandoned hop session pinned the floor at its first
+    # records: truncate_lsn could never pass the first segment.
+    assert back.store.truncate_lsn > 2048
+
+
+def iter_live_records(msp):
+    found = []
+    offset = msp.store.truncate_lsn
+    while offset < msp.store.end:
+        record, offset = msp.log.record_at(offset)
+        found.append(record)
+    return found

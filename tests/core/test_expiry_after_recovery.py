@@ -1,0 +1,134 @@
+"""Idle-expiry sweep vs crash recovery (regression).
+
+Sessions rebuilt by crash recovery used to keep the freshly-constructed
+``last_active_ms = 0.0``; once ``sim.now >= session_idle_timeout_ms``
+the first sweep after recovery expired every recovered session before
+its client (or the lazy pump) could reach it.  The idle clock must
+restart at recovery, and a ``lazy_pending`` session must never be
+expired before its chain replay runs.
+"""
+
+from repro.core import RecoveryConfig, ServiceDomainConfig
+from repro.core.client import EndClient
+from repro.core.msp import MiddlewareServer
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def bump(ctx, argument):
+    yield from ctx.compute(0.1)
+    raw = yield from ctx.get_session_var("n")
+    n = int.from_bytes(raw or b"\x00", "big") + 1
+    yield from ctx.set_session_var("n", n.to_bytes(4, "big"))
+    return n.to_bytes(4, "big")
+
+
+def build(recovery_mode="eager", timeout=500.0):
+    sim = Simulator()
+    rng = RngRegistry(0)
+    net = Network(sim, rng=rng)
+    config = RecoveryConfig(
+        session_idle_timeout_ms=timeout,
+        msp_ckpt_interval_ms=100.0,
+        recovery_mode=recovery_mode,
+        log_truncation=False,
+    )
+    msp = MiddlewareServer(
+        sim, net, "server", ServiceDomainConfig(), config=config, rng=rng
+    )
+    msp.register_service("bump", bump)
+    client = EndClient(sim, net, "client")
+    return sim, msp, client
+
+
+def drive_calls(sim, session, results, count, gap_ms):
+    def driver():
+        yield 1.0
+        for _ in range(count):
+            reply = yield from session.call("bump", b"")
+            results.append(int.from_bytes(reply.payload, "big"))
+            yield gap_ms
+
+    p = sim.spawn(driver())
+    sim.run_until_process(p, limit=120_000)
+
+
+def crash_then_idle(recovery_mode):
+    """Stay active past the idle timeout, crash, then go idle but keep
+    the post-recovery gap *inside* the timeout window."""
+    sim, msp, client = build(recovery_mode=recovery_mode)
+    msp.start_process()
+    session = client.open_session("server")
+    results = []
+    # Three calls ~190 ms apart: the driver ends around t=575 ms, past
+    # the 500 ms timeout, but the session was never idle for 500 ms.
+    drive_calls(sim, session, results, count=3, gap_ms=190.0)
+    assert results == [1, 2, 3]
+    assert sim.now > msp.config.session_idle_timeout_ms
+
+    msp.crash()
+    msp.restart_process()
+    # Recovery finishes ~t=630; several sweeps run before t=950 but the
+    # recovered session has been idle well under the timeout.
+    sim.run(until=950.0)
+    assert msp.stats.sessions_expired == 0, (
+        "recovered session expired by the first post-recovery sweep "
+        "(idle clock not restarted at recovery)"
+    )
+    assert len(msp.sessions) == 1
+    return sim, msp, client, session, results
+
+
+def test_recovered_session_survives_idle_sweep_eager():
+    sim, msp, _client, session, results = crash_then_idle("eager")
+
+    def resume():
+        reply = yield from session.call("bump", b"")
+        results.append(int.from_bytes(reply.payload, "big"))
+
+    p = sim.spawn(resume())
+    sim.run_until_process(p, limit=120_000)
+    # Exactly-once continuation across crash + idle window.
+    assert results == [1, 2, 3, 4]
+
+
+def test_recovered_session_survives_idle_sweep_lazy():
+    sim, msp, _client, session, results = crash_then_idle("lazy")
+
+    def resume():
+        reply = yield from session.call("bump", b"")
+        results.append(int.from_bytes(reply.payload, "big"))
+
+    p = sim.spawn(resume())
+    sim.run_until_process(p, limit=120_000)
+    assert results == [1, 2, 3, 4]
+
+
+def test_recovered_session_still_expires_after_a_full_idle_window():
+    """The restart must not grant immortality: a recovered session that
+    stays idle for a whole timeout window is still swept."""
+    sim, msp, _client, _session, _results = crash_then_idle("eager")
+    sim.run(until=sim.now + 2_000.0)
+    assert msp.stats.sessions_expired == 1
+    assert msp.sessions == {}
+
+
+def test_sweep_skips_lazy_pending_sessions():
+    """A ``lazy_pending`` session holds unreplayed state; expiring it
+    would drop the chain before replay.  The sweep must skip it until
+    the replay claims it."""
+    sim, msp, client = build(timeout=200.0)
+    msp.start_process()
+    session = client.open_session("server")
+    results = []
+    drive_calls(sim, session, results, count=1, gap_ms=0.0)
+    server_session = next(iter(msp.sessions.values()))
+    server_session.lazy_pending = True
+    sim.run(until=sim.now + 2_000.0)
+    assert msp.stats.sessions_expired == 0
+    assert len(msp.sessions) == 1
+    # Once the claim clears the flag, the ordinary expiry resumes.
+    server_session.lazy_pending = False
+    server_session.last_active_ms = sim.now
+    sim.run(until=sim.now + 2_000.0)
+    assert msp.stats.sessions_expired == 1

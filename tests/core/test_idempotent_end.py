@@ -1,0 +1,72 @@
+"""Resent session ends must be acked idempotently (regression).
+
+Found by the scenario matrix's partition cells: the server processed a
+session end, popped the session, and sent the ack — which a partition
+blackout dropped.  The client's resent end then reached a server that
+no longer knew the session; ``session_for`` created a fresh one whose
+``next_expected_seq`` was 0, classified the resend (seq >= 1) as
+out-of-order, and dropped it silently.  The client resends a final end
+forever: a permanent deadlock.  An end request for an unknown session
+with seq > 0 can only be such a resend (the client is strictly
+sequential, so seqs 0..seq-1 were acked and the session existed) — the
+server must ack it again without resurrecting the session.
+"""
+
+from repro.core import RecoveryConfig, ServiceDomainConfig
+from repro.core.client import EndClient
+from repro.core.msp import MiddlewareServer
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def echo(ctx, argument):
+    yield from ctx.compute(0.1)
+    return argument
+
+
+def build():
+    sim = Simulator()
+    rng = RngRegistry(0)
+    net = Network(sim, rng=rng)
+    msp = MiddlewareServer(
+        sim, net, "server", ServiceDomainConfig(),
+        config=RecoveryConfig(), rng=rng,
+    )
+    msp.register_service("echo", echo)
+    client = EndClient(sim, net, "client")
+    return sim, msp, client
+
+
+def run_session_and_reend(sim, msp, client):
+    """One normal session, then replay its final end as if the first
+    ack had been lost; returns the re-end's driver process."""
+    session = client.open_session("server")
+    done = {}
+
+    def driver():
+        yield 1.0
+        yield from session.call("echo", b"x")
+        yield from session.end()
+        assert session.id not in msp.sessions
+        # Model the lost ack: rewind the client's sequence cursor and
+        # rebind the reply port, then resend the identical end request.
+        session.next_seq -= 1
+        session._inbox = client.node.bind(session._reply_port)
+        result = yield from session.end()
+        done["result"] = result
+
+    return sim.spawn(driver()), done
+
+
+def test_resent_end_is_acked_without_resurrecting_the_session():
+    sim, msp, client = build()
+    msp.start_process()
+    process, done = run_session_and_reend(sim, msp, client)
+    sim.run_until_process(process, limit=60_000)
+    assert "result" in done, "resent session end was never acked"
+    assert not done["result"].error
+    assert msp.stats.duplicate_end_acks == 1
+    # The resend must not have recreated the session, logged anything
+    # new for it, or been miscounted as an out-of-order request.
+    assert msp.sessions == {}
+    assert msp.stats.requests_out_of_order == 0

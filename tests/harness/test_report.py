@@ -1,0 +1,99 @@
+"""Regression tests for the experiment-report renderer.
+
+Two historical bugs:
+
+- ``render_result`` derived table columns from ``rows[0]`` only, so
+  heterogeneous rows (scenario cells that add measurements) silently
+  lost cells;
+- ``_format_value`` switched ``.3f`` -> ``.1f`` per value at
+  ``abs >= 100``, mixing precisions within one column.
+"""
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import (
+    _column_float_format,
+    _format_value,
+    render_result,
+    render_table,
+    table_columns,
+)
+
+
+def result_with(rows):
+    return ExperimentResult(experiment="t", description="d", rows=rows)
+
+
+class TestColumnUnion:
+    def test_columns_are_ordered_union_across_rows(self):
+        rows = [
+            {"a": 1, "b": 2},
+            {"a": 3, "c": 4},
+            {"d": 5, "a": 6},
+        ]
+        assert table_columns(rows) == ["a", "b", "c", "d"]
+
+    def test_rows_that_add_keys_are_not_dropped(self):
+        # Pre-fix: the header came from rows[0] only, so "failover_ms"
+        # never appeared and the second row's cell was lost.
+        rows = [
+            {"cell": "crash", "ok": True},
+            {"cell": "standby", "ok": True, "failover_ms": 12.5},
+        ]
+        text = render_result(result_with(rows))
+        assert "failover_ms" in text
+        assert "12.5" in text
+
+    def test_missing_cells_render_as_dash(self):
+        rows = [{"a": 1.0}, {"a": 2.0, "b": 3.0}]
+        text = render_result(result_with(rows))
+        # Row one has no "b": its cell renders as the None marker.
+        row_lines = text.splitlines()[3:]
+        assert any("-" in line for line in row_lines)
+
+    def test_empty_rows_render_header_only(self):
+        text = render_result(result_with([]))
+        assert text == "== t: d =="
+
+    def test_render_table_empty(self):
+        assert render_table([]) == []
+
+
+class TestConsistentFloatFormat:
+    def test_column_with_large_value_uses_one_precision_everywhere(self):
+        # Pre-fix: 3.5 rendered "3.500" while 250.0 rendered "250.0" in
+        # the same column.
+        rows = [{"ms": 3.5}, {"ms": 250.0}]
+        text = render_result(result_with(rows))
+        assert "3.5" in text
+        assert "3.500" not in text
+        assert "250.0" in text
+
+    def test_small_only_column_keeps_three_decimals(self):
+        rows = [{"ms": 3.5}, {"ms": 99.25}]
+        text = render_result(result_with(rows))
+        assert "3.500" in text
+        assert "99.250" in text
+
+    def test_negative_values_count_toward_magnitude(self):
+        assert _column_float_format([-250.0, 1.0]) == ".1f"
+        assert _column_float_format([-99.0, 1.0]) == ".3f"
+
+    def test_none_and_non_floats_are_ignored_for_format_choice(self):
+        assert _column_float_format([None, "x", 1000, 2.0]) == ".3f"
+
+    def test_mixed_column_renders_consistently_with_none(self):
+        rows = [{"v": None}, {"v": -123.456}, {"v": 0.5}]
+        lines = render_table(rows)
+        assert lines[2].strip() == "-"
+        assert "-123.5" in lines[3]
+        assert "0.5" in lines[4]
+        assert "0.500" not in lines[4]
+
+    def test_format_value_defaults(self):
+        assert _format_value(True) == "yes"
+        assert _format_value(False) == "no"
+        assert _format_value(None) == "-"
+        assert _format_value(1.5) == "1.500"
+        assert _format_value(1.5, ".1f") == "1.5"
+        assert _format_value("s") == "s"
+        assert _format_value(7) == "7"

@@ -1,0 +1,152 @@
+"""Partition windows: determinism and blackout-delivery properties.
+
+The contract (repro.net.faults.PartitionWindow): a window is RNG-free
+and decided at send time, so (a) seeded replays of a partitioned run
+are byte-identical, (b) adding a window never shifts the per-link fault
+streams of the surrounding traffic, and (c) a healed partition delivers
+*no* envelope whose send fell inside the blackout — the drop is final,
+not a delay.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import FaultModel, Network, PartitionWindow
+from repro.sim import RngRegistry, Simulator
+
+
+def build_net(seed, faults=None, windows=()):
+    sim = Simulator()
+    net = Network(sim, rng=RngRegistry(seed))
+    for name in ("a1", "a2", "b1", "b2"):
+        net.node(name).bind("p")
+    if faults is not None:
+        for src in ("a1", "a2"):
+            for dst in ("b1", "b2"):
+                net.set_link(src, dst, faults=faults)
+    for window in windows:
+        net.add_partition(window)
+    return sim, net
+
+
+def drain(net, name):
+    """Delivered payload/timestamp pairs for node ``name``."""
+    inbox = net.node(name).inbox("p")
+    return [(e.payload, e.sent_at, e.delivered_at) for e in inbox._items]
+
+
+def run_schedule(seed, sends, windows=(), faults=None, until=500.0):
+    """Send ``(time, src, dst, tag)`` entries; return delivery log + ledger."""
+    sim, net = build_net(seed, faults=faults, windows=windows)
+    for when, src, dst, tag in sends:
+        sim.call_at(when, lambda s=src, d=dst, t=tag: net.send(s, d, "p", t, 100))
+    sim.run(until=until)
+    net.check_ledger()
+    deliveries = {name: drain(net, name) for name in ("a1", "a2", "b1", "b2")}
+    return deliveries, net.ledger()
+
+
+window_strategy = st.builds(
+    PartitionWindow,
+    side_a=st.just(("a1", "a2")),
+    side_b=st.just(("b1", "b2")),
+    start_ms=st.floats(min_value=0.0, max_value=200.0),
+    end_ms=st.floats(min_value=200.001, max_value=400.0),
+)
+
+send_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=400.0),
+        st.sampled_from(["a1", "a2", "b1", "b2"]),
+        st.sampled_from(["a1", "a2", "b1", "b2"]),
+        st.integers(min_value=0, max_value=10**6),
+    ).filter(lambda s: s[1] != s[2]),
+    min_size=1,
+    max_size=40,
+)
+
+faults_strategy = st.builds(
+    FaultModel,
+    loss_prob=st.floats(min_value=0.0, max_value=0.3),
+    duplicate_prob=st.floats(min_value=0.0, max_value=0.3),
+    reorder_prob=st.floats(min_value=0.0, max_value=0.5),
+    reorder_max_delay_ms=st.just(5.0),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16), sends=send_strategy,
+       window=window_strategy, faults=faults_strategy)
+def test_partitioned_delivery_plans_replay_byte_identical(
+    seed, sends, window, faults
+):
+    first = run_schedule(seed, sends, windows=(window,), faults=faults)
+    second = run_schedule(seed, sends, windows=(window,), faults=faults)
+    assert first == second
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16), sends=send_strategy,
+       window=window_strategy, faults=faults_strategy)
+def test_window_never_shifts_fault_draws_outside_the_blackout(
+    seed, sends, window, faults
+):
+    """Removing the window must change nothing about envelopes whose
+    send the window did not sever: same delivery instants, same fault
+    drops — the RNG streams were consumed identically."""
+    # Unique tags so a delivery identifies its send unambiguously.
+    sends = [(when, src, dst, i) for i, (when, src, dst, _) in enumerate(sends)]
+    with_window, ledger_with = run_schedule(
+        seed, sends, windows=(window,), faults=faults
+    )
+    without, ledger_without = run_schedule(seed, sends, windows=(), faults=faults)
+    severed_tags = {
+        tag for when, src, dst, tag in sends if window.severs(src, dst, when)
+    }
+    # Ledger: every severed send is accounted as exactly one partition
+    # drop; nothing else moves between buckets.
+    assert ledger_with["dropped_partition"] == len(severed_tags)
+    assert ledger_without["dropped_partition"] == 0
+    assert ledger_with["messages_sent"] == ledger_without["messages_sent"]
+    # Non-severed deliveries are identical envelope-for-envelope.
+    for name in ("a1", "a2", "b1", "b2"):
+        kept = [entry for entry in without[name] if entry[0] not in severed_tags]
+        assert with_window[name] == kept
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16), sends=send_strategy, window=window_strategy)
+def test_healed_partition_delivers_nothing_sent_in_the_blackout(
+    seed, sends, window
+):
+    """Run far past the heal: no delivered envelope crossing the
+    partition may carry a send timestamp inside the window."""
+    sends = [(when, src, dst, i) for i, (when, src, dst, _) in enumerate(sends)]
+    deliveries, ledger = run_schedule(
+        seed, sends, windows=(window,), until=10_000.0
+    )
+    assert ledger["messages_in_flight"] == 0
+    by_tag = {tag: (when, src, dst) for when, src, dst, tag in sends}
+    for _name, entries in deliveries.items():
+        for tag, sent_at, _delivered_at in entries:
+            when, src, dst = by_tag[tag]
+            assert not window.severs(src, dst, when)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        PartitionWindow(("a",), ("b",), 10.0, 10.0)  # empty interval
+    with pytest.raises(ValueError):
+        PartitionWindow(("a",), ("a", "b"), 0.0, 1.0)  # overlap
+    with pytest.raises(ValueError):
+        PartitionWindow((), ("b",), 0.0, 1.0)  # empty side
+
+
+def test_window_is_bidirectional_and_half_open():
+    w = PartitionWindow(("a1",), ("b1",), 100.0, 200.0)
+    assert w.severs("a1", "b1", 100.0)
+    assert w.severs("b1", "a1", 150.0)
+    assert not w.severs("a1", "b1", 200.0)  # end is exclusive
+    assert not w.severs("a1", "a2", 150.0)  # same side unaffected
+    assert not w.severs("c", "b1", 150.0)  # outsiders unaffected

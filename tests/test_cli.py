@@ -170,6 +170,28 @@ def test_trace_command_without_crashes(capsys, tmp_path):
     assert "crashes:            0" in out
 
 
+def test_scenarios_command_smoke(capsys, tmp_path):
+    import json
+    import pathlib
+
+    matrix = pathlib.Path(__file__).resolve().parents[1] / "scenarios"
+    md = tmp_path / "report.md"
+    html = tmp_path / "report.html"
+    raw = tmp_path / "report.json"
+    code = main(
+        ["scenarios", "--matrix", str(matrix / "smoke.yaml"), "--jobs", "2",
+         "--out", str(md), "--html", str(html), "--json", str(raw)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all_clean=ok" in out
+    assert "failover_beats_cold=ok" in out
+    report = json.loads(raw.read_text())
+    assert len(report["cells"]) == 12
+    assert "# Scenario matrix: smoke" in md.read_text()
+    assert html.read_text().startswith("<!doctype html>")
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["run", "not-an-experiment"])
